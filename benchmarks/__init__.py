@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating every paper table and figure."""

@@ -1,0 +1,34 @@
+"""Benchmarks regenerating the three Fig. 1 motivation artifacts."""
+
+from repro.experiments import fig1_interference, fig1_slack, fig1_worksets
+
+from .conftest import run_once
+
+
+class TestFig1a:
+    def test_fig1a_slack_cdf(self, benchmark):
+        result = run_once(
+            benchmark, fig1_slack.run, n_functions=200, n_invocations=100_000
+        )
+        print("\n" + fig1_slack.render(result))
+        # Paper: >60% of invocations with slack above 0.6.
+        assert result.frac_all_above_060 > 0.6
+
+
+class TestFig1b:
+    def test_fig1b_workset_variance(self, benchmark, bench_samples):
+        result = run_once(benchmark, fig1_worksets.run, samples=bench_samples)
+        print("\n" + fig1_worksets.render(result))
+        # Paper: up to ~3.8x spread across OD/QA/TS.
+        assert 1.5 <= result.max_ratio <= 4.5
+
+
+class TestFig1c:
+    def test_fig1c_interference(self, benchmark):
+        result = run_once(benchmark, fig1_interference.run, samples=200)
+        print("\n" + fig1_interference.render(result))
+        finals = {n: s[-1] for n, s in result.series.items()}
+        # Paper: up to 8.1x at six instances; network worst, CPU mildest.
+        assert 6.0 <= result.max_slowdown <= 10.0
+        assert finals["SocketComm"] == max(finals.values())
+        assert finals["AES"] == min(finals.values())

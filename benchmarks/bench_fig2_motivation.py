@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 2 (early- vs late-binding motivation)."""
+
+from repro.experiments import fig2_motivation
+
+from .conftest import run_once
+
+
+def test_fig2_motivation(benchmark, bench_samples):
+    result = run_once(
+        benchmark, fig2_motivation.run, n_requests=50, samples=bench_samples
+    )
+    print("\n" + fig2_motivation.render(result))
+    # Paper: late binding cuts CPU by up to 42.2% with zero violations.
+    assert result.max_cpu_reduction > 0.10
+    assert result.late_violations <= 1
+    # Late binding runs closer to (but within) the SLO.
+    assert result.e2e_late_s.max() <= result.slo_s * 1.05

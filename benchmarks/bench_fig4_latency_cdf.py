@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 4 (E2E latency CDFs, all systems)."""
+
+from repro.experiments import fig4_latency_cdf
+
+from .conftest import run_once
+
+
+def test_fig4_latency_cdfs(benchmark, bench_requests, bench_samples):
+    result = run_once(
+        benchmark,
+        fig4_latency_cdf.run,
+        n_requests=bench_requests,
+        samples=bench_samples,
+    )
+    print("\n" + fig4_latency_cdf.render(result))
+    # Paper: Janus fulfils the SLO in all four panels (P99 target -> at most
+    # 1% violations) while running closer to the deadline than early binding.
+    for panel, results in result.panels.items():
+        slo = result.slos_ms[panel]
+        janus_res = results["Janus"]
+        assert janus_res.violation_rate <= 0.01 + 1e-9, panel
+        assert janus_res.e2e_percentile(99) <= slo * 1.02, panel
+        for early in ("GrandSLAM", "GrandSLAM+"):
+            if early in results:
+                assert (
+                    janus_res.e2e_percentile(50)
+                    >= results[early].e2e_percentile(50)
+                ), panel

@@ -1,0 +1,45 @@
+"""Benchmark regenerating Table I and Fig. 5a/5b (resource consumption)."""
+
+from repro.experiments import fig5_resources
+
+from .conftest import run_once
+
+#: Paper Table I reductions (% of Optimal) used as shape anchors.
+PAPER_TABLE1 = {
+    "IA": {"ORION": 22.6, "GrandSLAM+": 31.3, "GrandSLAM": 31.3, "Janus-": 2.9},
+    "VA": {"ORION": 26.9, "GrandSLAM+": 35.2, "GrandSLAM": 32.4, "Janus-": 4.7},
+}
+
+
+def test_table1_and_fig5(benchmark, bench_requests, bench_samples):
+    result = run_once(
+        benchmark,
+        fig5_resources.run,
+        n_requests=bench_requests,
+        samples=bench_samples,
+    )
+    print("\n" + fig5_resources.render(result))
+
+    for wf in ("IA", "VA"):
+        reductions = result.reduction_table((wf, 1))
+        paper = PAPER_TABLE1[wf]
+        # Shape: every baseline consumes more than Janus, with the paper's
+        # ordering (Janus- closest, early binders far) and the magnitudes
+        # within a factor-of-two band of the published numbers.
+        assert reductions["Janus-"] < reductions["ORION"]
+        assert reductions["ORION"] < max(
+            reductions["GrandSLAM"], reductions["GrandSLAM+"]
+        )
+        for base, target in paper.items():
+            measured = reductions[base]
+            assert 0.3 * target <= measured <= 2.2 * target, (
+                f"{wf}/{base}: measured {measured:.1f}%, paper {target}%"
+            )
+
+    # Fig. 5b: at higher concurrency the early binders over-allocate more.
+    for conc in (2, 3):
+        panel = ("IA", conc)
+        if panel in result.panels:
+            norm = result.normalized(panel)
+            assert norm["GrandSLAM"] > norm["Janus"]
+            assert norm["Janus"] < 1.6

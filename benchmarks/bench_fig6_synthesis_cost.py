@@ -1,0 +1,21 @@
+"""Benchmark regenerating Fig. 6 (moderate percentile exploration)."""
+
+from repro.experiments import fig6_percentile_exploration
+
+from .conftest import run_once
+
+
+def test_fig6_exploration_cost_benefit(benchmark, bench_samples):
+    result = run_once(
+        benchmark,
+        fig6_percentile_exploration.run,
+        n_requests=200,
+        samples=bench_samples,
+    )
+    print("\n" + fig6_percentile_exploration.render(result))
+    # Paper: Janus+ gains merely ~0.6% resources on average...
+    assert -1.0 <= result.mean_cpu_gain_pct <= 5.0
+    # ...but synthesis costs an order of magnitude more (up to 107x on the
+    # paper's testbed; the vectorised implementation still pays the full
+    # percentile-grid multiplier).
+    assert result.max_time_ratio > 5.0

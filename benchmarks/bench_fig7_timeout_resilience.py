@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 7 (timeout and resilience of TS)."""
+
+import numpy as np
+
+from repro.experiments import fig7_timeout_resilience
+
+from .conftest import run_once
+
+
+def test_fig7_curves(benchmark, bench_samples):
+    result = run_once(
+        benchmark, fig7_timeout_resilience.run, samples=bench_samples
+    )
+    print("\n" + fig7_timeout_resilience.render(result))
+
+    # Fig. 7a: timeout decreases with percentile and with CPU allocation.
+    d25 = result.timeout_by_percentile[25]
+    d75 = result.timeout_by_percentile[75]
+    assert np.all(d25 >= d75 - 1e-9)
+    assert d25[0] > d25[-1]  # more cores -> lower timeout
+
+    # Fig. 7b: resilience shrinks with cores (diminishing returns) and grows
+    # with concurrency (heavier batches are more resource-sensitive).
+    r1 = result.resilience_by_concurrency[1]
+    r3 = result.resilience_by_concurrency[3]
+    assert np.all(np.diff(r1) <= 1e-9)
+    assert r3[0] > r1[0]
+    assert abs(r1[-1]) < 1e-9  # zero headroom at Kmax

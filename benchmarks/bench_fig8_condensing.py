@@ -1,0 +1,21 @@
+"""Benchmark regenerating Fig. 8 (hints condensing effectiveness)."""
+
+from repro.experiments import fig8_condensing
+
+from .conftest import run_once
+
+
+def test_fig8_condensing(benchmark, bench_samples):
+    result = run_once(benchmark, fig8_condensing.run, samples=bench_samples)
+    print("\n" + fig8_condensing.render(result))
+
+    # Paper §V-F: compression ratios up to 99.6% (IA) / 98.2% (VA); every
+    # configuration here must compress by at least 90%.
+    for key, ratio in result.compression.items():
+        assert ratio > 0.90, key
+
+    # Table sizes shrink as the head weight grows (paper Fig. 8).
+    weights = sorted({k[2] for k in result.counts})
+    for wf, conc in {(k[0], k[1]) for k in result.counts}:
+        counts = [result.counts[(wf, conc, w)] for w in weights]
+        assert counts[-1] <= counts[0], (wf, conc)

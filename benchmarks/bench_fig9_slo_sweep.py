@@ -1,0 +1,30 @@
+"""Benchmark regenerating Fig. 9 (resource consumption vs SLO)."""
+
+from repro.experiments import fig9_slo
+
+from .conftest import run_once
+
+
+def test_fig9_slo_sweep(benchmark, bench_requests, bench_samples):
+    result = run_once(
+        benchmark,
+        fig9_slo.run,
+        n_requests=min(bench_requests, 300),
+        samples=bench_samples,
+    )
+    print("\n" + fig9_slo.render(result))
+    for wf in ("IA", "VA"):
+        series = result.series[wf]
+        slos = sorted(series)
+        # At the tightest SLO Janus clearly beats both baselines.
+        tight = series[slos[0]]
+        assert tight["Janus"] < tight["ORION"]
+        assert tight["Janus"] < tight["GrandSLAM"]
+        # Gains narrow as the SLO loosens (paper: marginal decrease, with
+        # everything converging towards the 1000-millicore floor).
+        loose = series[slos[-1]]
+        tight_gain = tight["GrandSLAM"] - tight["Janus"]
+        loose_gain = loose["GrandSLAM"] - loose["Janus"]
+        assert loose_gain <= tight_gain + 1e-9
+        assert result.mean_gain_pct(wf, "ORION") > 0
+        assert result.mean_gain_pct(wf, "GrandSLAM") > 0

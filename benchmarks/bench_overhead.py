@@ -1,0 +1,74 @@
+"""Benchmark regenerating §V-H (system overhead) plus substrate
+micro-benchmarks for the hot paths."""
+
+import numpy as np
+import pytest
+
+from repro.adapter.adapter import JanusAdapter
+from repro.experiments import overhead
+from repro.experiments.common import ia_setup
+from repro.sim import Simulator
+from repro.synthesis.dp import ChainDP
+from repro.synthesis.generator import synthesize_hints
+
+from .conftest import run_once
+
+
+class TestPaperOverhead:
+    def test_overhead_experiment(self, benchmark, bench_samples):
+        result = run_once(
+            benchmark, overhead.run, n_requests=300, samples=bench_samples
+        )
+        print("\n" + overhead.render(result))
+        # Paper: online adaptation stays under 3 ms; footprints ~MBs.
+        for wf, stats in result.decision_ms.items():
+            assert stats["max"] < 3.0, wf
+        for wf, size in result.table_bytes.items():
+            assert size < 12.1 * 1024 * 1024, wf
+
+
+class TestMicroSubstrate:
+    """Hot-path micro-benchmarks (not paper artifacts)."""
+
+    @pytest.fixture(scope="class")
+    def ia(self, bench_samples):
+        return ia_setup(samples=bench_samples)
+
+    def test_adapter_lookup_throughput(self, benchmark, ia):
+        wf, profiles, budget = ia
+        hints = synthesize_hints(profiles, wf.chain, budget)
+        adapter = JanusAdapter(hints, wf.slo_ms)
+        rng = np.random.default_rng(0)
+        budgets = rng.uniform(0, 7500, size=1000)
+
+        def thousand_lookups():
+            for b in budgets:
+                adapter.decide(0, float(b))
+
+        benchmark(thousand_lookups)
+
+    def test_suffix_dp_build(self, benchmark, ia):
+        wf, profiles, _ = ia
+        chain_profiles = profiles.for_chain(wf.chain)
+        benchmark(lambda: ChainDP(chain_profiles, 7000))
+
+    def test_full_synthesis(self, benchmark, ia):
+        wf, profiles, budget = ia
+        benchmark.pedantic(
+            lambda: synthesize_hints(profiles, wf.chain, budget),
+            rounds=3, iterations=1, warmup_rounds=1,
+        )
+
+    def test_des_event_throughput(self, benchmark):
+        def run_10k_events():
+            sim = Simulator()
+
+            def ping():
+                for _ in range(10_000):
+                    yield sim.timeout(1.0)
+
+            sim.run(until=sim.process(ping()))
+            return sim.processed_events
+
+        events = benchmark(run_10k_events)
+        assert events >= 10_000

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table II (+ §V-E weight sweep)."""
+
+from repro.experiments import table2_weight
+
+from .conftest import run_once
+
+
+def test_table2_weight_impact(benchmark, bench_samples):
+    result = run_once(
+        benchmark, table2_weight.run, n_requests=200, samples=bench_samples
+    )
+    print("\n" + table2_weight.render(result))
+    # Paper Table II: higher weight -> smaller head allocation and lower (or
+    # equal) head percentile.
+    assert result.head_cpu[3.0] <= result.head_cpu[1.0]
+    assert result.head_percentile[3.0] <= result.head_percentile[1.0] + 1e-9

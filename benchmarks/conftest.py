@@ -1,0 +1,47 @@
+"""Benchmark-harness configuration.
+
+Each ``bench_*`` module regenerates one paper artifact (table or figure),
+prints the same rows/series the paper reports (run with ``-s`` to see
+them), asserts the qualitative shape, and measures the end-to-end runtime
+with pytest-benchmark.
+
+Scale knobs: the environment variables ``JANUS_BENCH_REQUESTS`` (default
+400) and ``JANUS_BENCH_SAMPLES`` (default 1500) trade fidelity for speed;
+the paper-scale settings are 1000 requests / 2000 samples.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_requests() -> int:
+    """Requests per policy run."""
+    return _env_int("JANUS_BENCH_REQUESTS", 400)
+
+
+@pytest.fixture(scope="session")
+def bench_samples() -> int:
+    """Profiling samples per grid point."""
+    return _env_int("JANUS_BENCH_SAMPLES", 1500)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Paper experiments are seconds-long; pedantic single-round timing avoids
+    pytest-benchmark's multi-round calibration re-running them dozens of
+    times.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

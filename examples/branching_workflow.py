@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Branching workflows — the paper's §VII future work, implemented.
+
+A media-processing diamond: ingest fans out into a heavy vision branch and
+a light audio branch that join in a publish step. Hint tables are
+synthesized per function over each function's downstream critical path
+(`repro.synthesis.dag`), and the branch-parallel executor sizes every
+function the moment its predecessors finish.
+
+Run:  python examples/branching_workflow.py
+"""
+
+from repro import (
+    FunctionModel,
+    ProfileSet,
+    Profiler,
+    ProfilerConfig,
+    Resource,
+    Workflow,
+    WorkloadConfig,
+    generate_requests,
+)
+from repro.functions import LogUniformWorkset
+from repro.policies import DagGrandSLAMPolicy, DagJanusPolicy
+from repro.rng import RngFactory
+from repro.runtime import DagAnalyticExecutor
+from repro.synthesis import synthesize_dag_hints
+from repro.workflow import WorkflowDAG
+
+
+def build_workflow() -> Workflow:
+    dag = WorkflowDAG(
+        ["Ingest", "Vision", "Audio", "Publish"],
+        [
+            ("Ingest", "Vision"),
+            ("Ingest", "Audio"),
+            ("Vision", "Publish"),
+            ("Audio", "Publish"),
+        ],
+    )
+    clips = LogUniformWorkset(5.0, 120.0)  # clip length, seconds
+    functions = {
+        "Ingest": FunctionModel(
+            name="Ingest", serial_ms=50, parallel_ms=250, sigma=0.08,
+            workset=clips, workset_gamma=0.25, dominant_resource=Resource.IO,
+        ),
+        "Vision": FunctionModel(  # the heavy branch
+            name="Vision", serial_ms=120, parallel_ms=680, sigma=0.10,
+            workset=clips, workset_gamma=0.35, dominant_resource=Resource.CPU,
+        ),
+        "Audio": FunctionModel(  # the light branch
+            name="Audio", serial_ms=40, parallel_ms=180, sigma=0.08,
+            workset=clips, workset_gamma=0.20, dominant_resource=Resource.CPU,
+        ),
+        "Publish": FunctionModel(
+            name="Publish", serial_ms=60, parallel_ms=260, sigma=0.08,
+            workset=clips, workset_gamma=0.15, dominant_resource=Resource.NETWORK,
+        ),
+    }
+    return Workflow(name="media", dag=dag, functions=functions, slo_ms=2400.0)
+
+
+def main() -> None:
+    workflow = build_workflow()
+    print(f"DAG: {workflow.dag.edges}")
+    print(f"critical path: {' -> '.join(workflow.chain)}  "
+          f"(SLO {workflow.slo_ms:g} ms)\n")
+
+    # Profile every function (including the off-critical-path Audio branch).
+    cfg = ProfilerConfig(limits=workflow.limits, samples=2000)
+    profiler = Profiler(cfg)
+    factory = RngFactory(5).fork("media")
+    profiles = ProfileSet({
+        name: profiler.profile_function(workflow.model(name), factory.stream(name))
+        for name in workflow.dag.nodes
+    })
+
+    hints = synthesize_dag_hints(workflow, profiles)
+    for name, chain in hints.chains.items():
+        print(f"  {name:8s} table over {' -> '.join(chain):28s} "
+              f"({len(hints.table_for(name))} rows)")
+
+    requests = generate_requests(workflow, WorkloadConfig(n_requests=500), seed=9)
+    executor = DagAnalyticExecutor(workflow)
+    janus = DagJanusPolicy(workflow, hints)
+    early = DagGrandSLAMPolicy(workflow, profiles)
+
+    print(f"\n{'policy':14s}{'mean CPU':>10s}{'P99 E2E':>10s}{'viol':>8s}")
+    for policy in (janus, early):
+        result = executor.run(policy, requests)
+        print(f"{policy.name:14s}{result.mean_allocated:10.0f}"
+              f"{result.e2e_percentile(99):10.0f}{result.violation_rate:8.1%}")
+    print(f"\nJanus-DAG hit rate: {janus.hit_rate:.1%}. Parallel branches are "
+          f"sized independently;\nthe light Audio branch rides at Kmin while "
+          f"the Vision branch adapts to the budget.")
+
+
+if __name__ == "__main__":
+    main()

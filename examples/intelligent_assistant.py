@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Intelligent Assistant on the full DES cluster platform.
+
+Runs the IA workflow (paper §V-A) open-loop on the simulated serverless
+platform — warm pools, cold starts, horizontal autoscaling and co-location
+interference included — comparing Janus with GrandSLAM under Poisson
+arrivals.
+
+The developer-side profiling here is *platform-aware*, as in the paper:
+functions are profiled with the interference mix they will actually see
+(via :meth:`InterferenceModel.profiling_sampler`), so the hint tables
+already account for typical co-location and only the tail dynamics remain
+for the adapter to absorb.
+
+Run:  python examples/intelligent_assistant.py
+"""
+
+import numpy as np
+
+from repro import (
+    BudgetRange,
+    ClusterConfig,
+    InterferenceModel,
+    ProfileSet,
+    Profiler,
+    ProfilerConfig,
+    ServerlessPlatform,
+    WorkloadConfig,
+    generate_requests,
+    intelligent_assistant,
+)
+from repro.policies import GrandSLAMPolicy, janus
+from repro.rng import RngFactory
+
+#: Expected co-location mix at the example's arrival rate (~1 req/s over
+#: four VMs): instances mostly run alone, occasionally pairwise.
+COLOCATION_MIX = {1: 0.70, 2: 0.25, 3: 0.05}
+
+
+def platform_aware_profiles(workflow, interference: InterferenceModel):
+    """Profile each function with its own dominant-resource slowdown mix."""
+    profiles = {}
+    factory = RngFactory(1).fork("example-ia")
+    for name in workflow.chain:
+        model = workflow.model(name)
+        sampler = interference.profiling_sampler(
+            model.dominant_resource, COLOCATION_MIX
+        )
+        cfg = ProfilerConfig(limits=workflow.limits, samples=2000)
+        profiles[name] = Profiler(cfg, interference=sampler).profile_function(
+            model, factory.stream(name)
+        )
+    return ProfileSet(profiles)
+
+
+def main() -> None:
+    workflow = intelligent_assistant()
+    interference = InterferenceModel()
+    profiles = platform_aware_profiles(workflow, interference)
+    requests = generate_requests(
+        workflow,
+        WorkloadConfig(n_requests=300, arrival_rate_per_s=1.0),
+        seed=7,
+    )
+
+    print("policy        p50(s)  p99(s)  viol   cold-rate  cluster-mc(avg)")
+    for policy in (
+        janus(workflow, profiles, budget=BudgetRange(2000, 8000)),
+        GrandSLAMPolicy(workflow, profiles),
+    ):
+        # Fission PoolManager-style pre-provisioned warm pods (paper §V-A:
+        # chosen "due to its excellent performance against cold starts").
+        platform = ServerlessPlatform(
+            workflow,
+            ClusterConfig(
+                n_vms=4,
+                vm_capacity_millicores=13_000,
+                warm_pool_size=4,
+                autoscale=False,
+            ),
+            interference=interference,
+        )
+        result = platform.run(policy, requests)
+        e2e = result.e2e_ms() / 1000.0
+        print(
+            f"{policy.name:12s}  {np.percentile(e2e, 50):6.2f}  "
+            f"{np.percentile(e2e, 99):6.2f}  {result.violation_rate:5.1%}  "
+            f"{result.extras['cold_start_rate']:9.1%}  "
+            f"{result.extras['mean_cluster_allocated']:15.0f}"
+        )
+
+    print(
+        "\nWith platform-aware profiles the hint tables absorb typical\n"
+        "co-location, and Janus serves the same load with roughly a third\n"
+        "less CPU than GrandSLAM. Residual violations stem from cold starts\n"
+        "and rare interference spikes — runtime dynamics outside the\n"
+        "profiled distribution, which the adapter counters by scaling\n"
+        "misses to Kmax (and, when they persist, by triggering hints\n"
+        "regeneration; see examples/custom_workflow.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

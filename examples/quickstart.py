@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: the full Janus pipeline in ~40 lines.
+
+Profiles the Intelligent Assistant workflow, synthesizes hint tables,
+deploys them behind the provider-side adapter, serves 500 requests, and
+compares resource consumption against a worst-case early-binding plan.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalyticExecutor,
+    BudgetRange,
+    JanusPolicy,
+    WorkloadConfig,
+    generate_requests,
+    intelligent_assistant,
+    profile_workflow,
+    synthesize_hints,
+)
+from repro.policies import GrandSLAMPolicy
+
+
+def main() -> None:
+    # 1. The application: OD -> QA -> TS with a 3 s end-to-end P99 SLO.
+    workflow = intelligent_assistant()
+    print(f"workflow: {' -> '.join(workflow.chain)}  (SLO {workflow.slo_ms:g} ms)")
+
+    # 2. Developer side (offline): profile and synthesize hints.
+    profiles = profile_workflow(workflow, seed=1, samples=2000)
+    hints = synthesize_hints(
+        profiles, workflow.chain, budget=BudgetRange(2000, 7000),
+        workflow_name=workflow.name,
+    )
+    print(
+        f"hints: {hints.condensed_hint_count} rows "
+        f"(from {hints.raw_hint_count} raw, "
+        f"{hints.compression_ratio:.1%} compressed) "
+        f"in {hints.synthesis_seconds:.2f} s"
+    )
+
+    # 3. Provider side (online): serve requests with runtime adaptation.
+    janus = JanusPolicy(workflow, hints)
+    requests = generate_requests(workflow, WorkloadConfig(n_requests=500), seed=42)
+    executor = AnalyticExecutor(workflow)
+    adaptive = executor.run(janus, requests)
+
+    # 4. Compare with an early-binding baseline on the same requests.
+    early = executor.run(GrandSLAMPolicy(workflow, profiles), requests)
+
+    print(f"\n{'':16s}{'early binding':>16s}{'Janus':>16s}")
+    print(f"{'mean CPU (mc)':16s}{early.mean_allocated:16.0f}"
+          f"{adaptive.mean_allocated:16.0f}")
+    print(f"{'P99 E2E (ms)':16s}{early.e2e_percentile(99):16.0f}"
+          f"{adaptive.e2e_percentile(99):16.0f}")
+    print(f"{'violations':16s}{early.violation_rate:16.1%}"
+          f"{adaptive.violation_rate:16.1%}")
+    saving = 1 - adaptive.mean_allocated / early.mean_allocated
+    print(f"\nJanus saves {saving:.1%} CPU while keeping the P99 SLO "
+          f"(hit rate {janus.hit_rate:.1%}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim enabling legacy editable installs in offline
+environments that lack the `wheel` package (PEP 660 needs bdist_wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,167 @@
+"""Janus: bilaterally engaged runtime resource adaptation for serverless
+workflows — a full reproduction of the IPDPS 2025 paper.
+
+Quickstart
+----------
+>>> from repro import (
+...     intelligent_assistant, profile_workflow, BudgetRange,
+...     synthesize_hints, JanusPolicy, generate_requests, AnalyticExecutor,
+... )
+>>> wf = intelligent_assistant()
+>>> profiles = profile_workflow(wf, seed=1)
+>>> hints = synthesize_hints(profiles, wf.chain, BudgetRange(2000, 7000))
+>>> policy = JanusPolicy(wf, hints)
+>>> result = AnalyticExecutor(wf).run(policy, generate_requests(wf))
+>>> result.violation_rate <= 0.01
+True
+
+The package splits along the paper's developer/provider boundary:
+
+* developer side (offline): :mod:`repro.profiling`, :mod:`repro.synthesis`
+* provider side (online): :mod:`repro.adapter`, :mod:`repro.cluster`
+* shared substrate: :mod:`repro.workflow`, :mod:`repro.functions`,
+  :mod:`repro.traces`, :mod:`repro.sim`
+* evaluation: :mod:`repro.policies`, :mod:`repro.runtime`,
+  :mod:`repro.metrics`, :mod:`repro.experiments`
+"""
+
+from .adapter import AdapterService, HitMissSupervisor, JanusAdapter
+from .cluster import (
+    ClusterConfig,
+    InterferenceModel,
+    MultiTenantPlatform,
+    ServerlessPlatform,
+    TenantJob,
+)
+from .errors import ReproError
+from .functions import FunctionModel, InvocationDynamics, Resource
+from .profiling import (
+    LatencyProfile,
+    Profiler,
+    ProfilerConfig,
+    ProfileSet,
+    load_profile_set,
+    profile_workflow,
+    save_profile_set,
+)
+from .policies import (
+    DagGrandSLAMPolicy,
+    DagJanusPolicy,
+    DagSizingPolicy,
+    GrandSLAMPlusPolicy,
+    GrandSLAMPolicy,
+    JanusPolicy,
+    OraclePolicy,
+    OrionPolicy,
+    SizingPolicy,
+    janus,
+    janus_minus,
+    janus_plus,
+)
+from .runtime import (
+    AnalyticExecutor,
+    BatchingExecutor,
+    DagAnalyticExecutor,
+    RunResult,
+    build_policy_suite,
+    compare,
+    run_policies,
+)
+from .synthesis import (
+    BudgetRange,
+    CondensedHintsTable,
+    DagWorkflowHints,
+    HeadExploration,
+    HintSynthesizer,
+    SynthesisConfig,
+    WorkflowHints,
+    synthesize_dag_hints,
+    synthesize_hints,
+)
+from .traces import WorkloadConfig, generate_requests
+from .types import PercentileGrid, ResourceLimits
+from .workflow import (
+    RequestOutcome,
+    Workflow,
+    WorkflowDAG,
+    WorkflowRequest,
+    chain_dag,
+    intelligent_assistant,
+    parse_spec,
+    video_analytics,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # workflow
+    "Workflow",
+    "WorkflowDAG",
+    "chain_dag",
+    "parse_spec",
+    "intelligent_assistant",
+    "video_analytics",
+    "WorkflowRequest",
+    "RequestOutcome",
+    # functions
+    "FunctionModel",
+    "InvocationDynamics",
+    "Resource",
+    # profiling
+    "LatencyProfile",
+    "ProfileSet",
+    "Profiler",
+    "ProfilerConfig",
+    "profile_workflow",
+    "save_profile_set",
+    "load_profile_set",
+    # synthesis
+    "BudgetRange",
+    "HintSynthesizer",
+    "SynthesisConfig",
+    "HeadExploration",
+    "WorkflowHints",
+    "CondensedHintsTable",
+    "synthesize_hints",
+    "DagWorkflowHints",
+    "synthesize_dag_hints",
+    # adapter
+    "JanusAdapter",
+    "AdapterService",
+    "HitMissSupervisor",
+    # policies
+    "SizingPolicy",
+    "JanusPolicy",
+    "janus",
+    "janus_minus",
+    "janus_plus",
+    "OraclePolicy",
+    "OrionPolicy",
+    "DagSizingPolicy",
+    "DagJanusPolicy",
+    "DagGrandSLAMPolicy",
+    "GrandSLAMPolicy",
+    "GrandSLAMPlusPolicy",
+    # runtime
+    "AnalyticExecutor",
+    "DagAnalyticExecutor",
+    "BatchingExecutor",
+    "RunResult",
+    "build_policy_suite",
+    "run_policies",
+    "compare",
+    # cluster
+    "ServerlessPlatform",
+    "MultiTenantPlatform",
+    "TenantJob",
+    "ClusterConfig",
+    "InterferenceModel",
+    # traces
+    "generate_requests",
+    "WorkloadConfig",
+    # types
+    "ResourceLimits",
+    "PercentileGrid",
+]

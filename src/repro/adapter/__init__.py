@@ -1,0 +1,12 @@
+"""Provider-side online adaptation: lookup, supervision, service registry."""
+
+from .adapter import AdaptationDecision, JanusAdapter
+from .service import AdapterService
+from .supervisor import HitMissSupervisor
+
+__all__ = [
+    "AdaptationDecision",
+    "JanusAdapter",
+    "AdapterService",
+    "HitMissSupervisor",
+]

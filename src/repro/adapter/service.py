@@ -1,0 +1,96 @@
+"""Multi-tenant adapter service.
+
+Mirrors the paper's backend deployment (a Flask/Redis service receiving
+hints tables and serving adaptation decisions): hints are "managed
+separately for each tenant and each workflow" (§III-A). The service is the
+provider-facing registry; each registered workflow gets its own
+:class:`JanusAdapter` + :class:`HitMissSupervisor`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import AdapterError
+from ..synthesis.hints import WorkflowHints
+from ..types import Milliseconds
+from .adapter import AdaptationDecision, JanusAdapter
+from .supervisor import HitMissSupervisor
+
+__all__ = ["AdapterService"]
+
+
+class AdapterService:
+    """Registry of per-(tenant, workflow) adapters."""
+
+    def __init__(self, miss_threshold: float = 0.01, min_samples: int = 100) -> None:
+        self._adapters: dict[tuple[str, str], JanusAdapter] = {}
+        self._miss_threshold = miss_threshold
+        self._min_samples = min_samples
+        self._regeneration_requests: list[tuple[str, str]] = []
+
+    # -- registration -------------------------------------------------------
+    def register(
+        self,
+        tenant: str,
+        workflow: str,
+        hints: WorkflowHints,
+        slo_ms: Milliseconds,
+    ) -> JanusAdapter:
+        """Deploy (or replace) hint tables for a tenant's workflow."""
+        key = (tenant, workflow)
+        existing = self._adapters.get(key)
+        if existing is not None:
+            existing.replace_hints(hints)
+            return existing
+        supervisor = HitMissSupervisor(self._miss_threshold, self._min_samples)
+
+        def _notify(_sup: HitMissSupervisor, _key=key) -> None:
+            self._regeneration_requests.append(_key)
+
+        supervisor.on_regenerate(_notify)
+        adapter = JanusAdapter(hints, slo_ms, supervisor)
+        self._adapters[key] = adapter
+        return adapter
+
+    def unregister(self, tenant: str, workflow: str) -> None:
+        """Remove a deployed workflow."""
+        try:
+            del self._adapters[(tenant, workflow)]
+        except KeyError:
+            raise AdapterError(f"unknown workflow {workflow!r} for {tenant!r}")
+
+    def adapter(self, tenant: str, workflow: str) -> JanusAdapter:
+        """The adapter for a deployed workflow."""
+        try:
+            return self._adapters[(tenant, workflow)]
+        except KeyError:
+            raise AdapterError(f"unknown workflow {workflow!r} for {tenant!r}")
+
+    def workflows(self) -> list[tuple[str, str]]:
+        """All registered (tenant, workflow) pairs."""
+        return list(self._adapters)
+
+    # -- serving ---------------------------------------------------------------
+    def decide(
+        self,
+        tenant: str,
+        workflow: str,
+        stage_index: int,
+        budget_ms: Milliseconds,
+    ) -> AdaptationDecision:
+        """Adaptation decision for one stage of one request."""
+        return self.adapter(tenant, workflow).decide(stage_index, budget_ms)
+
+    # -- regeneration feedback loop ------------------------------------------
+    def pending_regenerations(self) -> list[tuple[str, str]]:
+        """Workflows whose miss rate crossed the threshold (drains queue)."""
+        out, self._regeneration_requests = self._regeneration_requests, []
+        return out
+
+    def stats(self) -> dict[tuple[str, str], dict[str, float]]:
+        """Hit/miss snapshots for every deployed workflow."""
+        return {
+            key: adapter.supervisor.snapshot()
+            for key, adapter in self._adapters.items()
+        }

@@ -1,0 +1,100 @@
+"""Hit/miss supervision and regeneration triggering (paper §III-D).
+
+The adapter "continuously counts the hits and misses during hint table
+searches. In rare cases where the miss rate exceeds a predefined threshold,
+it assumes that the execution time distribution may have changed" and
+notifies the developer to regenerate the hints asynchronously.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import AdapterError
+
+__all__ = ["HitMissSupervisor"]
+
+RegenerationCallback = _t.Callable[["HitMissSupervisor"], None]
+
+
+class HitMissSupervisor:
+    """Counts lookup hits/misses and fires a regeneration callback.
+
+    Parameters
+    ----------
+    miss_threshold:
+        Miss-rate threshold (paper default 1%).
+    min_samples:
+        Lookups required before the rate is considered meaningful; avoids
+        spurious triggers on the first few requests.
+    """
+
+    def __init__(
+        self,
+        miss_threshold: float = 0.01,
+        min_samples: int = 100,
+    ) -> None:
+        if not 0.0 < miss_threshold <= 1.0:
+            raise AdapterError(
+                f"miss threshold must be in (0, 1], got {miss_threshold}"
+            )
+        if min_samples < 1:
+            raise AdapterError(f"min_samples must be >= 1, got {min_samples}")
+        self.miss_threshold = float(miss_threshold)
+        self.min_samples = int(min_samples)
+        self.hits = 0
+        self.misses = 0
+        self._callbacks: list[RegenerationCallback] = []
+        self._notified = False
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of lookups that missed (0 when no lookups yet)."""
+        return self.misses / self.total if self.total else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+        return 1.0 - self.miss_rate if self.total else 0.0
+
+    def record(self, hit: bool) -> None:
+        """Account one lookup and trigger regeneration when warranted."""
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if self.should_regenerate and not self._notified:
+            self._notified = True
+            for cb in self._callbacks:
+                cb(self)
+
+    @property
+    def should_regenerate(self) -> bool:
+        """True when the miss rate exceeds the threshold over enough samples."""
+        return self.total >= self.min_samples and self.miss_rate > self.miss_threshold
+
+    # -- notification ------------------------------------------------------
+    def on_regenerate(self, callback: RegenerationCallback) -> None:
+        """Register a developer-notification callback (fires at most once
+        per :meth:`reset` cycle)."""
+        self._callbacks.append(callback)
+
+    def reset(self) -> None:
+        """Clear counters after a regeneration completed (new tables live)."""
+        self.hits = 0
+        self.misses = 0
+        self._notified = False
+
+    def snapshot(self) -> dict[str, float]:
+        """Counters as a plain dict (for reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+        }

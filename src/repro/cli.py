@@ -1,0 +1,211 @@
+"""Command-line interface: paper artifacts plus the developer workflow.
+
+Usage::
+
+    janus-repro list
+    janus-repro run fig5 --requests 1000
+    janus-repro run-all --requests 400 --samples 1000
+    janus-repro profile IA --out ia-profiles.json
+    janus-repro synthesize ia-profiles.json --slo 3000 --out ia-hints.json
+    janus-repro inspect ia-hints.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import typing as _t
+
+from .experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments whose run() accepts a request-count knob, and its name.
+_REQUEST_PARAM = {
+    "fig2": "n_requests",
+    "fig4": "n_requests",
+    "fig5": "n_requests",
+    "fig6": "n_requests",
+    "table2": "n_requests",
+    "fig9": "n_requests",
+    "overhead": "n_requests",
+    "regeneration": "n_requests",
+    "ablation-resilience": "n_requests",
+}
+
+_SAMPLE_PARAM = {
+    exp_id: "samples"
+    for exp_id in EXPERIMENTS
+    if exp_id not in ("fig1a", "fig1c")
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="janus-repro",
+        description="Reproduce the Janus paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_p.add_argument("--requests", type=int, default=None,
+                       help="requests per run (experiment default otherwise)")
+    run_p.add_argument("--samples", type=int, default=None,
+                       help="profiling samples per grid point")
+    run_p.add_argument("--seed", type=int, default=None)
+
+    all_p = sub.add_parser("run-all", help="run every experiment")
+    all_p.add_argument("--requests", type=int, default=None)
+    all_p.add_argument("--samples", type=int, default=None)
+    all_p.add_argument("--seed", type=int, default=None)
+
+    prof_p = sub.add_parser(
+        "profile", help="profile a catalog workflow to a JSON file"
+    )
+    prof_p.add_argument("workflow", choices=["IA", "VA"])
+    prof_p.add_argument("--out", required=True, help="output JSON path")
+    prof_p.add_argument("--samples", type=int, default=2000)
+    prof_p.add_argument("--seed", type=int, default=2025)
+    prof_p.add_argument("--concurrency", type=int, default=1,
+                        help="profile batch sizes 1..N (IA only)")
+
+    synth_p = sub.add_parser(
+        "synthesize", help="synthesize hint tables from saved profiles"
+    )
+    synth_p.add_argument("profiles", help="profile JSON from 'profile'")
+    synth_p.add_argument("--out", required=True, help="output hints JSON path")
+    synth_p.add_argument("--chain", default=None,
+                         help="comma-separated function order "
+                              "(default: profile order)")
+    synth_p.add_argument("--tmin", type=int, default=None)
+    synth_p.add_argument("--tmax", type=int, default=None)
+    synth_p.add_argument("--weight", type=float, default=1.0)
+    synth_p.add_argument("--concurrency", type=int, default=1)
+    synth_p.add_argument(
+        "--exploration", choices=["none", "head", "head+next"], default="head"
+    )
+
+    insp_p = sub.add_parser("inspect", help="summarise a hints JSON file")
+    insp_p.add_argument("hints", help="hints JSON from 'synthesize'")
+    return parser
+
+
+def _params_for(exp_id: str, args: argparse.Namespace) -> dict[str, _t.Any]:
+    params: dict[str, _t.Any] = {}
+    if args.requests is not None and exp_id in _REQUEST_PARAM:
+        params[_REQUEST_PARAM[exp_id]] = args.requests
+    if args.samples is not None and exp_id in _SAMPLE_PARAM:
+        params[_SAMPLE_PARAM[exp_id]] = args.samples
+    if getattr(args, "seed", None) is not None:
+        params["seed"] = args.seed
+    return params
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id, desc in list_experiments():
+            print(f"{exp_id:20s} {desc}")
+        return 0
+    if args.command == "run":
+        t0 = time.perf_counter()
+        print(run_experiment(args.experiment, **_params_for(args.experiment, args)))
+        print(f"\n[{args.experiment} took {time.perf_counter() - t0:.1f} s]")
+        return 0
+    if args.command == "run-all":
+        for exp_id in EXPERIMENTS:
+            t0 = time.perf_counter()
+            print("=" * 72)
+            print(run_experiment(exp_id, **_params_for(exp_id, args)))
+            print(f"\n[{exp_id} took {time.perf_counter() - t0:.1f} s]")
+        return 0
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "synthesize":
+        return _cmd_synthesize(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .profiling.io import save_profile_set
+    from .profiling.profiler import profile_workflow
+    from .workflow.catalog import intelligent_assistant, video_analytics
+
+    if args.workflow == "IA":
+        wf = intelligent_assistant(concurrency=args.concurrency)
+    else:
+        wf = video_analytics()
+    profiles = profile_workflow(
+        wf, seed=args.seed, samples=args.samples,
+        concurrencies=tuple(range(1, args.concurrency + 1)),
+    )
+    save_profile_set(profiles, args.out)
+    print(f"profiled {wf.name} ({', '.join(profiles.functions())}) "
+          f"-> {args.out}")
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from .profiling.io import load_profile_set
+    from .synthesis.budget import BudgetRange
+    from .synthesis.generator import HeadExploration, synthesize_hints
+
+    profiles = load_profile_set(args.profiles)
+    chain = (
+        [c.strip() for c in args.chain.split(",")]
+        if args.chain
+        else profiles.functions()
+    )
+    budget = None
+    if args.tmin is not None and args.tmax is not None:
+        budget = BudgetRange(args.tmin, args.tmax)
+    exploration = {
+        "none": HeadExploration.NONE,
+        "head": HeadExploration.HEAD_ONLY,
+        "head+next": HeadExploration.HEAD_PLUS_NEXT,
+    }[args.exploration]
+    hints = synthesize_hints(
+        profiles, chain, budget=budget, concurrency=args.concurrency,
+        weight=args.weight, exploration=exploration,
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(hints.to_json())
+    print(
+        f"synthesized {hints.condensed_hint_count} rows "
+        f"({hints.compression_ratio:.1%} compressed) "
+        f"in {hints.synthesis_seconds:.2f} s -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .synthesis.hints import WorkflowHints
+
+    with open(args.hints, "r", encoding="utf-8") as fh:
+        hints = WorkflowHints.from_json(fh.read())
+    print(f"workflow:    {hints.workflow_name}")
+    print(f"concurrency: {hints.concurrency}   weight: {hints.weight:g}")
+    print(f"rows:        {hints.condensed_hint_count} "
+          f"(raw {hints.raw_hint_count}, "
+          f"{hints.compression_ratio:.1%} compressed)")
+    print(f"memory:      {hints.memory_bytes() / 1024:.1f} KiB")
+    for table in hints.tables:
+        print(
+            f"  stage {table.suffix_index} ({table.head_function}): "
+            f"{len(table)} rows covering "
+            f"[{table.tmin_ms}, {table.tmax_ms}] ms"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

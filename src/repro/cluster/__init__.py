@@ -1,0 +1,26 @@
+"""Serverless platform substrate: VMs, pods, pools, autoscaling,
+interference and the DES-backed :class:`ServerlessPlatform` facade."""
+
+from .accounting import ClusterAccounting
+from .autoscaler import HorizontalAutoscaler
+from .interference import DEFAULT_COEFFICIENTS, InterferenceModel
+from .multi import MultiTenantPlatform, TenantJob
+from .platform import ClusterConfig, ServerlessPlatform
+from .pod import Pod, PodState
+from .pool import PoolManager
+from .vm import VirtualMachine
+
+__all__ = [
+    "VirtualMachine",
+    "Pod",
+    "PodState",
+    "PoolManager",
+    "HorizontalAutoscaler",
+    "InterferenceModel",
+    "DEFAULT_COEFFICIENTS",
+    "ClusterAccounting",
+    "ClusterConfig",
+    "MultiTenantPlatform",
+    "TenantJob",
+    "ServerlessPlatform",
+]

@@ -1,0 +1,175 @@
+"""Multi-tenant serving: several workflows sharing one cluster.
+
+Paper §III-A: "In a multi-user scenario, the hints are managed separately
+for each tenant and each workflow." This module runs multiple tenants'
+workflows on one set of VMs. Function identities are namespaced per tenant
+(``tenant:function``) so that warm pools and co-location interference stay
+tenant-local — commercial platforms pack instances of the *same* tenant
+together (§II-B), which is exactly what the pool's affinity placement then
+reproduces.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, replace
+
+from ..errors import ClusterError
+from ..functions.model import FunctionModel, InvocationDynamics
+from ..policies.base import SizingPolicy
+from ..runtime.results import RunResult
+from ..sim.engine import Simulator
+from ..workflow.catalog import Workflow
+from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
+from .accounting import ClusterAccounting
+from .interference import InterferenceModel
+from .platform import ClusterConfig
+from .pool import PoolManager
+from .vm import VirtualMachine
+
+__all__ = ["TenantJob", "MultiTenantPlatform"]
+
+
+@dataclass(frozen=True)
+class TenantJob:
+    """One tenant's serving job: a policy plus its request stream."""
+
+    tenant: str
+    policy: SizingPolicy
+    requests: tuple[WorkflowRequest, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ClusterError(f"tenant {self.tenant!r} has no requests")
+
+
+class MultiTenantPlatform:
+    """Shared-cluster execution of several tenants' workflows."""
+
+    def __init__(
+        self,
+        workflows: _t.Mapping[str, Workflow],
+        config: ClusterConfig | None = None,
+        interference: InterferenceModel | None = None,
+    ) -> None:
+        if not workflows:
+            raise ClusterError("at least one tenant workflow required")
+        self.workflows = dict(workflows)
+        self.config = config or ClusterConfig()
+        self.sim = Simulator()
+        self.vms = [
+            VirtualMachine(i, self.config.vm_capacity_millicores)
+            for i in range(self.config.n_vms)
+        ]
+        namespaced: dict[str, FunctionModel] = {}
+        for tenant, workflow in self.workflows.items():
+            for name, model in workflow.functions.items():
+                namespaced[self._key(tenant, name)] = model
+        self.pool = PoolManager(
+            self.sim,
+            self.vms,
+            namespaced,
+            warm_pool_size=self.config.warm_pool_size,
+            colocate_same_function=self.config.colocate_same_function,
+            keepalive_ms=self.config.keepalive_ms,
+        )
+        self.interference = interference or InterferenceModel()
+        self.accounting = ClusterAccounting(self.sim, self.vms)
+        self._outcomes: dict[str, list[RequestOutcome]] = {}
+
+    @staticmethod
+    def _key(tenant: str, function: str) -> str:
+        return f"{tenant}:{function}"
+
+    # ------------------------------------------------------------------
+    def _serve(self, tenant: str, policy: SizingPolicy, request: WorkflowRequest):
+        workflow = self.workflows[tenant]
+        chain = workflow.chain
+        limits = workflow.limits
+        policy.begin_request(request)
+        start_time = self.sim.now
+        stages: list[StageRecord] = []
+        for i, fname in enumerate(chain):
+            elapsed = self.sim.now - start_time
+            size = limits.clamp(policy.size_for_stage(i, request, elapsed))
+            model = workflow.model(fname)
+            key = self._key(tenant, fname)
+            stage_start = self.sim.now
+            pod = yield from self.pool.acquire(key, size)
+            cold_ms = self.sim.now - stage_start
+            pod.start_invocation()
+            self.accounting.snapshot()
+            n_colo = max(1, pod.vm.colocated_count(key, busy_only=True))
+            slowdown = self.interference.slowdown(model.dominant_resource, n_colo)
+            dyn = request.dynamics_for(fname)
+            dyn_q: InvocationDynamics = replace(
+                dyn, interference=dyn.interference * slowdown
+            )
+            exec_ms = model.execution_time(size, dyn_q, request.concurrency)
+            yield self.sim.timeout(exec_ms)
+            pod.finish_invocation()
+            self.pool.release(pod)
+            self.accounting.snapshot()
+            stages.append(
+                StageRecord(
+                    function=fname, size=size,
+                    start_ms=stage_start, end_ms=self.sim.now,
+                    cold_start_ms=cold_ms,
+                )
+            )
+        policy.end_request(request)
+        outcome = RequestOutcome(
+            request_id=request.request_id,
+            arrival_ms=start_time,
+            slo_ms=request.slo_ms,
+            stages=stages,
+        )
+        self._outcomes[tenant].append(outcome)
+        return outcome
+
+    def _submit_at(self, tenant: str, policy: SizingPolicy, request):
+        delay = request.arrival_ms - self.sim.now
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        outcome = yield self.sim.process(self._serve(tenant, policy, request))
+        return outcome
+
+    # -- public API -------------------------------------------------------
+    def run(self, jobs: _t.Sequence[TenantJob]) -> dict[str, RunResult]:
+        """Serve all tenants' streams concurrently on the shared cluster."""
+        if not jobs:
+            raise ClusterError("no tenant jobs submitted")
+        tenants = [job.tenant for job in jobs]
+        if len(set(tenants)) != len(tenants):
+            raise ClusterError(f"duplicate tenants: {tenants}")
+        unknown = [t for t in tenants if t not in self.workflows]
+        if unknown:
+            raise ClusterError(f"tenants without deployed workflows: {unknown}")
+        self._outcomes = {job.tenant: [] for job in jobs}
+        procs = []
+        for job in jobs:
+            for request in job.requests:
+                procs.append(
+                    self.sim.process(
+                        self._submit_at(job.tenant, job.policy, request)
+                    )
+                )
+        self.sim.run(until=self.sim.all_of(procs))
+        for proc in procs:
+            if proc.processed and not proc.ok:
+                raise proc.value
+        results: dict[str, RunResult] = {}
+        for job in jobs:
+            outcomes = sorted(
+                self._outcomes[job.tenant], key=lambda o: o.request_id
+            )
+            results[job.tenant] = RunResult(
+                policy_name=job.policy.name,
+                outcomes=outcomes,
+                extras={
+                    "tenant": job.tenant,
+                    "cold_start_rate": self.pool.cold_start_rate,
+                    "mean_cluster_allocated": self.accounting.mean_allocated(),
+                },
+            )
+        return results

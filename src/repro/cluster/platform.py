@@ -1,0 +1,205 @@
+"""The serverless platform facade: DES-backed workflow serving.
+
+Ties the substrate together — VMs, warm pools, interference, accounting and
+an optional horizontal autoscaler — and executes workflow requests as
+simulation processes. Unlike the analytic backend, interference here emerges
+from *actual co-location*: concurrently busy instances of the same function
+on one VM slow each other down per the calibrated model, so open-loop load
+and batching effects are captured.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, replace
+
+from ..errors import ClusterError
+from ..functions.model import InvocationDynamics
+from ..policies.base import SizingPolicy
+from ..runtime.results import RunResult
+from ..sim.engine import Simulator
+from ..types import Millicores
+from ..workflow.catalog import Workflow
+from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
+from .accounting import ClusterAccounting
+from .autoscaler import HorizontalAutoscaler
+from .interference import InterferenceModel
+from .pool import PoolManager
+from .vm import VirtualMachine
+
+__all__ = ["ClusterConfig", "ServerlessPlatform"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster dimensions and policies.
+
+    The default 52-core single node mirrors the paper's serverless testbed
+    (Xeon Platinum 8269CY, 52 physical cores) split into 13-core VMs.
+    """
+
+    n_vms: int = 4
+    vm_capacity_millicores: Millicores = 13_000
+    warm_pool_size: int = 2
+    #: Idle pods expire after this TTL (None = keep forever).
+    keepalive_ms: float | None = None
+    autoscale: bool = True
+    autoscaler_interval_ms: float = 1000.0
+    colocate_same_function: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_vms <= 0:
+            raise ClusterError(f"n_vms must be > 0, got {self.n_vms}")
+        if self.vm_capacity_millicores <= 0:
+            raise ClusterError("vm capacity must be > 0")
+
+
+class ServerlessPlatform:
+    """DES execution backend for serverless workflows."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        config: ClusterConfig | None = None,
+        interference: InterferenceModel | None = None,
+    ) -> None:
+        self.workflow = workflow
+        self.config = config or ClusterConfig()
+        self.sim = Simulator()
+        self.vms = [
+            VirtualMachine(i, self.config.vm_capacity_millicores)
+            for i in range(self.config.n_vms)
+        ]
+        self.pool = PoolManager(
+            self.sim,
+            self.vms,
+            workflow.functions,
+            warm_pool_size=self.config.warm_pool_size,
+            colocate_same_function=self.config.colocate_same_function,
+            keepalive_ms=self.config.keepalive_ms,
+        )
+        self.interference = interference or InterferenceModel()
+        self.accounting = ClusterAccounting(self.sim, self.vms)
+        self.autoscaler = HorizontalAutoscaler(
+            self.sim, self.pool, interval_ms=self.config.autoscaler_interval_ms
+        )
+        if self.config.autoscale:
+            self.autoscaler.start()
+        self._outcomes: list[RequestOutcome] = []
+
+    # ------------------------------------------------------------------
+    def _serve(self, policy: SizingPolicy, request: WorkflowRequest):
+        """Simulation process serving one request through the chain."""
+        chain = self.workflow.chain
+        limits = self.workflow.limits
+        policy.begin_request(request)
+        start_time = self.sim.now
+        stages: list[StageRecord] = []
+        for i, fname in enumerate(chain):
+            elapsed = self.sim.now - start_time
+            size = limits.clamp(policy.size_for_stage(i, request, elapsed))
+            model = self.workflow.model(fname)
+            stage_start = self.sim.now
+            pod = yield from self.pool.acquire(fname, size)
+            cold_ms = self.sim.now - stage_start
+            pod.start_invocation()
+            self.autoscaler.invocation_started(fname)
+            self.accounting.snapshot()
+            # Interference from busy same-function neighbours on this VM.
+            n_colo = max(1, pod.vm.colocated_count(fname, busy_only=True))
+            slowdown = self.interference.slowdown(model.dominant_resource, n_colo)
+            dyn = request.dynamics_for(fname)
+            dyn_q: InvocationDynamics = replace(
+                dyn, interference=dyn.interference * slowdown
+            )
+            exec_ms = model.execution_time(size, dyn_q, request.concurrency)
+            yield self.sim.timeout(exec_ms)
+            pod.finish_invocation()
+            self.autoscaler.invocation_finished(fname)
+            self.pool.release(pod)
+            self.accounting.snapshot()
+            stages.append(
+                StageRecord(
+                    function=fname,
+                    size=size,
+                    start_ms=stage_start,
+                    end_ms=self.sim.now,
+                    cold_start_ms=cold_ms,
+                )
+            )
+        policy.end_request(request)
+        outcome = RequestOutcome(
+            request_id=request.request_id,
+            arrival_ms=start_time,
+            slo_ms=request.slo_ms,
+            stages=stages,
+        )
+        self._outcomes.append(outcome)
+        return outcome
+
+    def _submit_at(self, policy: SizingPolicy, request: WorkflowRequest):
+        """Process: wait for the arrival time, then serve."""
+        delay = request.arrival_ms - self.sim.now
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        outcome = yield self.sim.process(self._serve(policy, request))
+        return outcome
+
+    # -- public API -------------------------------------------------------
+    def run(
+        self,
+        policy: SizingPolicy,
+        requests: _t.Sequence[WorkflowRequest],
+    ) -> RunResult:
+        """Serve a request stream to completion and collect outcomes."""
+        if not requests:
+            raise ClusterError("request stream is empty")
+        self._outcomes = []
+        procs = [
+            self.sim.process(self._submit_at(policy, request))
+            for request in requests
+        ]
+        # Run until every request completed (not until heap exhaustion: the
+        # autoscaler's periodic control loop never terminates on its own).
+        self.sim.run(until=self.sim.all_of(procs))
+        # AllOf treats failed child processes as completed; surface the
+        # first failure instead of silently dropping its request.
+        for proc in procs:
+            if proc.processed and not proc.ok:
+                raise proc.value
+        outcomes = sorted(self._outcomes, key=lambda o: o.request_id)
+        return RunResult(
+            policy_name=policy.name,
+            outcomes=outcomes,
+            extras={
+                "cold_start_rate": self.pool.cold_start_rate,
+                "mean_cluster_allocated": self.accounting.mean_allocated(),
+                "idle_millicore_ms": self.pool.idle_millicore_ms,
+                "events_processed": self.sim.processed_events,
+            },
+        )
+
+    def colocation_experiment(
+        self,
+        function: str,
+        n_instances: int,
+        size: Millicores,
+        samples: int,
+        rng,
+    ) -> list[float]:
+        """Measure mean execution time of ``function`` with ``n_instances``
+        busy co-located instances (the Fig. 1c measurement loop).
+
+        Returns per-sample execution times with all instances busy on one VM.
+        """
+        if n_instances < 1:
+            raise ClusterError(f"need >= 1 instance, got {n_instances}")
+        model = self.workflow.model(function)
+        slowdown = self.interference.slowdown(
+            model.dominant_resource, n_instances
+        )
+        times: list[float] = []
+        for _ in range(samples):
+            dyn = model.sample_dynamics(rng, interference=slowdown)
+            times.append(model.execution_time(size, dyn))
+        return times

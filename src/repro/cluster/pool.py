@@ -1,0 +1,200 @@
+"""Warm-pod pool manager (Fission PoolManager-style, paper §V-A).
+
+The paper deploys functions with Fission's PoolManager "due to its excellent
+performance against cold starts": a pool of pre-booted generic pods is
+specialised on demand, so most invocations find a warm instance. We model
+this as a per-function warm pool with configurable pre-provisioned size;
+when the pool is empty a new pod is created and pays the function's cold
+start before serving.
+
+Keep-alive (paper §VII second future-work item — the interplay between
+runtime adaptation and function caching): parked pods expire after
+``keepalive_ms`` of idleness, trading cold-start probability against the
+idle millicore-time their reservations waste. The pool accounts that idle
+cost explicitly (``idle_millicore_ms``) so caching strategies can be
+compared quantitatively.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from ..errors import ClusterError
+from ..functions.model import FunctionModel
+from ..sim.engine import Simulator
+from ..types import Millicores
+from .pod import Pod, PodState
+from .vm import VirtualMachine
+
+__all__ = ["PoolManager"]
+
+
+@dataclass
+class _Parked:
+    """A warm pod sitting in the pool since ``parked_at``."""
+
+    pod: Pod
+    parked_at: float
+
+
+class PoolManager:
+    """Creates, warms, parks and reclaims function pods across VMs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vms: _t.Sequence[VirtualMachine],
+        functions: _t.Mapping[str, FunctionModel],
+        warm_pool_size: int = 1,
+        colocate_same_function: bool = True,
+        keepalive_ms: float | None = None,
+    ) -> None:
+        if not vms:
+            raise ClusterError("pool manager needs at least one VM")
+        if warm_pool_size < 0:
+            raise ClusterError(f"warm pool size must be >= 0: {warm_pool_size}")
+        if keepalive_ms is not None and keepalive_ms < 0:
+            raise ClusterError(f"keepalive must be >= 0: {keepalive_ms}")
+        self.sim = sim
+        self.vms = list(vms)
+        self.functions = dict(functions)
+        self.warm_pool_size = int(warm_pool_size)
+        self.colocate_same_function = bool(colocate_same_function)
+        self.keepalive_ms = keepalive_ms
+        self._warm: dict[str, list[_Parked]] = {name: [] for name in functions}
+        self.cold_starts = 0
+        self.warm_hits = 0
+        self.reclaimed = 0
+        self.expired = 0
+        self.throttled = 0
+        #: Idle millicore-milliseconds spent by parked reservations.
+        self.idle_millicore_ms = 0.0
+        #: Poll interval while waiting as a pending pod on a full cluster.
+        self.retry_interval_ms = 10.0
+
+    # -- placement policy -------------------------------------------------
+    def _pick_vm(self, function: str, size: Millicores) -> VirtualMachine | None:
+        """Choose a VM for a new pod, or ``None`` when nothing fits.
+
+        Mirrors production packing (§II-B): prefer VMs already hosting the
+        same function (tenant affinity), then best-fit by free capacity.
+        """
+        candidates = [vm for vm in self.vms if vm.fits(size)]
+        if not candidates:
+            return None
+        if self.colocate_same_function:
+            same = [
+                vm for vm in candidates
+                if vm.colocated_count(function, busy_only=False) > 0
+            ]
+            if same:
+                return min(same, key=lambda vm: vm.free)
+        return min(candidates, key=lambda vm: vm.free)
+
+    # -- parked-pod lifecycle ------------------------------------------------
+    def _unpark(self, function: str, idx: int) -> Pod:
+        """Remove a parked pod, accounting its idle reservation time."""
+        entry = self._warm[function].pop(idx)
+        self.idle_millicore_ms += entry.pod.size * (
+            self.sim.now - entry.parked_at
+        )
+        return entry.pod
+
+    def _purge_expired(self, function: str) -> None:
+        """Kill parked pods idle beyond the keep-alive TTL."""
+        if self.keepalive_ms is None:
+            return
+        parked = self._warm[function]
+        for idx in range(len(parked) - 1, -1, -1):
+            if self.sim.now - parked[idx].parked_at > self.keepalive_ms:
+                pod = self._unpark(function, idx)
+                pod.vm.evict(pod)
+                pod.kill()
+                self.expired += 1
+
+    def _reclaim_idle(self, needed: Millicores) -> None:
+        """Evict parked warm pods until some VM can fit ``needed``.
+
+        Idle-pod reclamation under capacity pressure — what a kubelet does
+        before refusing a pending pod.
+        """
+        for function in self._warm:
+            while self._warm[function]:
+                if any(vm.fits(needed) for vm in self.vms):
+                    return
+                pod = self._unpark(function, 0)
+                pod.vm.evict(pod)
+                pod.kill()
+                self.reclaimed += 1
+
+    # -- pod acquisition -----------------------------------------------------
+    def acquire(self, function: str, size: Millicores):
+        """Process: obtain a ready pod of ``function`` resized to ``size``.
+
+        Yields simulation events; returns a WARM pod. Warm-pool hits resize
+        the parked pod in place; otherwise a cold start is paid.
+        """
+        if function not in self.functions:
+            raise ClusterError(f"unknown function {function!r}")
+        self._purge_expired(function)
+        warm = self._warm[function]
+        # A parked pod is only reusable when its VM has headroom for the
+        # requested size (upsizing may exceed the VM under multi-tenant
+        # pressure); scan newest-first for one that fits.
+        for idx in range(len(warm) - 1, -1, -1):
+            pod = warm[idx].pod
+            if pod.vm.free + pod.size >= size:
+                self._unpark(function, idx)
+                self.warm_hits += 1
+                self._resize(pod, size)
+                return pod
+        # Cold path: boot a fresh pod. Under capacity pressure, reclaim idle
+        # pods first, then wait for running invocations to release cores
+        # (the pod stays "pending", as on a saturated Kubernetes node).
+        self.cold_starts += 1
+        model = self.functions[function]
+        vm = self._pick_vm(function, size)
+        if vm is None:
+            self._reclaim_idle(size)
+            vm = self._pick_vm(function, size)
+        while vm is None:
+            self.throttled += 1
+            yield self.sim.timeout(self.retry_interval_ms)
+            self._reclaim_idle(size)
+            vm = self._pick_vm(function, size)
+        pod = Pod(function, size, vm)
+        vm.place(pod)
+        yield self.sim.timeout(model.cold_start_ms)
+        pod.warm_up()
+        return pod
+
+    def _resize(self, pod: Pod, size: Millicores) -> None:
+        if pod.size != size:
+            pod.vm.resize_pod(pod, size)
+
+    def release(self, pod: Pod) -> None:
+        """Return a pod after an invocation; park or reclaim it."""
+        if pod.state is not PodState.WARM:
+            raise ClusterError(
+                f"released pod {pod.pod_id} must be WARM, is {pod.state.value}"
+            )
+        self._purge_expired(pod.function)
+        warm = self._warm[pod.function]
+        keepalive_disabled = self.keepalive_ms is not None and self.keepalive_ms == 0
+        if len(warm) < self.warm_pool_size and not keepalive_disabled:
+            warm.append(_Parked(pod=pod, parked_at=self.sim.now))
+        else:
+            pod.vm.evict(pod)
+            pod.kill()
+
+    # -- introspection ------------------------------------------------------
+    def warm_count(self, function: str) -> int:
+        """Parked warm pods for ``function``."""
+        return len(self._warm.get(function, []))
+
+    @property
+    def cold_start_rate(self) -> float:
+        """Fraction of acquisitions that paid a cold start."""
+        total = self.cold_starts + self.warm_hits
+        return self.cold_starts / total if total else 0.0

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "ClusterError",
+    "WorkflowError",
+    "FunctionModelError",
+    "TraceError",
+    "ProfileError",
+    "SynthesisError",
+    "AdapterError",
+    "PolicyError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value or combination of values."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation kernel misuse (e.g. time travel)."""
+
+
+class ClusterError(ReproError):
+    """Platform substrate failure (capacity exhausted, unknown pod, ...)."""
+
+
+class WorkflowError(ReproError):
+    """Malformed workflow DAG or specification."""
+
+
+class FunctionModelError(ReproError):
+    """Invalid function performance-model parameters."""
+
+
+class TraceError(ReproError):
+    """Trace or workload generation failure."""
+
+
+class ProfileError(ReproError):
+    """Profiler misuse or malformed latency profile."""
+
+
+class SynthesisError(ReproError):
+    """Hint synthesis failure (infeasible budgets, empty tables, ...)."""
+
+
+class AdapterError(ReproError):
+    """Online adapter misuse (unknown workflow, stale state, ...)."""
+
+
+class PolicyError(ReproError):
+    """Sizing-policy failure (infeasible SLO under early binding, ...)."""
+
+
+class ExperimentError(ReproError):
+    """Experiment-harness failure (unknown experiment id, bad params)."""

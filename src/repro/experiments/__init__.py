@@ -1,0 +1,10 @@
+"""Paper-evaluation experiments: one module per table/figure.
+
+See DESIGN.md §4 for the experiment index. Use
+:func:`repro.experiments.run_experiment` or the ``janus-repro`` CLI to
+regenerate any artifact.
+"""
+
+from .registry import EXPERIMENTS, Experiment, list_experiments, run_experiment
+
+__all__ = ["EXPERIMENTS", "Experiment", "list_experiments", "run_experiment"]

@@ -1,0 +1,62 @@
+"""Ablation — the resilience constraint (paper Insight-3, Eq. 6).
+
+DESIGN.md §5 calls this design choice out for ablation: dropping the
+"timeout must fit within downstream resilience" constraint lets the
+synthesizer pick arbitrarily low head percentiles, improving nominal
+resource efficiency but removing the SLO safety net. The experiment serves
+the same stream with the constraint on and off and compares violation rates
+and consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.report import format_table
+from ..policies.janus import janus
+from ..runtime.executor import AnalyticExecutor
+from ..traces.workload import WorkloadConfig, generate_requests
+from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup, va_setup
+
+__all__ = ["AblationResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Violation/consumption with and without the Eq. 6 constraint."""
+
+    rows: list[tuple[str, str, float, float]]  # (wf, variant, viol, cpu)
+
+
+def run(
+    n_requests: int = 800,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> AblationResult:
+    """Compare Janus with/without the resilience constraint on IA and VA."""
+    rows: list[tuple[str, str, float, float]] = []
+    for wf_name in ("IA", "VA"):
+        if wf_name == "IA":
+            wf, profiles, budget = ia_setup(samples=samples, seed=seed)
+        else:
+            wf, profiles, budget = va_setup(samples=samples, seed=seed)
+        requests = generate_requests(
+            wf, WorkloadConfig(n_requests=n_requests), seed=seed + 5
+        )
+        executor = AnalyticExecutor(wf)
+        for enforce, label in ((True, "with Eq.6"), (False, "without Eq.6")):
+            policy = janus(
+                wf, profiles, budget=budget, enforce_resilience=enforce
+            )
+            res = executor.run(policy, requests)
+            rows.append((wf_name, label, res.violation_rate, res.mean_allocated))
+    return AblationResult(rows=rows)
+
+
+def render(result: AblationResult) -> str:
+    """Ablation table."""
+    return format_table(
+        ["workflow", "variant", "violation rate", "mean CPU (millicores)"],
+        result.rows,
+        title="Ablation: resilience constraint (Insight-3)",
+    )

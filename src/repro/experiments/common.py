@@ -1,0 +1,113 @@
+"""Shared experiment setup: workflows, profiles, budgets (paper §V-A/§V-F).
+
+The paper's configuration, reproduced here:
+
+* IA: SLO 3 s at concurrency 1 (budget range 2-7 s), SLO 4 s at concurrency
+  2 (3-7 s), SLO 5 s at concurrency 3 (4-10 s).
+* VA: SLO 1.5 s at concurrency 1 (budget range 1.5-2 s).
+* Profiling: CPU 1000..3000 millicores step 100; percentiles P1..P99 step 5;
+  1 ms hint granularity; miss threshold 1%; weight 1 unless stated.
+
+Profiles are memoised per (workflow, concurrency set, samples, seed): several
+experiments share the same campaign and profiling is the slowest offline
+step.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..profiling.profiler import profile_workflow
+from ..profiling.profiles import ProfileSet
+from ..synthesis.budget import BudgetRange
+from ..workflow.catalog import Workflow, intelligent_assistant, video_analytics
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DEFAULT_SAMPLES",
+    "IA_SETTINGS",
+    "VA_BUDGET",
+    "ia_setup",
+    "va_setup",
+    "cached_profiles",
+]
+
+DEFAULT_SEED = 2025
+DEFAULT_SAMPLES = 2000
+
+#: Paper settings per IA concurrency: (SLO ms, budget range).
+IA_SETTINGS: dict[int, tuple[float, BudgetRange]] = {
+    1: (3000.0, BudgetRange(2000, 7000)),
+    2: (4000.0, BudgetRange(3000, 7000)),
+    3: (5000.0, BudgetRange(4000, 10000)),
+}
+
+VA_BUDGET = BudgetRange(1500, 2000)
+
+
+@functools.lru_cache(maxsize=32)
+def _cached_profiles(
+    workflow_name: str,
+    concurrencies: tuple[int, ...],
+    samples: int,
+    seed: int,
+) -> ProfileSet:
+    if workflow_name == "IA":
+        wf = intelligent_assistant(concurrency=max(concurrencies))
+    elif workflow_name == "VA":
+        wf = video_analytics()
+    else:  # pragma: no cover - guarded by callers
+        raise ValueError(f"unknown cached workflow {workflow_name!r}")
+    return profile_workflow(
+        wf, seed=seed, samples=samples, concurrencies=concurrencies
+    )
+
+
+def cached_profiles(
+    workflow: Workflow,
+    concurrencies: tuple[int, ...] = (1,),
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> ProfileSet:
+    """Profile (or reuse) the standard campaign for a catalog workflow."""
+    if workflow.name in ("IA", "VA"):
+        return _cached_profiles(workflow.name, tuple(concurrencies), samples, seed)
+    return profile_workflow(
+        workflow, seed=seed, samples=samples, concurrencies=concurrencies
+    )
+
+
+def ia_setup(
+    concurrency: int = 1,
+    slo_ms: float | None = None,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> tuple[Workflow, ProfileSet, BudgetRange]:
+    """IA workflow + profiles + budget range at a paper concurrency level."""
+    if concurrency not in IA_SETTINGS:
+        raise ValueError(f"IA concurrency must be 1..3, got {concurrency}")
+    default_slo, budget = IA_SETTINGS[concurrency]
+    wf = intelligent_assistant(
+        slo_ms=slo_ms if slo_ms is not None else default_slo,
+        concurrency=concurrency,
+    )
+    profiles = cached_profiles(
+        wf, concurrencies=tuple(range(1, concurrency + 1)), samples=samples, seed=seed
+    )
+    if slo_ms is not None and slo_ms > budget.tmax_ms:
+        budget = BudgetRange(budget.tmin_ms, int(slo_ms))
+    return wf, profiles, budget
+
+
+def va_setup(
+    slo_ms: float | None = None,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> tuple[Workflow, ProfileSet, BudgetRange]:
+    """VA workflow + profiles + budget range (concurrency fixed at 1)."""
+    wf = video_analytics(slo_ms=slo_ms if slo_ms is not None else 1500.0)
+    profiles = cached_profiles(wf, concurrencies=(1,), samples=samples, seed=seed)
+    budget = VA_BUDGET
+    if slo_ms is not None and slo_ms > budget.tmax_ms:
+        budget = BudgetRange(budget.tmin_ms, int(slo_ms))
+    return wf, profiles, budget

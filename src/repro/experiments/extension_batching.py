@@ -1,0 +1,75 @@
+"""Extension experiment — batching front end under queueing.
+
+The paper's concurrency panels (Fig. 4/5b) assume batches already formed;
+this extension adds the GrandSLAM/BATCH-style size-or-timeout batcher and
+measures how Janus behaves when queue wait consumes part of the budget
+before the first sizing decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.report import format_table
+from ..policies.early_binding import GrandSLAMPolicy
+from ..policies.janus import janus
+from ..runtime.batching import BatchingExecutor
+from ..traces.workload import WorkloadConfig, generate_requests
+from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup
+
+__all__ = ["BatchingExtensionResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class BatchingExtensionResult:
+    """Per-(policy, arrival-rate) batching metrics."""
+
+    rows: list[tuple[str, float, float, float, float, float]]
+    # (policy, rate/s, mean batch, amortized CPU, p99 s, viol)
+
+
+def run(
+    rates_per_s: tuple[float, ...] = (5.0, 20.0, 50.0),
+    n_requests: int = 400,
+    max_wait_ms: float = 150.0,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> BatchingExtensionResult:
+    """IA at concurrency 2 (SLO 4 s) behind the batcher, rate sweep."""
+    wf, profiles, budget = ia_setup(concurrency=2, samples=samples, seed=seed)
+    rows = []
+    for rate in rates_per_s:
+        requests = generate_requests(
+            wf,
+            WorkloadConfig(
+                n_requests=n_requests, arrival_rate_per_s=rate, concurrency=2
+            ),
+            seed=seed + int(rate),
+        )
+        executor = BatchingExecutor(wf, max_batch=2, max_wait_ms=max_wait_ms)
+        for policy in (
+            janus(wf, profiles, budget=budget, concurrency=2),
+            GrandSLAMPolicy(wf, profiles, concurrency=2),
+        ):
+            res = executor.run(policy, requests)
+            rows.append(
+                (
+                    policy.name,
+                    rate,
+                    res.extras["mean_batch_size"],
+                    res.extras["mean_amortized_millicores"],
+                    res.e2e_percentile(99) / 1000.0,
+                    res.violation_rate,
+                )
+            )
+    return BatchingExtensionResult(rows=rows)
+
+
+def render(result: BatchingExtensionResult) -> str:
+    """Rate-sweep table."""
+    return format_table(
+        ["policy", "rate (req/s)", "mean batch", "amortized CPU (mc)",
+         "P99 E2E (s)", "viol."],
+        result.rows,
+        title="Extension: size-or-timeout batching front end (IA, conc 2, SLO 4 s)",
+    )

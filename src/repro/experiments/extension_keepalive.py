@@ -1,0 +1,90 @@
+"""Extension experiment — keep-alive caching vs. runtime adaptation (§VII).
+
+The paper's closing future-work item asks how runtime resource adaptation
+interacts with function caching strategies. This experiment sweeps the
+keep-alive TTL on the DES platform while Janus serves IA under Poisson
+load, quantifying the classic caching trade-off (longer TTL -> fewer cold
+starts but more idle reserved millicores) and one interaction specific to
+late binding: Janus *resizes* parked pods on reuse, so warm hits stay
+useful even though consecutive requests want different sizes — a fixed-size
+cache would miss on every size change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.platform import ClusterConfig, ServerlessPlatform
+from ..metrics.report import format_table
+from ..policies.janus import janus
+from ..traces.workload import WorkloadConfig, generate_requests
+from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup
+
+__all__ = ["KeepAliveResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class KeepAliveResult:
+    """Per-TTL cold-start/idle-cost/latency metrics."""
+
+    rows: list[tuple[str, float, float, float, float]]
+    # (ttl label, cold rate, idle core-s, P99 s, viol)
+
+
+def run(
+    ttls_ms: tuple[float | None, ...] = (0.0, 1000.0, 5000.0, 20_000.0, None),
+    n_requests: int = 200,
+    arrival_rate_per_s: float = 1.0,
+    slo_ms: float = 6000.0,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> KeepAliveResult:
+    """Sweep the keep-alive TTL with Janus serving IA on the cluster.
+
+    The SLO is set to 6 s (vs. the paper's 3 s) because offline profiles do
+    not include cold-start delays: at TTL 0 every stage pays one, adding
+    ~2.4 s to the chain. The caching trade-off — not SLO tuning — is the
+    signal here.
+    """
+    wf, profiles, budget = ia_setup(slo_ms=slo_ms, samples=samples, seed=seed)
+    requests = generate_requests(
+        wf,
+        WorkloadConfig(n_requests=n_requests, arrival_rate_per_s=arrival_rate_per_s),
+        seed=seed + 3,
+    )
+    rows = []
+    for ttl in ttls_ms:
+        platform = ServerlessPlatform(
+            wf,
+            ClusterConfig(
+                n_vms=4, vm_capacity_millicores=13_000,
+                warm_pool_size=4, autoscale=False, keepalive_ms=ttl,
+            ),
+        )
+        policy = janus(wf, profiles, budget=budget)
+        result = platform.run(policy, requests)
+        label = "inf" if ttl is None else f"{ttl / 1000:g}s"
+        rows.append(
+            (
+                label,
+                result.extras["cold_start_rate"],
+                result.extras["idle_millicore_ms"] / 1e6,  # core-seconds
+                result.e2e_percentile(99) / 1000.0,
+                result.violation_rate,
+            )
+        )
+    return KeepAliveResult(rows=rows)
+
+
+def render(result: KeepAliveResult) -> str:
+    """TTL sweep table."""
+    table = format_table(
+        ["keep-alive", "cold-start rate", "idle core-s", "P99 E2E (s)", "viol."],
+        result.rows,
+        title="Extension: keep-alive caching vs runtime adaptation (IA, Janus)",
+    )
+    return table + (
+        "\nLonger TTLs trade idle reserved cores for fewer cold starts; "
+        "Janus's\nin-place pod resizing keeps warm hits useful across "
+        "size changes."
+    )

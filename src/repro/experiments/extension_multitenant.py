@@ -1,0 +1,161 @@
+"""Extension experiment — multi-tenant shared-cluster serving (§III-A).
+
+IA and VA belong to different tenants and share one cluster; hints are
+managed per tenant. The experiment verifies tenant isolation of the hint
+pipelines and reports per-tenant latency/violations plus cluster-level
+statistics under concurrent Poisson load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.interference import InterferenceModel
+from ..cluster.multi import MultiTenantPlatform, TenantJob
+from ..cluster.platform import ClusterConfig
+from ..metrics.report import format_table
+from ..policies.janus import janus
+from ..profiling.profiler import Profiler, ProfilerConfig
+from ..profiling.profiles import ProfileSet
+from ..rng import RngFactory
+from ..traces.workload import WorkloadConfig, generate_requests
+from ..workflow.catalog import Workflow
+from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup, va_setup
+
+__all__ = ["MultiTenantResult", "run", "render"]
+
+#: Expected same-tenant co-location mix at the experiment's load.
+COLOCATION_MIX = {1: 0.70, 2: 0.25, 3: 0.05}
+
+
+def _platform_aware_profiles(
+    workflow: Workflow,
+    interference: InterferenceModel,
+    samples: int,
+    seed: int,
+) -> ProfileSet:
+    """Profile with the interference mix the shared cluster will inflict.
+
+    The paper's developer profiles on the platform itself, so measured
+    distributions include typical co-location; only tail spikes remain for
+    the adapter's miss path.
+    """
+    factory = RngFactory(seed).fork("ext-multitenant", workflow.name)
+    profiles = {}
+    for name in workflow.chain:
+        model = workflow.model(name)
+        sampler = interference.profiling_sampler(
+            model.dominant_resource, COLOCATION_MIX
+        )
+        cfg = ProfilerConfig(limits=workflow.limits, samples=samples)
+        profiles[name] = Profiler(cfg, interference=sampler).profile_function(
+            model, factory.stream(name)
+        )
+    return ProfileSet(profiles)
+
+
+@dataclass(frozen=True)
+class MultiTenantResult:
+    """Per-tenant serving metrics on the shared cluster."""
+
+    rows: list[tuple[str, str, float, float, float]]
+    # (tenant, workflow, mean CPU, P99 s, viol)
+    cold_start_rate: float
+    mean_cluster_millicores: float
+
+
+def run(
+    n_requests: int = 200,
+    arrival_rate_per_s: float = 1.0,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> MultiTenantResult:
+    """Serve IA and VA tenants concurrently with per-tenant Janus hints.
+
+    SLOs are set to 4 s (IA) and 2.5 s (VA) — looser than the single-tenant
+    evaluation because the shared cluster adds co-location interference and
+    occasional cold starts that a production SLA would have to absorb.
+    """
+    ia_wf, _, ia_budget = ia_setup(slo_ms=4000.0, samples=samples, seed=seed)
+    va_wf, _, va_budget = va_setup(slo_ms=2500.0, samples=samples, seed=seed)
+    interference = InterferenceModel()
+    ia_profiles = _platform_aware_profiles(ia_wf, interference, samples, seed)
+    va_profiles = _platform_aware_profiles(va_wf, interference, samples, seed)
+    # Cluster interference widens the distributions; the paper's budget
+    # ranges are extended upward accordingly.
+    from ..synthesis.budget import BudgetRange
+
+    ia_budget = BudgetRange(ia_budget.tmin_ms, int(ia_budget.tmax_ms * 1.5))
+    va_budget = BudgetRange(va_budget.tmin_ms, int(va_budget.tmax_ms * 1.5))
+
+    platform = MultiTenantPlatform(
+        {"tenant-ia": ia_wf, "tenant-va": va_wf},
+        ClusterConfig(
+            n_vms=4, vm_capacity_millicores=13_000,
+            warm_pool_size=4, autoscale=False,
+        ),
+        interference=interference,
+    )
+    jobs = [
+        TenantJob(
+            tenant="tenant-ia",
+            policy=janus(ia_wf, ia_profiles, budget=ia_budget),
+            requests=tuple(
+                generate_requests(
+                    ia_wf,
+                    WorkloadConfig(
+                        n_requests=n_requests,
+                        arrival_rate_per_s=arrival_rate_per_s,
+                    ),
+                    seed=seed + 1,
+                )
+            ),
+        ),
+        TenantJob(
+            tenant="tenant-va",
+            policy=janus(va_wf, va_profiles, budget=va_budget),
+            requests=tuple(
+                generate_requests(
+                    va_wf,
+                    WorkloadConfig(
+                        n_requests=n_requests,
+                        arrival_rate_per_s=arrival_rate_per_s,
+                    ),
+                    seed=seed + 2,
+                )
+            ),
+        ),
+    ]
+    results = platform.run(jobs)
+    rows = []
+    for tenant, wf in (("tenant-ia", ia_wf), ("tenant-va", va_wf)):
+        res = results[tenant]
+        rows.append(
+            (
+                tenant,
+                wf.name,
+                res.mean_allocated,
+                res.e2e_percentile(99) / 1000.0,
+                res.violation_rate,
+            )
+        )
+    any_result = next(iter(results.values()))
+    return MultiTenantResult(
+        rows=rows,
+        cold_start_rate=any_result.extras["cold_start_rate"],
+        mean_cluster_millicores=any_result.extras["mean_cluster_allocated"],
+    )
+
+
+def render(result: MultiTenantResult) -> str:
+    """Per-tenant table plus cluster stats."""
+    table = format_table(
+        ["tenant", "workflow", "mean CPU (mc)", "P99 E2E (s)", "viol."],
+        result.rows,
+        title="Extension: multi-tenant shared cluster (per-tenant Janus hints)",
+    )
+    return table + (
+        f"\ncold-start rate {result.cold_start_rate:.1%}, "
+        f"mean cluster allocation "
+        f"{result.mean_cluster_millicores:.0f} millicores"
+    )

@@ -1,0 +1,95 @@
+"""Extension experiment — stricter SLO targets via higher anchors (§III-B).
+
+Paper: "Janus can accommodate more stringent SLO targets (e.g., at P99.9)
+by instructing the profiler and synthesizer to use higher percentiles."
+This experiment profiles IA with a P99.9-anchored grid, synthesizes hints
+against it, and compares violation rates with the default P99 anchor on the
+same request stream: the stricter anchor must cut the violation rate by
+roughly an order of magnitude at some extra resource cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.report import format_table
+from ..policies.janus import JanusPolicy
+from ..profiling.profiler import profile_workflow
+from ..runtime.executor import AnalyticExecutor
+from ..synthesis.generator import synthesize_hints
+from ..traces.workload import WorkloadConfig, generate_requests
+from ..types import DEFAULT_PERCENTILES, PercentileGrid
+from ..workflow.catalog import intelligent_assistant
+from .common import DEFAULT_SEED
+
+__all__ = ["StrictSloResult", "run", "render", "strict_grid"]
+
+
+def strict_grid() -> PercentileGrid:
+    """The default grid extended with a P99.9 anchor."""
+    return PercentileGrid(
+        percentiles=DEFAULT_PERCENTILES + (99.9,), anchor=99.9
+    )
+
+
+@dataclass(frozen=True)
+class StrictSloResult:
+    """Violation/consumption per anchor percentile."""
+
+    rows: list[tuple[str, float, float, float]]
+    # (anchor, viol rate, P99.9 E2E s, mean CPU)
+
+
+def run(
+    n_requests: int = 4000,
+    slo_ms: float = 3000.0,
+    samples: int = 8000,
+    seed: int = DEFAULT_SEED,
+) -> StrictSloResult:
+    """Compare P99- and P99.9-anchored Janus on a long request stream.
+
+    ``samples`` defaults higher than other experiments: estimating P99.9
+    needs several thousand samples per grid point, and measuring a 0.1%
+    violation rate needs thousands of requests.
+    """
+    wf = intelligent_assistant(slo_ms=slo_ms)
+    requests = generate_requests(
+        wf, WorkloadConfig(n_requests=n_requests), seed=seed + 9
+    )
+    executor = AnalyticExecutor(wf)
+    rows = []
+    for label, grid in (
+        ("P99", PercentileGrid()),
+        ("P99.9", strict_grid()),
+    ):
+        profiles = profile_workflow(
+            wf, seed=seed, samples=samples, percentiles=grid
+        )
+        hints = synthesize_hints(profiles, wf.chain, workflow_name=wf.name)
+        policy = JanusPolicy(wf, hints, name=f"Janus@{label}")
+        result = executor.run(policy, requests)
+        rows.append(
+            (
+                label,
+                result.violation_rate,
+                result.e2e_percentile(99.9) / 1000.0,
+                result.mean_allocated,
+            )
+        )
+    return StrictSloResult(rows=rows)
+
+
+def render(result: StrictSloResult) -> str:
+    """Anchor comparison table."""
+    table = format_table(
+        ["anchor", "violation rate", "P99.9 E2E (s)", "mean CPU (mc)"],
+        result.rows,
+        title="Extension: stricter SLO targets via higher anchor (IA, SLO 3 s)",
+        float_fmt="{:.4f}",
+    )
+    p99_viol = result.rows[0][1]
+    p999_viol = result.rows[1][1]
+    return table + (
+        f"\nP99.9 anchor cuts violations {p99_viol:.3%} -> {p999_viol:.3%} "
+        f"(a P99.9 SLO tolerates 0.1%)"
+    )

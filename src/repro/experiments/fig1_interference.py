@@ -1,0 +1,92 @@
+"""Fig. 1c — performance interference from co-locating homogeneous
+function instances.
+
+Paper claim: running 1..6 co-located instances of microbenchmarks dominant
+on CPU / memory / IO / network prolongs execution up to 8.1x, ordered
+CPU < memory < IO < network.
+
+The measurement replicates the paper's loop on the DES platform: a single
+VM, ``n`` simultaneously busy instances of the same function, normalised
+mean latency vs. running alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.interference import InterferenceModel
+from ..cluster.platform import ClusterConfig, ServerlessPlatform
+from ..functions.library import microbenchmark_functions
+from ..metrics.report import format_table
+from ..rng import derive_rng
+from ..workflow.catalog import Workflow
+from ..workflow.chain import chain_dag
+
+__all__ = ["Fig1cResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig1cResult:
+    """Normalised latency per (function, co-location level)."""
+
+    colocation_levels: list[int]
+    series: dict[str, list[float]]  # function -> normalised latency per level
+    max_slowdown: float
+
+
+def run(
+    max_colocated: int = 6,
+    samples: int = 200,
+    size_millicores: int = 1000,
+    seed: int = 0,
+) -> Fig1cResult:
+    """Measure normalised latency for each microbenchmark."""
+    models = microbenchmark_functions()
+    wf = Workflow(
+        name="micro",
+        dag=chain_dag([m.name for m in models]),
+        functions={m.name: m for m in models},
+        slo_ms=10_000.0,
+    )
+    platform = ServerlessPlatform(
+        wf,
+        ClusterConfig(n_vms=1, vm_capacity_millicores=24_000, autoscale=False),
+        interference=InterferenceModel(),
+    )
+    levels = list(range(1, max_colocated + 1))
+    series: dict[str, list[float]] = {}
+    for model in models:
+        rng = derive_rng(seed, "fig1c", model.name)
+        means = []
+        for n in levels:
+            times = platform.colocation_experiment(
+                model.name, n, size_millicores, samples, rng
+            )
+            means.append(float(np.mean(times)))
+        series[model.name] = [m / means[0] for m in means]
+    return Fig1cResult(
+        colocation_levels=levels,
+        series=series,
+        max_slowdown=max(max(v) for v in series.values()),
+    )
+
+
+def render(result: Fig1cResult) -> str:
+    """Normalised-latency table, one column per microbenchmark."""
+    names = list(result.series)
+    rows = [
+        tuple([n] + [result.series[name][i] for name in names])
+        for i, n in enumerate(result.colocation_levels)
+    ]
+    table = format_table(
+        ["co-located"] + names,
+        rows,
+        title="Fig 1c: normalised latency vs co-located instances",
+        float_fmt="{:.2f}",
+    )
+    return table + (
+        f"\nmax slowdown: {result.max_slowdown:.1f}x (paper: up to 8.1x, "
+        f"network-dominant worst)"
+    )

@@ -1,0 +1,58 @@
+"""Fig. 1b — function latency variance caused by varying input worksets.
+
+Paper claim: across OD, QA and TS the spread between P1 and P99 execution
+time reaches up to ~3.8x under varying working sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.report import format_table
+from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup
+
+__all__ = ["Fig1bResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig1bResult:
+    """P1/P99 latency per IA function at a reference allocation."""
+
+    rows: list[tuple[str, float, float, float]]  # (fn, P1 s, P99 s, ratio)
+    reference_millicores: int
+    max_ratio: float
+
+
+def run(
+    reference_millicores: int = 2000,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> Fig1bResult:
+    """Profile the IA functions and extract the P1-P99 spread."""
+    _, profiles, _ = ia_setup(samples=samples, seed=seed)
+    rows = []
+    for fname in ("OD", "QA", "TS"):
+        prof = profiles[fname]
+        p1 = prof.latency(1, reference_millicores) / 1000.0
+        p99 = prof.latency(99, reference_millicores) / 1000.0
+        rows.append((fname, p1, p99, p99 / p1))
+    return Fig1bResult(
+        rows=rows,
+        reference_millicores=reference_millicores,
+        max_ratio=max(r[3] for r in rows),
+    )
+
+
+def render(result: Fig1bResult) -> str:
+    """Per-function P1/P99 table."""
+    table = format_table(
+        ["function", "P1 (s)", "P99 (s)", "P99/P1"],
+        result.rows,
+        title=(
+            f"Fig 1b: workset-driven latency variance at "
+            f"{result.reference_millicores} millicores"
+        ),
+    )
+    return table + (
+        f"\nmax P99/P1 ratio: {result.max_ratio:.2f}x (paper: up to 3.8x)"
+    )

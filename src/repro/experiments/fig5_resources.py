@@ -1,0 +1,125 @@
+"""Table I + Fig. 5 — resource consumption of all systems.
+
+Paper claims:
+
+* Table I (concurrency 1): Janus reduces resources, normalised by Optimal,
+  by 22.6% vs ORION, 31.3% vs GrandSLAM(+), 2.9% vs Janus-, ~0% vs Janus+
+  on IA; 26.9 / 35.2 / 32.4 / 4.7 / -0.2% on VA.
+* Fig. 5a: absolute millicore consumption per system for IA and VA.
+* Fig. 5b: at concurrency 2 and 3 (SLOs 4/5 s), early binders over-allocate
+  by up to 1.75x (normalised by Optimal) while Janus tracks Optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.report import format_table
+from ..runtime.driver import build_policy_suite, run_policies
+from ..runtime.results import RunResult
+from ..traces.workload import WorkloadConfig, generate_requests
+from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup, va_setup
+
+__all__ = ["Fig5Result", "run", "render"]
+
+BASELINES_TABLE1 = ["ORION", "GrandSLAM+", "GrandSLAM", "Janus-", "Janus+"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Per-(panel, policy) run results."""
+
+    panels: dict[tuple[str, int], dict[str, RunResult]]
+
+    def reduction_table(
+        self, panel: tuple[str, int]
+    ) -> dict[str, float]:
+        """Table I row: Janus's reduction vs each baseline, % of Optimal."""
+        results = self.panels[panel]
+        optimal = results["Optimal"]
+        janus_res = results["Janus"]
+        out = {}
+        for name in BASELINES_TABLE1:
+            if name in results:
+                out[name] = 100.0 * janus_res.reduction_vs(results[name], optimal)
+        return out
+
+    def normalized(self, panel: tuple[str, int]) -> dict[str, float]:
+        """Fig. 5 series: mean CPU normalised by Optimal."""
+        results = self.panels[panel]
+        optimal = results["Optimal"]
+        return {
+            name: res.normalized_cpu(optimal) for name, res in results.items()
+        }
+
+
+def run(
+    n_requests: int = 1000,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+    concurrencies: tuple[int, ...] = (1, 2, 3),
+) -> Fig5Result:
+    """Run the suite on IA (each concurrency) and VA (concurrency 1)."""
+    panels: dict[tuple[str, int], dict[str, RunResult]] = {}
+    for conc in concurrencies:
+        wf, profiles, budget = ia_setup(
+            concurrency=conc, samples=samples, seed=seed
+        )
+        suite = build_policy_suite(wf, profiles, budget=budget, concurrency=conc)
+        requests = generate_requests(
+            wf, WorkloadConfig(n_requests=n_requests), seed=seed + conc
+        )
+        panels[("IA", conc)] = run_policies(wf, suite, requests)
+    wf, profiles, budget = va_setup(samples=samples, seed=seed)
+    suite = build_policy_suite(wf, profiles, budget=budget)
+    requests = generate_requests(
+        wf, WorkloadConfig(n_requests=n_requests), seed=seed + 7
+    )
+    panels[("VA", 1)] = run_policies(wf, suite, requests)
+    return Fig5Result(panels=panels)
+
+
+def render(result: Fig5Result) -> str:
+    """Table I plus the Fig. 5a/5b consumption tables."""
+    blocks = []
+
+    # Table I: reductions at concurrency 1.
+    paper = {
+        "IA": {"ORION": 22.6, "GrandSLAM+": 31.3, "GrandSLAM": 31.3,
+               "Janus-": 2.9, "Janus+": 0.0},
+        "VA": {"ORION": 26.9, "GrandSLAM+": 35.2, "GrandSLAM": 32.4,
+               "Janus-": 4.7, "Janus+": -0.2},
+    }
+    rows = []
+    for wf_name in ("IA", "VA"):
+        panel = (wf_name, 1)
+        if panel not in result.panels:
+            continue
+        reductions = result.reduction_table(panel)
+        for base, measured in reductions.items():
+            rows.append((wf_name, base, measured, paper[wf_name].get(base)))
+    blocks.append(
+        format_table(
+            ["workflow", "baseline", "measured red. (%)", "paper red. (%)"],
+            rows,
+            title="Table I: Janus resource reduction vs baselines (normalised by Optimal)",
+            float_fmt="{:.1f}",
+        )
+    )
+
+    # Fig. 5a/5b: mean consumption per panel.
+    for panel, results in result.panels.items():
+        wf_name, conc = panel
+        norm = result.normalized(panel)
+        rows = [
+            (name, res.mean_allocated, norm[name], res.violation_rate)
+            for name, res in results.items()
+        ]
+        blocks.append(
+            format_table(
+                ["system", "mean CPU (millicores)", "norm. by Optimal", "viol."],
+                rows,
+                title=f"Fig 5: {wf_name} concurrency={conc}",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,89 @@
+"""Fig. 7 — timeout and resilience of the TS function.
+
+Paper claims: (a) timeout ``D(p, k)`` decreases as percentile or CPU
+allocation increases; (b) resilience ``R(P99, k)`` shrinks marginally with
+more provisioned cores (diminishing Amdahl returns) and grows with
+concurrency (heavier batches are more resource-sensitive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.report import format_table
+from ..profiling.metrics import resilience_curve, timeout_curve
+from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup
+
+__all__ = ["Fig7Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Timeout curves (by percentile) and resilience curves (by conc.)."""
+
+    k_grid: np.ndarray
+    timeout_by_percentile: dict[int, np.ndarray]  # {25, 50, 75} -> D(p, k)
+    resilience_by_concurrency: dict[int, np.ndarray]  # {1,2,3} -> R(99, k)
+    function: str
+
+
+def run(
+    function: str = "TS",
+    percentiles: tuple[int, ...] = (25, 50, 75),
+    concurrencies: tuple[int, ...] = (1, 2, 3),
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> Fig7Result:
+    """Extract the Fig. 7 curves from the IA profiles."""
+    _, profiles, _ = ia_setup(
+        concurrency=max(concurrencies), samples=samples, seed=seed
+    )
+    prof = profiles[function]
+    k_grid = prof.limits.grid()
+    timeouts = {
+        p: timeout_curve(prof, float(p))[1] for p in percentiles
+    }
+    resiliences = {
+        c: resilience_curve(prof, 99.0, concurrency=c)[1] for c in concurrencies
+    }
+    return Fig7Result(
+        k_grid=k_grid,
+        timeout_by_percentile=timeouts,
+        resilience_by_concurrency=resiliences,
+        function=function,
+    )
+
+
+def render(result: Fig7Result) -> str:
+    """Both curve families, sampled every few grid points."""
+    idx = range(0, len(result.k_grid), 4)
+    t_rows = [
+        tuple(
+            [int(result.k_grid[i])]
+            + [float(result.timeout_by_percentile[p][i]) / 1000.0
+               for p in sorted(result.timeout_by_percentile)]
+        )
+        for i in idx
+    ]
+    r_rows = [
+        tuple(
+            [int(result.k_grid[i])]
+            + [float(result.resilience_by_concurrency[c][i]) / 1000.0
+               for c in sorted(result.resilience_by_concurrency)]
+        )
+        for i in idx
+    ]
+    t_table = format_table(
+        ["CPU (mc)"] + [f"D(P{p}) s" for p in sorted(result.timeout_by_percentile)],
+        t_rows,
+        title=f"Fig 7a: timeout of {result.function} vs CPU",
+    )
+    r_table = format_table(
+        ["CPU (mc)"]
+        + [f"R(P99) conc={c} s" for c in sorted(result.resilience_by_concurrency)],
+        r_rows,
+        title=f"Fig 7b: resilience of {result.function} vs CPU",
+    )
+    return t_table + "\n\n" + r_table

@@ -1,0 +1,93 @@
+"""Fig. 8 + §V-F — effectiveness of hints condensing.
+
+Paper claims: after condensing, IA carries fewer than 147 hints (across the
+three concurrency levels) and VA fewer than 96 — compression ratios up to
+99.6% / 98.2% — and table sizes shrink as the head weight grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.report import format_table
+from ..synthesis.generator import synthesize_hints
+from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup, va_setup
+
+__all__ = ["Fig8Result", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Hint counts per (workflow, concurrency, weight)."""
+
+    counts: dict[tuple[str, int, float], int]  # condensed hint rows
+    raw_counts: dict[tuple[str, int, float], int]
+    compression: dict[tuple[str, int, float], float]
+
+
+def run(
+    weights: tuple[float, ...] = (1.0, 1.5, 2.0, 2.5, 3.0),
+    ia_concurrencies: tuple[int, ...] = (1, 2, 3),
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> Fig8Result:
+    """Synthesize tables for every (workflow, concurrency, weight)."""
+    counts: dict[tuple[str, int, float], int] = {}
+    raw: dict[tuple[str, int, float], int] = {}
+    comp: dict[tuple[str, int, float], float] = {}
+
+    def record(key, hints) -> None:
+        counts[key] = hints.condensed_hint_count
+        raw[key] = hints.raw_hint_count
+        comp[key] = hints.compression_ratio
+
+    for conc in ia_concurrencies:
+        wf, profiles, budget = ia_setup(
+            concurrency=conc, samples=samples, seed=seed
+        )
+        for w in weights:
+            hints = synthesize_hints(
+                profiles, wf.chain, budget=budget, concurrency=conc, weight=w,
+                workflow_name="IA",
+            )
+            record(("IA", conc, w), hints)
+    wf, profiles, budget = va_setup(samples=samples, seed=seed)
+    for w in weights:
+        hints = synthesize_hints(
+            profiles, wf.chain, budget=budget, weight=w, workflow_name="VA"
+        )
+        record(("VA", 1, w), hints)
+    return Fig8Result(counts=counts, raw_counts=raw, compression=comp)
+
+
+def render(result: Fig8Result) -> str:
+    """Hint counts and compression ratios."""
+    rows = [
+        (wf, conc, w, result.raw_counts[key], result.counts[key],
+         result.compression[key])
+        for key in sorted(result.counts)
+        for wf, conc, w in [key]
+    ]
+    table = format_table(
+        ["workflow", "conc", "weight", "raw hints", "condensed", "compression"],
+        rows,
+        title="Fig 8: hint counts before/after condensing",
+    )
+    ia_total = {
+        w: sum(
+            result.counts[k] for k in result.counts
+            if k[0] == "IA" and k[2] == w
+        )
+        for w in sorted({k[2] for k in result.counts})
+    }
+    va_total = {
+        w: sum(
+            result.counts[k] for k in result.counts
+            if k[0] == "VA" and k[2] == w
+        )
+        for w in sorted({k[2] for k in result.counts})
+    }
+    return table + (
+        f"\nIA condensed totals by weight: {ia_total} (paper: < 147)"
+        f"\nVA condensed totals by weight: {va_total} (paper: < 96)"
+    )

@@ -1,0 +1,96 @@
+"""Fig. 9 — resource consumption under varying SLOs.
+
+Paper claims: sweeping the SLO (IA 3-7 s, VA 1.5-2.0 s), Janus outperforms
+ORION by 16.1% / 22.2% and GrandSLAM by 24.1% / 27.7% on average (normalised
+by Optimal), with the gains narrowing at loose SLOs where every system
+approaches the 1000-millicore floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.report import format_table
+from ..runtime.driver import build_policy_suite, run_policies
+from ..traces.workload import WorkloadConfig, generate_requests
+from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup, va_setup
+
+__all__ = ["Fig9Result", "run", "render"]
+
+SYSTEMS = ["Optimal", "ORION", "GrandSLAM", "Janus"]
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Normalised CPU per (workflow, SLO, system)."""
+
+    series: dict[str, dict[float, dict[str, float]]]  # wf -> slo_s -> system -> norm CPU
+
+    def mean_gain_pct(self, workflow: str, baseline: str) -> float:
+        """Mean (over SLOs) reduction of Janus vs ``baseline``, % of Optimal."""
+        gains = []
+        for per_system in self.series[workflow].values():
+            if baseline in per_system and "Janus" in per_system:
+                gains.append(100.0 * (per_system[baseline] - per_system["Janus"]))
+        return sum(gains) / len(gains) if gains else float("nan")
+
+
+def run(
+    ia_slos_s: tuple[float, ...] = (3.0, 3.25, 3.5, 3.75, 4.0, 4.5, 5.0, 6.0, 7.0),
+    va_slos_s: tuple[float, ...] = (1.5, 1.6, 1.7, 1.8, 1.9, 2.0),
+    n_requests: int = 400,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> Fig9Result:
+    """SLO sweeps for IA and VA with the Fig. 9 systems."""
+    series: dict[str, dict[float, dict[str, float]]] = {"IA": {}, "VA": {}}
+    for wf_name, slos in (("IA", ia_slos_s), ("VA", va_slos_s)):
+        for slo_s in slos:
+            if wf_name == "IA":
+                wf, profiles, budget = ia_setup(
+                    slo_ms=slo_s * 1000.0, samples=samples, seed=seed
+                )
+            else:
+                wf, profiles, budget = va_setup(
+                    slo_ms=slo_s * 1000.0, samples=samples, seed=seed
+                )
+            suite = build_policy_suite(
+                wf, profiles, budget=budget, include=SYSTEMS
+            )
+            requests = generate_requests(
+                wf,
+                WorkloadConfig(n_requests=n_requests),
+                seed=seed + int(slo_s * 10),
+            )
+            results = run_policies(wf, suite, requests)
+            optimal = results["Optimal"]
+            series[wf_name][slo_s] = {
+                name: res.normalized_cpu(optimal) for name, res in results.items()
+            }
+    return Fig9Result(series=series)
+
+
+def render(result: Fig9Result) -> str:
+    """Normalised CPU per SLO for both workflows."""
+    blocks = []
+    for wf_name, per_slo in result.series.items():
+        systems = sorted({s for d in per_slo.values() for s in d})
+        rows = [
+            tuple([slo] + [per_slo[slo].get(s, float("nan")) for s in systems])
+            for slo in sorted(per_slo)
+        ]
+        blocks.append(
+            format_table(
+                ["SLO (s)"] + systems,
+                rows,
+                title=f"Fig 9: {wf_name} CPU normalised by Optimal",
+            )
+        )
+        blocks.append(
+            f"mean Janus gain vs ORION: "
+            f"{result.mean_gain_pct(wf_name, 'ORION'):.1f}% "
+            f"(paper: {'16.1' if wf_name == 'IA' else '22.2'}%); "
+            f"vs GrandSLAM: {result.mean_gain_pct(wf_name, 'GrandSLAM'):.1f}% "
+            f"(paper: {'24.1' if wf_name == 'IA' else '27.7'}%)"
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,92 @@
+"""Experiment registry: every paper artifact behind one uniform interface.
+
+Each experiment module exposes ``run(**params) -> result`` and
+``render(result) -> str``; the registry maps stable experiment ids (the
+paper's figure/table numbers) to those pairs so the CLI and the benchmark
+harness can drive them generically.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from . import (
+    ablation_resilience,
+    extension_batching,
+    extension_dag,
+    extension_keepalive,
+    extension_multitenant,
+    extension_strict_slo,
+    fig1_interference,
+    fig1_slack,
+    fig1_worksets,
+    fig2_motivation,
+    fig4_latency_cdf,
+    fig5_resources,
+    fig6_percentile_exploration,
+    fig7_timeout_resilience,
+    fig8_condensing,
+    fig9_slo,
+    overhead,
+    regeneration,
+    table2_weight,
+)
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: id, description, run/render callables."""
+
+    exp_id: str
+    description: str
+    run: _t.Callable[..., _t.Any]
+    render: _t.Callable[[_t.Any], str]
+
+
+def _reg(exp_id: str, description: str, module) -> tuple[str, Experiment]:
+    return exp_id, Experiment(exp_id, description, module.run, module.render)
+
+
+EXPERIMENTS: dict[str, Experiment] = dict(
+    [
+        _reg("fig1a", "Slack CDF on Azure-like traces", fig1_slack),
+        _reg("fig1b", "Workset-driven latency variance (OD/QA/TS)", fig1_worksets),
+        _reg("fig1c", "Co-location interference (4 microbenchmarks)", fig1_interference),
+        _reg("fig2", "Early vs late binding motivation", fig2_motivation),
+        _reg("fig4", "E2E latency CDFs, all systems", fig4_latency_cdf),
+        _reg("fig5", "Resource consumption + Table I", fig5_resources),
+        _reg("fig6", "Moderate percentile exploration cost/benefit", fig6_percentile_exploration),
+        _reg("fig7", "Timeout and resilience curves (TS)", fig7_timeout_resilience),
+        _reg("table2", "Head-function weight impact", table2_weight),
+        _reg("fig8", "Hints condensing effectiveness", fig8_condensing),
+        _reg("fig9", "Resource consumption vs SLO", fig9_slo),
+        _reg("overhead", "Online adaptation overhead (§V-H)", overhead),
+        _reg("regeneration", "Asynchronous hints regeneration (§III-D)", regeneration),
+        _reg("ablation-resilience", "Resilience-constraint ablation", ablation_resilience),
+        _reg("ext-dag", "Branching-workflow extension (§VII)", extension_dag),
+        _reg("ext-batching", "Batching front-end extension", extension_batching),
+        _reg("ext-multitenant", "Multi-tenant shared cluster (§III-A)", extension_multitenant),
+        _reg("ext-strict-slo", "P99.9 SLO targets via higher anchor (§III-B)", extension_strict_slo),
+        _reg("ext-keepalive", "Keep-alive caching interplay (§VII)", extension_keepalive),
+    ]
+)
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """(id, description) pairs in registration order."""
+    return [(e.exp_id, e.description) for e in EXPERIMENTS.values()]
+
+
+def run_experiment(exp_id: str, **params: _t.Any) -> str:
+    """Run one experiment and return its rendered report."""
+    try:
+        exp = EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise ExperimentError(f"unknown experiment {exp_id!r}; known: {known}")
+    result = exp.run(**params)
+    return exp.render(result)

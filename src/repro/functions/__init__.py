@@ -1,0 +1,56 @@
+"""Serverless function performance models.
+
+Parametric substitutes for the paper's real containers (see DESIGN.md §2):
+an Amdahl CPU-scaling law combined with working-set, batching, interference
+and residual-noise multipliers. The module also ships calibrated instances
+of the six evaluation functions (OD/QA/TS, FE/ICL/ICO) and the four
+dominant-resource microbenchmarks.
+"""
+
+from .library import (
+    aes_encryption,
+    disk_write,
+    frame_extraction,
+    ia_functions,
+    image_classification,
+    image_compression,
+    microbenchmark_functions,
+    object_detection,
+    question_answering,
+    redis_read,
+    socket_communication,
+    text_to_speech,
+    va_functions,
+)
+from .model import FunctionModel, InvocationDynamics, Resource
+from .worksets import (
+    FixedWorkset,
+    LognormalWorkset,
+    LogUniformWorkset,
+    UniformIntWorkset,
+    WorksetDistribution,
+)
+
+__all__ = [
+    "FunctionModel",
+    "InvocationDynamics",
+    "Resource",
+    "WorksetDistribution",
+    "FixedWorkset",
+    "UniformIntWorkset",
+    "LogUniformWorkset",
+    "LognormalWorkset",
+    "object_detection",
+    "question_answering",
+    "text_to_speech",
+    "frame_extraction",
+    "image_classification",
+    "image_compression",
+    "aes_encryption",
+    "redis_read",
+    "socket_communication",
+    "disk_write",
+    "ia_functions",
+    "va_functions",
+    "microbenchmark_functions",
+]

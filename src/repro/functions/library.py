@@ -1,0 +1,237 @@
+"""Calibrated models of the paper's evaluation functions.
+
+Two real-world workflows (paper §V-A):
+
+* **Intelligent Assistant (IA)** — chain OD -> QA -> TS over COCO2014 images
+  and SQuAD2.0 questions; SLO 3 s at concurrency 1. Inputs vary widely
+  (1–15 objects per image, 35–641 words per passage), producing up to ~3.8x
+  latency variance (Fig. 1b).
+* **Video Analytics (VA)** — chain FE -> ICL -> ICO over fixed-duration
+  videos; SLO 1.5 s. Parallelised stages suffer cross-function interference;
+  P99/P50 ratios are 1.46 / 1.56 / 1.37 (§V-A). FE and ICO are not
+  batchable (Fig. 4 caption).
+
+Plus the four §II-B microbenchmarks with distinct dominant resources used in
+the interference study (Fig. 1c): AES encryption (CPU), Redis read (memory),
+socket communication (network), disk write (IO).
+
+Calibration targets (loose, asserted by tests/test_calibration.py):
+per-function work levels are chosen so that the paper's budget ranges
+(IA: 2–7 s, VA: 1.5–2 s) bracket the achievable execution-time range for
+1000–3000 millicores.
+"""
+
+from __future__ import annotations
+
+from .model import FunctionModel, Resource
+from .worksets import (
+    FixedWorkset,
+    LogUniformWorkset,
+    LognormalWorkset,
+    UniformIntWorkset,
+)
+
+__all__ = [
+    "object_detection",
+    "question_answering",
+    "text_to_speech",
+    "frame_extraction",
+    "image_classification",
+    "image_compression",
+    "aes_encryption",
+    "redis_read",
+    "socket_communication",
+    "disk_write",
+    "ia_functions",
+    "va_functions",
+    "microbenchmark_functions",
+]
+
+
+# --------------------------------------------------------------------------
+# Intelligent Assistant (IA): OD -> QA -> TS
+# --------------------------------------------------------------------------
+
+def object_detection() -> FunctionModel:
+    """OD — Faster-RCNN-style detector; cost grows with objects per image."""
+    return FunctionModel(
+        name="OD",
+        serial_ms=160.0,
+        parallel_ms=760.0,
+        sigma=0.10,
+        workset=UniformIntWorkset(lo=1, hi=15),
+        workset_gamma=0.30,
+        batch_eta=0.35,
+        batchable=True,
+        dominant_resource=Resource.CPU,
+        cold_start_ms=900.0,
+        memory_mb=1024,
+    )
+
+
+def question_answering() -> FunctionModel:
+    """QA — DistilBERT-style extractive QA; cost grows with passage length."""
+    return FunctionModel(
+        name="QA",
+        serial_ms=140.0,
+        parallel_ms=740.0,
+        sigma=0.10,
+        workset=LogUniformWorkset(lo=35.0, hi=641.0),
+        workset_gamma=0.25,
+        batch_eta=0.30,
+        batchable=True,
+        dominant_resource=Resource.MEMORY,
+        cold_start_ms=800.0,
+        memory_mb=1024,
+    )
+
+
+def text_to_speech() -> FunctionModel:
+    """TS — MMS-style TTS; cost grows with answer length."""
+    return FunctionModel(
+        name="TS",
+        serial_ms=150.0,
+        parallel_ms=720.0,
+        sigma=0.10,
+        workset=LogUniformWorkset(lo=5.0, hi=120.0),
+        workset_gamma=0.25,
+        batch_eta=0.32,
+        batchable=True,
+        dominant_resource=Resource.CPU,
+        cold_start_ms=700.0,
+        memory_mb=768,
+    )
+
+
+# --------------------------------------------------------------------------
+# Video Analytics (VA): FE -> ICL -> ICO
+# --------------------------------------------------------------------------
+
+def frame_extraction() -> FunctionModel:
+    """FE — ffmpeg frame extraction; identical-duration inputs, IO-bound."""
+    return FunctionModel(
+        name="FE",
+        serial_ms=90.0,
+        parallel_ms=370.0,
+        sigma=0.05,
+        workset=LognormalWorkset(median=1.0, sigma=0.14, clip_hi=2.0),
+        workset_gamma=1.0,
+        batch_eta=0.0,
+        batchable=False,
+        dominant_resource=Resource.IO,
+        cold_start_ms=400.0,
+        memory_mb=512,
+    )
+
+
+def image_classification() -> FunctionModel:
+    """ICL — SqueezeNet classification over the extracted frames."""
+    return FunctionModel(
+        name="ICL",
+        serial_ms=80.0,
+        parallel_ms=400.0,
+        sigma=0.06,
+        workset=LognormalWorkset(median=1.0, sigma=0.168, clip_hi=2.2),
+        workset_gamma=1.0,
+        batch_eta=0.30,
+        batchable=True,
+        dominant_resource=Resource.CPU,
+        cold_start_ms=600.0,
+        memory_mb=768,
+    )
+
+
+def image_compression() -> FunctionModel:
+    """ICO — archive/compress the classified frames; not batchable."""
+    return FunctionModel(
+        name="ICO",
+        serial_ms=85.0,
+        parallel_ms=360.0,
+        sigma=0.05,
+        workset=LognormalWorkset(median=1.0, sigma=0.126, clip_hi=1.8),
+        workset_gamma=1.0,
+        batch_eta=0.0,
+        batchable=False,
+        dominant_resource=Resource.IO,
+        cold_start_ms=350.0,
+        memory_mb=512,
+    )
+
+
+# --------------------------------------------------------------------------
+# §II-B microbenchmarks (interference study, Fig. 1c)
+# --------------------------------------------------------------------------
+
+def aes_encryption() -> FunctionModel:
+    """CPU-intensive: AES encryption of an in-memory buffer."""
+    return FunctionModel(
+        name="AES",
+        serial_ms=20.0,
+        parallel_ms=380.0,
+        sigma=0.08,
+        workset=FixedWorkset(1.0),
+        dominant_resource=Resource.CPU,
+        cold_start_ms=200.0,
+        memory_mb=256,
+    )
+
+
+def redis_read() -> FunctionModel:
+    """Memory-bandwidth-intensive: bulk read from an in-memory store."""
+    return FunctionModel(
+        name="RedisRead",
+        serial_ms=30.0,
+        parallel_ms=270.0,
+        sigma=0.10,
+        workset=FixedWorkset(1.0),
+        dominant_resource=Resource.MEMORY,
+        cold_start_ms=250.0,
+        memory_mb=512,
+    )
+
+
+def socket_communication() -> FunctionModel:
+    """Network-intensive: socket send/receive loop."""
+    return FunctionModel(
+        name="SocketComm",
+        serial_ms=40.0,
+        parallel_ms=210.0,
+        sigma=0.12,
+        workset=FixedWorkset(1.0),
+        dominant_resource=Resource.NETWORK,
+        cold_start_ms=220.0,
+        memory_mb=256,
+    )
+
+
+def disk_write() -> FunctionModel:
+    """IO-intensive: write a payload to local disk."""
+    return FunctionModel(
+        name="DiskWrite",
+        serial_ms=35.0,
+        parallel_ms=240.0,
+        sigma=0.11,
+        workset=FixedWorkset(1.0),
+        dominant_resource=Resource.IO,
+        cold_start_ms=200.0,
+        memory_mb=256,
+    )
+
+
+# --------------------------------------------------------------------------
+# Groupings
+# --------------------------------------------------------------------------
+
+def ia_functions() -> list[FunctionModel]:
+    """The Intelligent Assistant chain, in execution order."""
+    return [object_detection(), question_answering(), text_to_speech()]
+
+
+def va_functions() -> list[FunctionModel]:
+    """The Video Analytics chain, in execution order."""
+    return [frame_extraction(), image_classification(), image_compression()]
+
+
+def microbenchmark_functions() -> list[FunctionModel]:
+    """The four dominant-resource microbenchmarks of §II-B."""
+    return [aes_encryption(), redis_read(), socket_communication(), disk_write()]

@@ -1,0 +1,199 @@
+"""Parametric execution-time model for serverless functions.
+
+The paper's algorithms consume only a function's latency *distribution*
+``L(p, k, c)`` (percentile x CPU size x concurrency). We therefore replace
+the real OD/QA/TS/FE/ICL/ICO containers with a calibrated generative model
+whose structure mirrors the paper's observed runtime dynamics (§II-B):
+
+``t = (serial + parallel * 1000/k) * (w / w_ref)^gamma * batch(c) * q * e^(sigma z)``
+
+* **Amdahl scaling** — ``serial`` ms of non-parallelisable work plus
+  ``parallel`` ms measured at 1000 millicores that shrinks inversely with the
+  allocation ``k`` (diminishing returns, paper Fig. 7b).
+* **Working-set factor** — input size ``w`` drawn from the function's workset
+  distribution, scaled by power law exponent ``gamma`` (paper Fig. 1b).
+* **Batching** — per-request time inflates by ``1 + eta * (c - 1)`` for a
+  batch of ``c`` (GrandSLAM-style batching; non-batchable functions reject
+  ``c > 1``).
+* **Interference** — multiplicative slowdown ``q >= 1`` supplied by the
+  platform's co-location model (paper Fig. 1c).
+* **Residual noise** — lognormal with log-std ``sigma`` capturing everything
+  else (JIT, caching, scheduling jitter).
+
+The per-invocation randomness is captured in an :class:`InvocationDynamics`
+value *before* execution, so the same request can be replayed under any
+allocation — this is what makes the Optimal oracle and common-random-number
+policy comparisons possible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FunctionModelError
+from ..types import Millicores
+from .worksets import FixedWorkset, WorksetDistribution
+
+__all__ = ["Resource", "InvocationDynamics", "FunctionModel"]
+
+_REFERENCE_MILLICORES = 1000.0
+
+
+class Resource(enum.Enum):
+    """Dominant resource dimension of a function (drives interference)."""
+
+    CPU = "cpu"
+    MEMORY = "memory"
+    IO = "io"
+    NETWORK = "network"
+
+
+@dataclass(frozen=True)
+class InvocationDynamics:
+    """The random state of one invocation, fixed before execution.
+
+    Attributes
+    ----------
+    workset:
+        Input working-set size ``w``.
+    noise_z:
+        Standard-normal draw for the residual lognormal noise.
+    interference:
+        Multiplicative slowdown ``q >= 1`` from co-location.
+    """
+
+    workset: float
+    noise_z: float
+    interference: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.workset <= 0:
+            raise FunctionModelError(f"workset must be > 0: {self.workset}")
+        if self.interference < 1.0:
+            raise FunctionModelError(
+                f"interference must be >= 1: {self.interference}"
+            )
+
+
+@dataclass(frozen=True)
+class FunctionModel:
+    """A serverless function's performance model and metadata."""
+
+    name: str
+    serial_ms: float
+    parallel_ms: float
+    sigma: float = 0.15
+    workset: WorksetDistribution = field(default_factory=FixedWorkset)
+    workset_gamma: float = 0.0
+    batch_eta: float = 0.35
+    batchable: bool = True
+    dominant_resource: Resource = Resource.CPU
+    cold_start_ms: float = 500.0
+    memory_mb: int = 512
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FunctionModelError("function name may not be empty")
+        if self.serial_ms < 0 or self.parallel_ms < 0:
+            raise FunctionModelError(
+                f"{self.name}: serial/parallel work must be >= 0"
+            )
+        if self.serial_ms + self.parallel_ms <= 0:
+            raise FunctionModelError(f"{self.name}: total work must be > 0")
+        if self.sigma < 0:
+            raise FunctionModelError(f"{self.name}: sigma must be >= 0")
+        if self.workset_gamma < 0:
+            raise FunctionModelError(f"{self.name}: gamma must be >= 0")
+        if self.batch_eta < 0:
+            raise FunctionModelError(f"{self.name}: batch_eta must be >= 0")
+        if self.cold_start_ms < 0:
+            raise FunctionModelError(f"{self.name}: cold_start_ms must be >= 0")
+
+    # -- deterministic pieces ---------------------------------------------
+    def base_time(self, k: Millicores) -> float:
+        """Noise-free time (ms) at allocation ``k`` for the reference input."""
+        if k <= 0:
+            raise FunctionModelError(f"{self.name}: millicores must be > 0, got {k}")
+        return self.serial_ms + self.parallel_ms * (_REFERENCE_MILLICORES / k)
+
+    def workset_factor(self, workset: float) -> float:
+        """Power-law input-size multiplier ``(w / w_ref)^gamma``."""
+        if self.workset_gamma == 0.0:
+            return 1.0
+        return float((workset / self.workset.reference) ** self.workset_gamma)
+
+    def batch_factor(self, concurrency: int) -> float:
+        """Multiplier for processing a batch of ``concurrency`` requests."""
+        if concurrency < 1:
+            raise FunctionModelError(
+                f"{self.name}: concurrency must be >= 1, got {concurrency}"
+            )
+        if concurrency > 1 and not self.batchable:
+            raise FunctionModelError(
+                f"{self.name}: function is not batchable (concurrency={concurrency})"
+            )
+        return 1.0 + self.batch_eta * (concurrency - 1)
+
+    # -- sampling -----------------------------------------------------------
+    def sample_dynamics(
+        self,
+        rng: np.random.Generator,
+        interference: float = 1.0,
+    ) -> InvocationDynamics:
+        """Draw the random state of one invocation."""
+        return InvocationDynamics(
+            workset=float(self.workset.sample(rng)),
+            noise_z=float(rng.standard_normal()),
+            interference=float(interference),
+        )
+
+    def execution_time(
+        self,
+        k: Millicores,
+        dynamics: InvocationDynamics,
+        concurrency: int = 1,
+    ) -> float:
+        """Execution time (ms) of the invocation under allocation ``k``.
+
+        Deterministic given ``dynamics``: larger ``k`` strictly reduces the
+        time whenever the function has parallel work.
+        """
+        return (
+            self.base_time(k)
+            * self.workset_factor(dynamics.workset)
+            * self.batch_factor(concurrency)
+            * dynamics.interference
+            * float(np.exp(self.sigma * dynamics.noise_z))
+        )
+
+    def sample_execution_times(
+        self,
+        k: Millicores,
+        n: int,
+        rng: np.random.Generator,
+        concurrency: int = 1,
+        interference: np.ndarray | float = 1.0,
+    ) -> np.ndarray:
+        """Vectorised sampling of ``n`` execution times (profiling hot path)."""
+        if n <= 0:
+            raise FunctionModelError(f"sample count must be > 0, got {n}")
+        w = np.asarray(self.workset.sample(rng, size=n), dtype=np.float64)
+        z = rng.standard_normal(n)
+        q = np.broadcast_to(np.asarray(interference, dtype=np.float64), (n,))
+        if np.any(q < 1.0):
+            raise FunctionModelError("interference must be >= 1")
+        ws = (
+            (w / self.workset.reference) ** self.workset_gamma
+            if self.workset_gamma != 0.0
+            else 1.0
+        )
+        return (
+            self.base_time(k)
+            * self.batch_factor(concurrency)
+            * ws
+            * q
+            * np.exp(self.sigma * z)
+        )

@@ -1,0 +1,21 @@
+"""Metrics: slack, SLO compliance, distribution statistics, reporting."""
+
+from .report import format_kv, format_table
+from .slack import slack, slack_cdf, slacks
+from .slo import e2e_percentile, meets_p99_slo, violation_count, violation_rate
+from .stats import empirical_cdf, percentile_summary, ratio_of_percentiles
+
+__all__ = [
+    "slack",
+    "slacks",
+    "slack_cdf",
+    "violation_rate",
+    "violation_count",
+    "meets_p99_slo",
+    "e2e_percentile",
+    "empirical_cdf",
+    "percentile_summary",
+    "ratio_of_percentiles",
+    "format_table",
+    "format_kv",
+]

@@ -1,0 +1,60 @@
+"""Plain-text table formatting for experiment output.
+
+Every experiment prints the same rows/series the paper's tables and figures
+report; this module renders them as aligned ASCII tables.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["format_table", "format_kv"]
+
+
+def format_table(
+    headers: _t.Sequence[str],
+    rows: _t.Sequence[_t.Sequence[_t.Any]],
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned table with a separator under the header."""
+    if not headers:
+        raise ValueError("table requires headers")
+
+    def fmt(cell: _t.Any) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: _t.Mapping[str, _t.Any], title: str = "") -> str:
+    """Render key/value diagnostics."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        if isinstance(v, float):
+            v = f"{v:.4g}"
+        lines.append(f"{k.ljust(width)}  {v}")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Slack metrics (paper §II-A): ``slack = 1 - l / T``."""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..workflow.request import RequestOutcome
+
+__all__ = ["slack", "slacks", "slack_cdf"]
+
+
+def slack(latency_ms: float, slo_ms: float) -> float:
+    """``1 - l / T``; negative when the SLO is violated."""
+    if slo_ms <= 0:
+        raise ValueError(f"SLO must be > 0, got {slo_ms}")
+    return 1.0 - latency_ms / slo_ms
+
+
+def slacks(outcomes: _t.Sequence[RequestOutcome]) -> np.ndarray:
+    """Per-request slacks."""
+    return np.asarray([o.slack for o in outcomes], dtype=np.float64)
+
+
+def slack_cdf(
+    outcomes: _t.Sequence[RequestOutcome],
+    grid: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """CDF of per-request slack (Fig. 1a-style)."""
+    from .stats import empirical_cdf
+
+    if grid is None:
+        grid = np.linspace(-0.5, 1.0, 151)
+    return empirical_cdf(slacks(outcomes), grid)

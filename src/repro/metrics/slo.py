@@ -1,0 +1,39 @@
+"""SLO compliance metrics."""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..workflow.request import RequestOutcome
+
+__all__ = ["violation_rate", "meets_p99_slo", "violation_count"]
+
+
+def violation_count(outcomes: _t.Sequence[RequestOutcome]) -> int:
+    """Number of requests whose end-to-end latency exceeded the SLO."""
+    return sum(1 for o in outcomes if not o.slo_met)
+
+
+def violation_rate(outcomes: _t.Sequence[RequestOutcome]) -> float:
+    """Fraction of requests that violated the SLO."""
+    if not outcomes:
+        raise ValueError("violation_rate requires at least one outcome")
+    return violation_count(outcomes) / len(outcomes)
+
+
+def meets_p99_slo(outcomes: _t.Sequence[RequestOutcome]) -> bool:
+    """True when at most 1% of requests violate (the P99 SLO contract).
+
+    A P99 latency target is met exactly when the violation rate is <= 1%;
+    the paper's systems (and Janus) are judged by this criterion.
+    """
+    return violation_rate(outcomes) <= 0.01 + 1e-12
+
+
+def e2e_percentile(outcomes: _t.Sequence[RequestOutcome], p: float) -> float:
+    """Percentile of the end-to-end latencies."""
+    if not outcomes:
+        raise ValueError("e2e_percentile requires at least one outcome")
+    return float(np.percentile([o.e2e_ms for o in outcomes], p))

@@ -1,0 +1,52 @@
+"""Statistical helpers: CDFs, percentile summaries."""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "percentile_summary", "ratio_of_percentiles"]
+
+
+def empirical_cdf(
+    data: _t.Sequence[float] | np.ndarray,
+    grid: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(x, F(x)) points of the empirical CDF.
+
+    With ``grid`` unset, evaluates at the sorted unique sample points.
+    """
+    arr = np.sort(np.asarray(data, dtype=np.float64))
+    if arr.size == 0:
+        raise ValueError("empirical_cdf requires at least one sample")
+    if grid is None:
+        grid = arr
+    frac = np.searchsorted(arr, grid, side="right") / arr.size
+    return np.asarray(grid, dtype=np.float64), frac
+
+
+def percentile_summary(
+    data: _t.Sequence[float] | np.ndarray,
+    percentiles: _t.Sequence[float] = (1, 25, 50, 75, 95, 99),
+) -> dict[str, float]:
+    """Named percentiles plus mean/min/max."""
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("percentile_summary requires at least one sample")
+    out = {f"p{p:g}": float(np.percentile(arr, p)) for p in percentiles}
+    out["mean"] = float(arr.mean())
+    out["min"] = float(arr.min())
+    out["max"] = float(arr.max())
+    return out
+
+
+def ratio_of_percentiles(
+    data: _t.Sequence[float] | np.ndarray, hi: float = 99.0, lo: float = 50.0
+) -> float:
+    """P_hi / P_lo — the skew measure the paper quotes (e.g. P99/P50)."""
+    arr = np.asarray(data, dtype=np.float64)
+    denom = float(np.percentile(arr, lo))
+    if denom <= 0:
+        raise ValueError(f"P{lo:g} must be positive, got {denom}")
+    return float(np.percentile(arr, hi)) / denom

@@ -1,0 +1,37 @@
+"""Sizing policies: early-binding baselines, ORION, the Janus family and
+the clairvoyant Optimal oracle (paper §V-A)."""
+
+from .base import SizingPolicy
+from .dag import (
+    DagFixedPolicy,
+    DagGrandSLAMPolicy,
+    DagJanusPolicy,
+    DagSizingPolicy,
+)
+from .early_binding import (
+    FixedPlanPolicy,
+    GrandSLAMPlusPolicy,
+    GrandSLAMPolicy,
+    WorstCasePolicy,
+)
+from .janus import JanusPolicy, janus, janus_minus, janus_plus
+from .oracle import OraclePolicy
+from .orion import OrionPolicy
+
+__all__ = [
+    "SizingPolicy",
+    "DagSizingPolicy",
+    "DagFixedPolicy",
+    "DagGrandSLAMPolicy",
+    "DagJanusPolicy",
+    "FixedPlanPolicy",
+    "WorstCasePolicy",
+    "GrandSLAMPolicy",
+    "GrandSLAMPlusPolicy",
+    "OrionPolicy",
+    "JanusPolicy",
+    "janus",
+    "janus_minus",
+    "janus_plus",
+    "OraclePolicy",
+]

@@ -1,0 +1,44 @@
+"""Sizing-policy interface.
+
+A policy answers one question: *how many millicores should stage ``i`` of
+this request get?* Early-binding policies answer from a fixed offline plan;
+late-binding policies may use the request's elapsed time (Janus) or even its
+realised execution dynamics (the Optimal oracle).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..types import Millicores, Milliseconds
+from ..workflow.request import WorkflowRequest
+
+__all__ = ["SizingPolicy"]
+
+
+class SizingPolicy(abc.ABC):
+    """Per-stage allocation decisions for workflow requests."""
+
+    #: Human-readable policy name (used in reports and plots).
+    name: str = "policy"
+
+    #: True for policies that may change sizes at runtime.
+    late_binding: bool = False
+
+    def begin_request(self, request: WorkflowRequest) -> None:
+        """Hook invoked when a request starts (before stage 0 sizing)."""
+
+    @abc.abstractmethod
+    def size_for_stage(
+        self,
+        stage_index: int,
+        request: WorkflowRequest,
+        elapsed_ms: Milliseconds,
+    ) -> Millicores:
+        """Allocation for ``stage_index`` given time already spent."""
+
+    def end_request(self, request: WorkflowRequest) -> None:
+        """Hook invoked after the last stage completes."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,147 @@
+"""Sizing policies for DAG workflows (paper §VII future work).
+
+DAG policies answer by function name rather than chain stage index, because
+parallel branches have no global stage order. :class:`DagJanusPolicy` is
+the late-binding adaptation policy over per-function hint tables;
+:class:`DagFixedPolicy` carries a fixed allocation map (early binding);
+:class:`DagGrandSLAMPolicy` sizes uniformly against the critical path's
+anchor-percentile latency.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as _t
+
+from ..adapter.supervisor import HitMissSupervisor
+from ..errors import PolicyError
+from ..profiling.profiles import ProfileSet
+from ..synthesis.dag import DagWorkflowHints
+from ..types import Millicores, Milliseconds
+from ..workflow.catalog import Workflow
+from ..workflow.request import WorkflowRequest
+
+__all__ = [
+    "DagSizingPolicy",
+    "DagFixedPolicy",
+    "DagGrandSLAMPolicy",
+    "DagJanusPolicy",
+]
+
+
+class DagSizingPolicy(abc.ABC):
+    """Per-function allocation decisions for DAG workflow requests."""
+
+    name: str = "dag-policy"
+    late_binding: bool = False
+
+    def begin_request(self, request: WorkflowRequest) -> None:
+        """Hook invoked when a request starts."""
+
+    @abc.abstractmethod
+    def size_for_function(
+        self,
+        function: str,
+        request: WorkflowRequest,
+        elapsed_ms: Milliseconds,
+    ) -> Millicores:
+        """Allocation for ``function``, sized when its predecessors finish."""
+
+    def end_request(self, request: WorkflowRequest) -> None:
+        """Hook invoked after the last function completes."""
+
+
+class DagFixedPolicy(DagSizingPolicy):
+    """Early binding: immutable per-function allocation map."""
+
+    def __init__(self, name: str, plan: _t.Mapping[str, Millicores]) -> None:
+        if not plan:
+            raise PolicyError("plan may not be empty")
+        if any(k <= 0 for k in plan.values()):
+            raise PolicyError(f"plan sizes must be positive: {plan}")
+        self.name = name
+        self.plan = dict(plan)
+
+    def size_for_function(
+        self,
+        function: str,
+        request: WorkflowRequest,
+        elapsed_ms: Milliseconds,
+    ) -> Millicores:
+        try:
+            return self.plan[function]
+        except KeyError:
+            raise PolicyError(f"{self.name}: no plan entry for {function!r}")
+
+    @property
+    def total_millicores(self) -> int:
+        """Sum of the fixed allocation."""
+        return sum(self.plan.values())
+
+
+class DagGrandSLAMPolicy(DagFixedPolicy):
+    """Uniform sizes against the critical path's P99 latency."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        profiles: ProfileSet,
+        slo_ms: Milliseconds | None = None,
+    ) -> None:
+        slo = float(slo_ms if slo_ms is not None else workflow.slo_ms)
+        anchor = profiles.percentiles.anchor
+        limits = workflow.limits
+        chosen: Millicores | None = None
+        for k in limits.grid():
+            weights = {
+                n: profiles[n].latency(anchor, int(k)) for n in workflow.dag.nodes
+            }
+            path = workflow.dag.critical_path(weights)
+            if sum(weights[n] for n in path) <= slo:
+                chosen = int(k)
+                break
+        if chosen is None:
+            raise PolicyError(
+                f"DagGrandSLAM: no uniform size meets SLO {slo} ms"
+            )
+        super().__init__(
+            "GrandSLAM-DAG", {n: chosen for n in workflow.dag.nodes}
+        )
+
+
+class DagJanusPolicy(DagSizingPolicy):
+    """Late binding over per-function hint tables."""
+
+    late_binding = True
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        hints: DagWorkflowHints,
+        slo_ms: Milliseconds | None = None,
+        name: str = "Janus-DAG",
+    ) -> None:
+        missing = [n for n in workflow.dag.nodes if n not in hints.tables]
+        if missing:
+            raise PolicyError(f"{name}: hints missing for {missing}")
+        self.name = name
+        self.workflow = workflow
+        self.hints = hints
+        self.slo_ms = float(slo_ms if slo_ms is not None else workflow.slo_ms)
+        self.supervisor = HitMissSupervisor()
+
+    def size_for_function(
+        self,
+        function: str,
+        request: WorkflowRequest,
+        elapsed_ms: Milliseconds,
+    ) -> Millicores:
+        budget = self.slo_ms - elapsed_ms
+        result = self.hints.table_for(function).lookup(budget)
+        self.supervisor.record(result.hit)
+        return result.size
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of table lookups that hit."""
+        return self.supervisor.hit_rate

@@ -1,0 +1,119 @@
+"""The Optimal oracle — "the best that can be achieved in any late-binding
+solution" (paper §V-A).
+
+The oracle sees each request's realised execution dynamics *in advance*
+(possible here because requests carry their pre-drawn
+:class:`InvocationDynamics`) and solves, per request, the minimum-resource
+allocation whose *actual* stage times fit the SLO:
+
+    min sum_i k_i   s.t.   sum_i t_i(k_i; request) <= SLO.
+
+Solved exactly with the same shift-and-min dynamic program as the
+synthesizer, but over actual (not percentile) durations. When even Kmax
+everywhere cannot meet the SLO (an inherently slow request), the oracle
+allocates Kmax — the violation is unavoidable for any policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PolicyError
+from ..types import Millicores, Milliseconds
+from ..workflow.catalog import Workflow
+from ..workflow.request import WorkflowRequest
+from .base import SizingPolicy
+
+__all__ = ["OraclePolicy"]
+
+
+class OraclePolicy(SizingPolicy):
+    """Per-request exhaustive-optimal allocation (clairvoyant)."""
+
+    late_binding = True
+    name = "Optimal"
+
+    def __init__(self, workflow: Workflow, slo_ms: Milliseconds | None = None) -> None:
+        self.workflow = workflow
+        self.slo_ms = float(slo_ms if slo_ms is not None else workflow.slo_ms)
+        self._plan: dict[int, list[Millicores]] = {}
+        self._k_grid = workflow.limits.grid()
+
+    # ------------------------------------------------------------------
+    def _actual_durations(self, request: WorkflowRequest) -> np.ndarray:
+        """``int64[N, K]``: ceil of actual stage time per allocation."""
+        chain = self.workflow.chain
+        rows = []
+        for fname in chain:
+            model = self.workflow.model(fname)
+            dyn = request.dynamics_for(fname)
+            times = [
+                model.execution_time(int(k), dyn, request.concurrency)
+                for k in self._k_grid
+            ]
+            rows.append(np.ceil(times).astype(np.int64))
+        return np.stack(rows)
+
+    def _solve(self, request: WorkflowRequest) -> list[Millicores]:
+        durations = self._actual_durations(request)
+        n, num_k = durations.shape
+        tmax = int(self.slo_ms)
+        size = tmax + 1
+        k_vals = self._k_grid.astype(np.float64)
+
+        cost = np.full((n, size), np.inf)
+        argk = np.full((n, size), -1, dtype=np.int32)
+        # Backward DP identical in structure to synthesis.ChainDP, with the
+        # oracle's actual durations in place of anchor-percentile ones.
+        for j in range(n - 1, -1, -1):
+            if j == n - 1:
+                for ki in range(num_k - 1, -1, -1):
+                    d = int(durations[j, ki])
+                    if d <= tmax:
+                        cost[j, d:] = k_vals[ki]
+                        argk[j, d:] = ki
+                continue
+            cand = np.full((num_k, size), np.inf)
+            for ki in range(num_k):
+                d = int(durations[j, ki])
+                if d <= tmax:
+                    cand[ki, d:] = k_vals[ki] + cost[j + 1, : size - d]
+            best = np.argmin(cand, axis=0).astype(np.int32)
+            best_cost = cand[best, np.arange(size)]
+            cost[j] = best_cost
+            argk[j] = np.where(np.isfinite(best_cost), best, -1)
+
+        if not np.isfinite(cost[0, tmax]):
+            # SLO unattainable for this request even at Kmax: burn maximum
+            # resources to finish as early as possible (any policy violates).
+            return [int(self.workflow.limits.kmax)] * n
+
+        plan: list[Millicores] = []
+        budget = tmax
+        for j in range(n):
+            ki = int(argk[j, budget])
+            plan.append(int(self._k_grid[ki]))
+            budget -= int(durations[j, ki])
+        return plan
+
+    # -- policy interface ------------------------------------------------
+    def begin_request(self, request: WorkflowRequest) -> None:
+        self._plan[request.request_id] = self._solve(request)
+
+    def size_for_stage(
+        self,
+        stage_index: int,
+        request: WorkflowRequest,
+        elapsed_ms: Milliseconds,
+    ) -> Millicores:
+        plan = self._plan.get(request.request_id)
+        if plan is None:
+            raise PolicyError(
+                f"Oracle: begin_request not called for request {request.request_id}"
+            )
+        if not 0 <= stage_index < len(plan):
+            raise PolicyError(f"Oracle: stage {stage_index} out of range")
+        return plan[stage_index]
+
+    def end_request(self, request: WorkflowRequest) -> None:
+        self._plan.pop(request.request_id, None)

@@ -1,0 +1,44 @@
+"""Developer-side profiling: L(p, k, c) tables plus timeout/resilience.
+
+Implements the Janus profiler (paper §III-B): execution-time distributions
+across percentiles, CPU sizes and concurrency levels, and the two risk
+metrics — timeout ``D(p, k)`` and resilience ``R(p, k)`` — that regulate
+hint synthesis.
+"""
+
+from .io import (
+    load_profile_set,
+    profile_from_dict,
+    profile_set_from_json,
+    profile_set_to_json,
+    profile_to_dict,
+    save_profile_set,
+)
+from .metrics import (
+    resilience,
+    resilience_curve,
+    timeout,
+    timeout_curve,
+    total_resilience,
+)
+from .profiler import Profiler, ProfilerConfig, profile_workflow
+from .profiles import LatencyProfile, ProfileSet
+
+__all__ = [
+    "LatencyProfile",
+    "ProfileSet",
+    "Profiler",
+    "ProfilerConfig",
+    "profile_workflow",
+    "timeout",
+    "resilience",
+    "timeout_curve",
+    "resilience_curve",
+    "total_resilience",
+    "profile_to_dict",
+    "profile_from_dict",
+    "profile_set_to_json",
+    "profile_set_from_json",
+    "save_profile_set",
+    "load_profile_set",
+]

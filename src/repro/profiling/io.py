@@ -1,0 +1,110 @@
+"""Persistence for latency profiles.
+
+Profiling campaigns are expensive (the developer runs them against a real
+deployment); the tables must survive to disk so synthesis can be re-run
+with different weights/budgets without re-profiling, and so hint
+regeneration (§III-D) can diff old vs. new distributions. The format is
+plain JSON — the tables are small (tens of KiB) and the hand-off crosses an
+organisational boundary where a self-describing format beats pickles.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+import numpy as np
+
+from ..errors import ProfileError
+from ..types import PercentileGrid, ResourceLimits
+from .profiles import LatencyProfile, ProfileSet
+
+__all__ = [
+    "profile_to_dict",
+    "profile_from_dict",
+    "save_profile_set",
+    "load_profile_set",
+    "profile_set_to_json",
+    "profile_set_from_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def profile_to_dict(profile: LatencyProfile) -> dict[str, _t.Any]:
+    """JSON-serialisable representation of one profile."""
+    return {
+        "function": profile.function,
+        "percentiles": list(profile.percentiles.percentiles),
+        "anchor": profile.percentiles.anchor,
+        "limits": {
+            "kmin": profile.limits.kmin,
+            "kmax": profile.limits.kmax,
+            "step": profile.limits.step,
+        },
+        "concurrencies": list(profile.concurrencies),
+        "table": profile.table.tolist(),
+    }
+
+
+def profile_from_dict(doc: _t.Mapping[str, _t.Any]) -> LatencyProfile:
+    """Inverse of :func:`profile_to_dict`."""
+    try:
+        limits = ResourceLimits(**doc["limits"])
+        grid = PercentileGrid(
+            percentiles=tuple(doc["percentiles"]), anchor=doc["anchor"]
+        )
+        return LatencyProfile(
+            function=doc["function"],
+            percentiles=grid,
+            limits=limits,
+            concurrencies=tuple(doc["concurrencies"]),
+            table=np.asarray(doc["table"], dtype=np.float64),
+        )
+    except KeyError as exc:
+        raise ProfileError(f"profile document missing field: {exc}") from exc
+
+
+def profile_set_to_json(profiles: ProfileSet) -> str:
+    """Serialise a whole profile set."""
+    return json.dumps(
+        {
+            "format_version": _FORMAT_VERSION,
+            "profiles": {
+                name: profile_to_dict(profiles[name])
+                for name in profiles.functions()
+            },
+        }
+    )
+
+
+def profile_set_from_json(text: str) -> ProfileSet:
+    """Inverse of :func:`profile_set_to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProfileError(f"invalid profile JSON: {exc}") from exc
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ProfileError(
+            f"unsupported profile format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, dict) or not profiles:
+        raise ProfileError("profile document contains no profiles")
+    return ProfileSet(
+        {name: profile_from_dict(p) for name, p in profiles.items()}
+    )
+
+
+def save_profile_set(profiles: ProfileSet, path: str) -> None:
+    """Write a profile set to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(profile_set_to_json(profiles))
+
+
+def load_profile_set(path: str) -> ProfileSet:
+    """Read a profile set from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return profile_set_from_json(fh.read())

@@ -1,0 +1,64 @@
+"""Standalone timeout / resilience metric helpers (paper §III-B, Fig. 7).
+
+These wrap :class:`LatencyProfile` lookups with the exact equation forms
+used in the paper and provide grid sweeps for the Fig. 7 reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import Millicores
+from .profiles import LatencyProfile
+
+__all__ = [
+    "timeout",
+    "resilience",
+    "timeout_curve",
+    "resilience_curve",
+    "total_resilience",
+]
+
+
+def timeout(
+    profile: LatencyProfile, p: float, k: Millicores, concurrency: int = 1
+) -> float:
+    """``D(p, k) = L(99, k) - L(p, k)`` (Eq. 1)."""
+    return profile.timeout(p, k, concurrency)
+
+
+def resilience(
+    profile: LatencyProfile, p: float, k: Millicores, concurrency: int = 1
+) -> float:
+    """``R(p, k) = L(p, k) - L(p, Kmax)`` (Eq. 2, prose sign convention)."""
+    return profile.resilience(p, k, concurrency)
+
+
+def timeout_curve(
+    profile: LatencyProfile, p: float, concurrency: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """(CPU grid, ``D(p, k)`` per size) — one Fig. 7a series."""
+    return profile.limits.grid(), profile.timeout_row(p, concurrency)
+
+
+def resilience_curve(
+    profile: LatencyProfile, p: float = 99.0, concurrency: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """(CPU grid, ``R(p, k)`` per size) — one Fig. 7b series."""
+    return profile.limits.grid(), profile.resilience_row(p, concurrency)
+
+
+def total_resilience(
+    profiles: list[LatencyProfile],
+    sizes: list[Millicores],
+    p: float = 99.0,
+    concurrency: int = 1,
+) -> float:
+    """``sum_i R_i(p, k_i)`` for an allocation — RHS of constraint Eq. 6."""
+    if len(profiles) != len(sizes):
+        raise ValueError(
+            f"profiles ({len(profiles)}) and sizes ({len(sizes)}) mismatch"
+        )
+    return float(
+        sum(prof.resilience(p, k, concurrency) for prof, k in zip(profiles, sizes))
+    )

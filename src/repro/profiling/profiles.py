@@ -1,0 +1,225 @@
+"""Latency profiles: the ``L(p, k, c)`` tables at the heart of Janus.
+
+A :class:`LatencyProfile` stores, for one function, the profiled execution
+time at every (percentile ``p``, CPU size ``k``, concurrency ``c``) grid
+point — the developer-side domain knowledge that the synthesizer turns into
+hints (paper §III-B).
+
+The table is a dense ``float64`` array indexed ``[c][p][k]`` so that the
+synthesizer's vectorised sweeps are contiguous along the CPU axis (the axis
+it scans most), per the cache-effects guidance in the hpc-parallel guides.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProfileError
+from ..types import Millicores, PercentileGrid, ResourceLimits
+
+__all__ = ["LatencyProfile", "ProfileSet"]
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Profiled execution-time distribution of one function.
+
+    Attributes
+    ----------
+    function:
+        Function name.
+    percentiles:
+        The percentile grid (must contain the anchor, P99 by default).
+    limits:
+        CPU-size grid.
+    concurrencies:
+        Batch sizes profiled (ascending, starting at 1).
+    table:
+        ``float64[c, p, k]`` execution times in ms.
+    """
+
+    function: str
+    percentiles: PercentileGrid
+    limits: ResourceLimits
+    concurrencies: tuple[int, ...]
+    table: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.table, dtype=np.float64)
+        expected = (len(self.concurrencies), len(self.percentiles), self.limits.num_options)
+        if t.shape != expected:
+            raise ProfileError(
+                f"{self.function}: table shape {t.shape} != expected {expected}"
+            )
+        if not self.concurrencies or self.concurrencies[0] != 1:
+            raise ProfileError(
+                f"{self.function}: concurrencies must start at 1: {self.concurrencies}"
+            )
+        if tuple(sorted(set(self.concurrencies))) != tuple(self.concurrencies):
+            raise ProfileError(
+                f"{self.function}: concurrencies must be ascending and unique"
+            )
+        if not np.all(np.isfinite(t)) or np.any(t <= 0):
+            raise ProfileError(f"{self.function}: table must be finite and positive")
+        object.__setattr__(self, "table", t)
+
+    # -- index helpers ------------------------------------------------------
+    def _c_index(self, concurrency: int) -> int:
+        try:
+            return self.concurrencies.index(int(concurrency))
+        except ValueError:
+            raise ProfileError(
+                f"{self.function}: concurrency {concurrency} not profiled "
+                f"(have {self.concurrencies})"
+            )
+
+    def _k_index(self, k: Millicores) -> int:
+        if not self.limits.contains(k):
+            raise ProfileError(
+                f"{self.function}: size {k} not on the profiled grid {self.limits}"
+            )
+        return (int(k) - self.limits.kmin) // self.limits.step
+
+    # -- lookups --------------------------------------------------------------
+    def latency(self, p: float, k: Millicores, concurrency: int = 1) -> float:
+        """``L(p, k)`` at the given concurrency (exact grid lookup)."""
+        ci = self._c_index(concurrency)
+        pi = self.percentiles.index_of(p)
+        ki = self._k_index(k)
+        return float(self.table[ci, pi, ki])
+
+    def latency_row(self, p: float, concurrency: int = 1) -> np.ndarray:
+        """``L(p, ·)`` over the whole CPU grid.
+
+        Returns a *view* into the table (no copy — callers must not mutate),
+        following the "views, not copies" guidance for hot paths.
+        """
+        ci = self._c_index(concurrency)
+        pi = self.percentiles.index_of(p)
+        return self.table[ci, pi, :]
+
+    def anchor_row(self, concurrency: int = 1) -> np.ndarray:
+        """``L(P99, ·)`` — the anchor-percentile row."""
+        return self.latency_row(self.percentiles.anchor, concurrency)
+
+    def plane(self, concurrency: int = 1) -> np.ndarray:
+        """``L(·, ·)`` — the full (percentile x CPU) plane at a concurrency."""
+        return self.table[self._c_index(concurrency)]
+
+    # -- paper metrics (§III-B) -------------------------------------------
+    def timeout(self, p: float, k: Millicores, concurrency: int = 1) -> float:
+        """``D(p, k) = L(99, k) - L(p, k)`` — potential over-time execution."""
+        return self.latency(self.percentiles.anchor, k, concurrency) - self.latency(
+            p, k, concurrency
+        )
+
+    def resilience(self, p: float, k: Millicores, concurrency: int = 1) -> float:
+        """``R(p, k) = L(p, k) - L(p, Kmax)`` — absorbable reduction.
+
+        Sign convention follows the paper's prose ("achievable reduction in
+        function execution time by scaling resource up to the maximum"), so
+        the value is always >= 0; see DESIGN.md §1.
+        """
+        return self.latency(p, k, concurrency) - self.latency(
+            p, self.limits.kmax, concurrency
+        )
+
+    def timeout_row(self, p: float, concurrency: int = 1) -> np.ndarray:
+        """``D(p, ·)`` over the CPU grid."""
+        return self.anchor_row(concurrency) - self.latency_row(p, concurrency)
+
+    def resilience_row(self, p: float, concurrency: int = 1) -> np.ndarray:
+        """``R(p, ·)`` over the CPU grid."""
+        row = self.latency_row(p, concurrency)
+        return row - row[-1]
+
+    # -- bounds (paper Eq. 3) ------------------------------------------------
+    def min_latency(self, concurrency: int = 1) -> float:
+        """``L(P1, Kmax)`` — the fastest profiled execution."""
+        return float(self.plane(concurrency)[0, -1])
+
+    def max_latency(self, concurrency: int = 1) -> float:
+        """``L(P99, Kmin)`` — the slowest profiled execution."""
+        return float(self.plane(concurrency)[-1, 0])
+
+    # -- hygiene --------------------------------------------------------------
+    def enforce_monotone(self) -> "LatencyProfile":
+        """Return a copy with sampling noise removed from the grid.
+
+        Physical constraints: latency is non-increasing in CPU size and
+        non-decreasing in percentile. Finite-sample percentile estimates can
+        violate both by small amounts; this projects the table onto the
+        monotone cone (cumulative min along k, cumulative max along p).
+        """
+        t = self.table.copy()
+        t = np.minimum.accumulate(t, axis=2)  # non-increasing in k
+        t = np.maximum.accumulate(t, axis=1)  # non-decreasing in p
+        return LatencyProfile(
+            function=self.function,
+            percentiles=self.percentiles,
+            limits=self.limits,
+            concurrencies=self.concurrencies,
+            table=t,
+        )
+
+    def is_monotone(self, atol: float = 1e-9) -> bool:
+        """True when the table satisfies both monotonicity constraints."""
+        dec_k = np.all(np.diff(self.table, axis=2) <= atol)
+        inc_p = np.all(np.diff(self.table, axis=1) >= -atol)
+        return bool(dec_k and inc_p)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the table (for the §V-H footprint experiment)."""
+        return int(self.table.nbytes)
+
+
+class ProfileSet:
+    """Profiles for every function of a workflow, keyed by name."""
+
+    def __init__(self, profiles: _t.Mapping[str, LatencyProfile]) -> None:
+        if not profiles:
+            raise ProfileError("profile set may not be empty")
+        limits = {p.limits for p in profiles.values()}
+        if len(limits) != 1:
+            raise ProfileError("all profiles must share one resource grid")
+        grids = {p.percentiles.percentiles for p in profiles.values()}
+        if len(grids) != 1:
+            raise ProfileError("all profiles must share one percentile grid")
+        self._profiles = dict(profiles)
+
+    def __getitem__(self, function: str) -> LatencyProfile:
+        try:
+            return self._profiles[function]
+        except KeyError:
+            raise ProfileError(f"no profile for function {function!r}")
+
+    def __contains__(self, function: str) -> bool:
+        return function in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def functions(self) -> list[str]:
+        """Profiled function names."""
+        return list(self._profiles)
+
+    @property
+    def limits(self) -> ResourceLimits:
+        """The shared CPU-size grid."""
+        return next(iter(self._profiles.values())).limits
+
+    @property
+    def percentiles(self) -> PercentileGrid:
+        """The shared percentile grid."""
+        return next(iter(self._profiles.values())).percentiles
+
+    def memory_bytes(self) -> int:
+        """Total table bytes across functions."""
+        return sum(p.memory_bytes() for p in self._profiles.values())
+
+    def for_chain(self, chain: _t.Sequence[str]) -> list[LatencyProfile]:
+        """Profiles along a chain, in order."""
+        return [self[name] for name in chain]

@@ -1,0 +1,18 @@
+"""Execution backends and experiment drivers."""
+
+from .driver import POLICY_ORDER, build_policy_suite, compare, run_policies
+from .batching import BatchingExecutor
+from .dag_executor import DagAnalyticExecutor
+from .executor import AnalyticExecutor
+from .results import RunResult
+
+__all__ = [
+    "AnalyticExecutor",
+    "DagAnalyticExecutor",
+    "BatchingExecutor",
+    "RunResult",
+    "build_policy_suite",
+    "run_policies",
+    "compare",
+    "POLICY_ORDER",
+]

@@ -1,0 +1,155 @@
+"""Dynamic request batching in front of a workflow.
+
+The paper's concurrency dimension (batch sizes 1-3, Fig. 4/5b) assumes a
+batching front end like GrandSLAM's [41] or BATCH's [29]: requests arriving
+close together coalesce into one batch that traverses the chain as a unit,
+trading queueing delay for per-request efficiency. This module implements
+that front end for the analytic backend:
+
+* a batch dispatches when it reaches ``max_batch`` requests or when its
+  oldest member has waited ``max_wait_ms`` (classic size-or-timeout rule);
+* each stage of a batch runs once at the batch's concurrency; its duration
+  is the *slowest member's* execution time (the batch completes together);
+* sizing decisions see the *oldest* member's elapsed time — the most
+  SLO-constrained request governs the allocation;
+* per-request end-to-end latency includes the queue wait, and per-request
+  resource accounting amortises the batch's allocation over its members.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ExperimentError
+from ..policies.base import SizingPolicy
+from ..workflow.catalog import Workflow
+from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
+from .results import RunResult
+
+__all__ = ["BatchingExecutor"]
+
+
+class BatchingExecutor:
+    """Analytic executor with a size-or-timeout batching front end."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        max_batch: int | None = None,
+        max_wait_ms: float = 200.0,
+    ) -> None:
+        max_batch = int(
+            max_batch if max_batch is not None else workflow.max_concurrency
+        )
+        if max_batch < 1:
+            raise ExperimentError(f"max_batch must be >= 1, got {max_batch}")
+        if max_batch > 1:
+            non_batchable = [
+                n for n in workflow.chain if not workflow.model(n).batchable
+            ]
+            if non_batchable:
+                raise ExperimentError(
+                    f"batching requires batchable functions; {non_batchable} "
+                    f"are not (paper: VA is pinned to concurrency 1)"
+                )
+        if max_wait_ms < 0:
+            raise ExperimentError(f"max_wait must be >= 0, got {max_wait_ms}")
+        self.workflow = workflow
+        self.max_batch = max_batch
+        self.max_wait_ms = float(max_wait_ms)
+
+    # ------------------------------------------------------------------
+    def form_batches(
+        self, requests: _t.Sequence[WorkflowRequest]
+    ) -> list[list[WorkflowRequest]]:
+        """Greedy size-or-timeout batching over the arrival sequence."""
+        ordered = sorted(requests, key=lambda r: r.arrival_ms)
+        batches: list[list[WorkflowRequest]] = []
+        current: list[WorkflowRequest] = []
+        for req in ordered:
+            if not current:
+                current = [req]
+                continue
+            window_closes = current[0].arrival_ms + self.max_wait_ms
+            if len(current) < self.max_batch and req.arrival_ms <= window_closes:
+                current.append(req)
+            else:
+                batches.append(current)
+                current = [req]
+        if current:
+            batches.append(current)
+        return batches
+
+    def _run_batch(
+        self, policy: SizingPolicy, batch: list[WorkflowRequest]
+    ) -> list[RequestOutcome]:
+        chain = self.workflow.chain
+        limits = self.workflow.limits
+        oldest = batch[0]
+        # Dispatch when full, or when the oldest member's wait expires.
+        if len(batch) == self.max_batch:
+            dispatch = max(r.arrival_ms for r in batch)
+        else:
+            dispatch = oldest.arrival_ms + self.max_wait_ms
+
+        for req in batch:
+            policy.begin_request(req)
+        elapsed = dispatch - oldest.arrival_ms  # oldest member's clock
+        stage_records: list[list[StageRecord]] = [[] for _ in batch]
+        now = dispatch
+        for i, fname in enumerate(chain):
+            size = limits.clamp(policy.size_for_stage(i, oldest, elapsed))
+            model = self.workflow.model(fname)
+            # The batch finishes a stage when its slowest member does.
+            exec_ms = max(
+                model.execution_time(
+                    size, req.dynamics_for(fname), concurrency=len(batch)
+                )
+                for req in batch
+            )
+            for records in stage_records:
+                records.append(
+                    StageRecord(
+                        function=fname, size=size,
+                        start_ms=now, end_ms=now + exec_ms,
+                    )
+                )
+            now += exec_ms
+            elapsed += exec_ms
+        for req in batch:
+            policy.end_request(req)
+        return [
+            RequestOutcome(
+                request_id=req.request_id,
+                arrival_ms=req.arrival_ms,
+                slo_ms=req.slo_ms,
+                stages=records,
+            )
+            for req, records in zip(batch, stage_records)
+        ]
+
+    def run(
+        self, policy: SizingPolicy, requests: _t.Sequence[WorkflowRequest]
+    ) -> RunResult:
+        """Serve a stream through the batching front end."""
+        if not requests:
+            raise ExperimentError("request stream is empty")
+        batches = self.form_batches(requests)
+        outcomes: list[RequestOutcome] = []
+        amortized: list[float] = []
+        for batch in batches:
+            batch_outcomes = self._run_batch(policy, batch)
+            outcomes.extend(batch_outcomes)
+            share = batch_outcomes[0].allocated_millicores / len(batch)
+            amortized.extend([share] * len(batch))
+        outcomes.sort(key=lambda o: o.request_id)
+        mean_batch = len(requests) / len(batches)
+        return RunResult(
+            policy_name=policy.name,
+            outcomes=outcomes,
+            extras={
+                "mean_batch_size": mean_batch,
+                "num_batches": len(batches),
+                "mean_amortized_millicores": sum(amortized) / len(amortized),
+            },
+        )

@@ -1,0 +1,113 @@
+"""Experiment driver: build the standard policy suite and compare them."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ExperimentError, PolicyError
+from ..policies.base import SizingPolicy
+from ..policies.early_binding import GrandSLAMPlusPolicy, GrandSLAMPolicy
+from ..policies.janus import janus, janus_minus, janus_plus
+from ..policies.oracle import OraclePolicy
+from ..policies.orion import OrionPolicy
+from ..profiling.profiles import ProfileSet
+from ..synthesis.budget import BudgetRange
+from ..types import Milliseconds
+from ..workflow.catalog import Workflow
+from ..workflow.request import WorkflowRequest
+from .executor import AnalyticExecutor
+from .results import RunResult
+
+__all__ = ["build_policy_suite", "run_policies", "compare"]
+
+#: Canonical policy order used in the paper's figures.
+POLICY_ORDER = [
+    "Optimal",
+    "ORION",
+    "Janus-",
+    "Janus+",
+    "Janus",
+    "GrandSLAM+",
+    "GrandSLAM",
+]
+
+
+def build_policy_suite(
+    workflow: Workflow,
+    profiles: ProfileSet,
+    budget: BudgetRange | None = None,
+    concurrency: int = 1,
+    weight: float = 1.0,
+    slo_ms: Milliseconds | None = None,
+    include: _t.Sequence[str] | None = None,
+) -> dict[str, SizingPolicy]:
+    """Instantiate the evaluation's seven systems (or a subset).
+
+    Policies whose offline planning finds the SLO infeasible are skipped
+    with a note rather than aborting the whole comparison.
+    """
+    wanted = list(include) if include is not None else list(POLICY_ORDER)
+    builders: dict[str, _t.Callable[[], SizingPolicy]] = {
+        "Optimal": lambda: OraclePolicy(workflow, slo_ms=slo_ms),
+        "ORION": lambda: OrionPolicy(
+            workflow, profiles, concurrency=concurrency, slo_ms=slo_ms
+        ),
+        "GrandSLAM": lambda: GrandSLAMPolicy(
+            workflow, profiles, concurrency=concurrency, slo_ms=slo_ms
+        ),
+        "GrandSLAM+": lambda: GrandSLAMPlusPolicy(
+            workflow, profiles, concurrency=concurrency, slo_ms=slo_ms
+        ),
+        "Janus": lambda: janus(
+            workflow, profiles, budget=budget, concurrency=concurrency,
+            weight=weight, slo_ms=slo_ms,
+        ),
+        "Janus-": lambda: janus_minus(
+            workflow, profiles, budget=budget, concurrency=concurrency,
+            weight=weight, slo_ms=slo_ms,
+        ),
+        "Janus+": lambda: janus_plus(
+            workflow, profiles, budget=budget, concurrency=concurrency,
+            weight=weight, slo_ms=slo_ms,
+        ),
+    }
+    unknown = [name for name in wanted if name not in builders]
+    if unknown:
+        raise ExperimentError(f"unknown policies requested: {unknown}")
+    suite: dict[str, SizingPolicy] = {}
+    for name in wanted:
+        try:
+            suite[name] = builders[name]()
+        except PolicyError:
+            # Infeasible early-binding plan under this SLO — skip, as the
+            # paper does when a baseline cannot be configured.
+            continue
+    if not suite:
+        raise ExperimentError("no policy could be built for this configuration")
+    return suite
+
+
+def run_policies(
+    workflow: Workflow,
+    policies: _t.Mapping[str, SizingPolicy],
+    requests: _t.Sequence[WorkflowRequest],
+) -> dict[str, RunResult]:
+    """Serve the same stream with every policy."""
+    executor = AnalyticExecutor(workflow)
+    return {name: executor.run(policy, requests) for name, policy in policies.items()}
+
+
+def compare(
+    results: _t.Mapping[str, RunResult],
+    baseline: str = "Optimal",
+) -> dict[str, dict[str, float]]:
+    """Summaries plus CPU normalised by ``baseline`` for every policy."""
+    if baseline not in results:
+        raise ExperimentError(f"baseline {baseline!r} missing from results")
+    base = results[baseline]
+    out: dict[str, dict[str, float]] = {}
+    for name, res in results.items():
+        row = res.summary()
+        row["normalized_cpu"] = res.normalized_cpu(base)
+        out[name] = row
+    return out

@@ -1,0 +1,89 @@
+"""Run results: outcome collections with the paper's summary metrics."""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..workflow.request import RequestOutcome
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcomes of serving one request stream with one policy."""
+
+    policy_name: str
+    outcomes: list[RequestOutcome]
+    extras: dict[str, _t.Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            raise ExperimentError(f"{self.policy_name}: no outcomes recorded")
+
+    # -- latency ---------------------------------------------------------------
+    def e2e_ms(self) -> np.ndarray:
+        """End-to-end latencies of all requests."""
+        return np.asarray([o.e2e_ms for o in self.outcomes], dtype=np.float64)
+
+    def e2e_percentile(self, p: float) -> float:
+        """Percentile of the end-to-end latency distribution."""
+        return float(np.percentile(self.e2e_ms(), p))
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of requests exceeding their SLO."""
+        return float(np.mean([not o.slo_met for o in self.outcomes]))
+
+    def slacks(self) -> np.ndarray:
+        """Per-request slack ``1 - l/T``."""
+        return np.asarray([o.slack for o in self.outcomes], dtype=np.float64)
+
+    # -- resources ----------------------------------------------------------
+    def allocated(self) -> np.ndarray:
+        """Per-request total allocated millicores (the Fig. 5 metric)."""
+        return np.asarray(
+            [o.allocated_millicores for o in self.outcomes], dtype=np.float64
+        )
+
+    @property
+    def mean_allocated(self) -> float:
+        """Average allocated millicores per request."""
+        return float(self.allocated().mean())
+
+    @property
+    def mean_millicore_ms(self) -> float:
+        """Average resource-time product per request."""
+        return float(np.mean([o.millicore_ms for o in self.outcomes]))
+
+    def normalized_cpu(self, baseline: "RunResult") -> float:
+        """Mean allocation normalised by a baseline (the paper normalises by
+        Optimal)."""
+        denom = baseline.mean_allocated
+        if denom <= 0:
+            raise ExperimentError("baseline has zero mean allocation")
+        return self.mean_allocated / denom
+
+    def reduction_vs(self, other: "RunResult", baseline: "RunResult") -> float:
+        """Paper Table I metric: resource reduction of *self* vs. *other*,
+        normalised by ``baseline`` (Optimal):
+        ``(other - self) / baseline``, as a fraction."""
+        denom = baseline.mean_allocated
+        if denom <= 0:
+            raise ExperimentError("baseline has zero mean allocation")
+        return (other.mean_allocated - self.mean_allocated) / denom
+
+    # -- presentation ---------------------------------------------------------
+    def summary(self) -> dict[str, float]:
+        """Headline metrics as a plain dict."""
+        return {
+            "mean_allocated_millicores": self.mean_allocated,
+            "p50_e2e_ms": self.e2e_percentile(50),
+            "p99_e2e_ms": self.e2e_percentile(99),
+            "violation_rate": self.violation_rate,
+            "mean_slack": float(self.slacks().mean()),
+        }

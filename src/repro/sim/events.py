@@ -1,0 +1,156 @@
+"""Core event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic event-list design (as used by SimPy and most
+HPC network/cluster simulators): an :class:`Event` is a one-shot triggerable
+object carrying a value; callbacks registered on an event run when the
+simulator pops it off the event heap.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import SimulationError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf"]
+
+
+class Event:
+    """A one-shot occurrence inside a simulation.
+
+    Lifecycle: *pending* -> *triggered* (scheduled on the heap) ->
+    *processed* (callbacks ran). An event may only be triggered once.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_triggered", "_processed", "_ok")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[_t.Callable[["Event"], None]] = []
+        self._value: _t.Any = None
+        self._triggered = False
+        self._processed = False
+        self._ok = True
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled for processing."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """False when the event carries a failure (see :meth:`fail`)."""
+        return self._ok
+
+    @property
+    def value(self) -> _t.Any:
+        """The payload the event was triggered with."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: _t.Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` sim-time units."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as a failure carrying ``exception``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def _process(self) -> None:
+        """Run callbacks; invoked by the simulator only."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: _t.Callable[["Event"], None]) -> None:
+        """Register ``cb`` to run when the event is processed.
+
+        If the event was already processed the callback runs immediately,
+        so late subscribers never deadlock.
+        """
+        if self._processed:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: _t.Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self.succeed(value=value, delay=delay)
+
+
+class AllOf(Event):
+    """Composite event that triggers when all child events have processed."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim: "Simulator", events: _t.Sequence[Event]) -> None:
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            self.succeed(value=[])
+            return
+        results: list[_t.Any] = [None] * len(events)
+
+        def _make(idx: int) -> _t.Callable[[Event], None]:
+            def _cb(ev: Event) -> None:
+                results[idx] = ev.value
+                self._pending -= 1
+                if self._pending == 0 and not self.triggered:
+                    self.succeed(value=results)
+
+            return _cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(_make(i))
+
+
+class AnyOf(Event):
+    """Composite event that triggers when any child event processes."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: _t.Sequence[Event]) -> None:
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+
+        def _cb(ev: Event) -> None:
+            if not self.triggered:
+                self.succeed(value=ev.value)
+
+        for ev in events:
+            ev.add_callback(_cb)

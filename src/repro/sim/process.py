@@ -1,0 +1,85 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects; the process suspends until each yielded event fires, receiving the
+event's value at the ``yield`` expression. The process itself is an event
+that fires with the generator's return value, so processes compose (a parent
+may ``yield`` a child process).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import SimulationError
+from .events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """An event wrapping a running generator coroutine."""
+
+    __slots__ = ("_generator",)
+
+    def __init__(
+        self, sim: "Simulator", generator: _t.Generator[Event, _t.Any, _t.Any]
+    ) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process requires a generator, got {type(generator).__name__}"
+            )
+        self._generator = generator
+        # Kick off at the current simulation time via an immediate event.
+        start = Event(sim)
+        start.add_callback(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the trigger's value (or exception)."""
+        try:
+            if trigger.ok:
+                target = self._generator.send(trigger.value)
+            else:
+                target = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            self.succeed(value=stop.value)
+            return
+        except BaseException as exc:  # propagate through the process event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            # Misuse: close the generator and surface a clear error.
+            self._generator.close()
+            self.fail(
+                SimulationError(
+                    f"process yielded {type(target).__name__}, expected Event"
+                )
+            )
+            return
+        target.add_callback(self._resume)
+
+    def interrupt(self, cause: _t.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        ev = Event(self.sim)
+        ev.add_callback(self._resume)
+        ev.fail(Interrupt(cause))
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: _t.Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause

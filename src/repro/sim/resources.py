@@ -1,0 +1,114 @@
+"""Shared-resource primitives for the simulation kernel.
+
+:class:`CapacityResource` models a divisible resource (e.g. a VM's
+millicores) with FIFO granting; :class:`Store` models a pool of discrete
+items (e.g. warm pods). Both integrate with the event system: acquisition
+returns an event the caller yields on.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as _t
+
+from ..errors import SimulationError
+from .events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+
+__all__ = ["CapacityResource", "Store"]
+
+
+class CapacityResource:
+    """A divisible resource with fixed total capacity and FIFO queueing."""
+
+    def __init__(self, sim: "Simulator", capacity: float) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be > 0, got {capacity}")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self._in_use = 0.0
+        self._waiters: collections.deque[tuple[float, Event]] = collections.deque()
+
+    @property
+    def in_use(self) -> float:
+        """Currently granted amount."""
+        return self._in_use
+
+    @property
+    def available(self) -> float:
+        """Remaining ungranted capacity."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending acquisition requests."""
+        return len(self._waiters)
+
+    def acquire(self, amount: float) -> Event:
+        """Request ``amount`` of the resource; yields when granted."""
+        if amount <= 0:
+            raise SimulationError(f"acquire amount must be > 0, got {amount}")
+        if amount > self.capacity:
+            raise SimulationError(
+                f"requested {amount} exceeds total capacity {self.capacity}"
+            )
+        ev = Event(self.sim)
+        self._waiters.append((float(amount), ev))
+        self._grant()
+        return ev
+
+    def release(self, amount: float) -> None:
+        """Return ``amount`` previously acquired."""
+        if amount <= 0:
+            raise SimulationError(f"release amount must be > 0, got {amount}")
+        if amount > self._in_use + 1e-9:
+            raise SimulationError(
+                f"releasing {amount} but only {self._in_use} in use"
+            )
+        self._in_use = max(0.0, self._in_use - float(amount))
+        self._grant()
+
+    def _grant(self) -> None:
+        # Strict FIFO: head-of-line blocking is intentional (matches how a
+        # kubelet admits pods on a node in request order).
+        while self._waiters:
+            amount, ev = self._waiters[0]
+            if amount > self.available + 1e-9:
+                break
+            self._waiters.popleft()
+            self._in_use += amount
+            ev.succeed(value=amount)
+
+
+class Store:
+    """FIFO store of discrete items (e.g. warm function pods)."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._items: collections.deque[_t.Any] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: _t.Any) -> None:
+        """Add an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(value=item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event yielding the next item (immediately if one is stocked)."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(value=self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> _t.Any | None:
+        """Non-blocking pop: an item or ``None`` when empty."""
+        return self._items.popleft() if self._items else None

@@ -1,0 +1,36 @@
+"""The Janus synthesizer: hint generation (Algorithm 1) + condensing (Algorithm 2).
+
+Turns developer-side latency profiles into the compact
+``<Tstart, Tend, size>`` hint tables the provider-side adapter consults at
+runtime. See DESIGN.md §3 for the vectorisation strategy.
+"""
+
+from .budget import BudgetRange, budget_range_for_chain
+from .condenser import condense
+from .dag import DagWorkflowHints, downstream_chain, synthesize_dag_hints
+from .dp import ChainDP
+from .generator import (
+    HeadExploration,
+    HintSynthesizer,
+    SynthesisConfig,
+    synthesize_hints,
+)
+from .hints import CondensedHintsTable, LookupResult, RawHints, WorkflowHints
+
+__all__ = [
+    "BudgetRange",
+    "budget_range_for_chain",
+    "ChainDP",
+    "condense",
+    "DagWorkflowHints",
+    "synthesize_dag_hints",
+    "downstream_chain",
+    "HeadExploration",
+    "SynthesisConfig",
+    "HintSynthesizer",
+    "synthesize_hints",
+    "RawHints",
+    "CondensedHintsTable",
+    "LookupResult",
+    "WorkflowHints",
+]

@@ -1,0 +1,62 @@
+"""Hints condensing — Algorithm 2 (paper §IV-B).
+
+Raw hint tables carry one entry per millisecond of budget, but resource
+adaptation is discrete (Insight-5: CPU steps of 100 millicores), so long
+runs of consecutive budgets share the same head size. Condensing fuses each
+run into one ``<Tstart, Tend, size>`` row and drops the non-head fields
+(Insight-6), achieving the paper's ~99% compression.
+
+The scan is vectorised: run boundaries are ``np.flatnonzero(np.diff(sizes))``
+rather than the paper's element-by-element loop — identical output, O(T)
+vector work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SynthesisError
+from ..types import Millicores
+from .hints import CondensedHintsTable, RawHints
+
+__all__ = ["condense"]
+
+
+def condense(
+    raw: RawHints,
+    kmax: Millicores,
+    clamp_above: bool = True,
+) -> CondensedHintsTable:
+    """Condense raw per-budget hints into interval rows.
+
+    Only the feasible region is condensed; budgets below the first feasible
+    budget become misses at lookup time (the adapter scales to ``kmax``).
+    """
+    mask = raw.feasible_mask
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        raise SynthesisError(
+            f"no feasible budget in [{raw.tmin_ms}, {raw.tmax_ms}] for "
+            f"suffix {raw.suffix_index} ({raw.head_function})"
+        )
+    first = int(idx[0])
+    if not np.all(mask[first:]):
+        # Feasibility is an upper set in the budget: once a budget admits a
+        # plan, every larger budget does too. A hole indicates a broken DP.
+        raise SynthesisError("feasible region is not contiguous")
+
+    sizes = raw.head_sizes[first:]
+    budgets = np.arange(raw.tmin_ms + first, raw.tmax_ms + 1, dtype=np.int64)
+    # Boundaries where the head size changes between consecutive budgets.
+    change = np.flatnonzero(np.diff(sizes)) + 1
+    starts_idx = np.concatenate(([0], change))
+    ends_idx = np.concatenate((change - 1, [sizes.size - 1]))
+    return CondensedHintsTable(
+        suffix_index=raw.suffix_index,
+        head_function=raw.head_function,
+        starts=budgets[starts_idx],
+        ends=budgets[ends_idx],
+        sizes=sizes[starts_idx].astype(np.int32),
+        kmax=kmax,
+        clamp_above=clamp_above,
+    )

@@ -1,0 +1,161 @@
+"""Hint synthesis for general DAG workflows (paper §VII future work).
+
+The paper evaluates chains and names "support for more complex workflows"
+as future work. This module extends hint synthesis to arbitrary DAGs with
+branching and parallel execution:
+
+* Every function gets its own condensed table, synthesized for the chain
+  formed by that function followed by the *critical path* of its downstream
+  sub-DAG (weighted by anchor-percentile execution time at ``Kmin`` — the
+  latency-dominant continuation the budget must cover).
+* At runtime the adapter sizes a function when all its predecessors have
+  finished, using the remaining budget ``SLO - elapsed`` against the
+  function's own table. Functions on parallel branches are sized
+  independently — each sees the same budget, and the SLO is governed by the
+  slowest branch, which is exactly the critical path the tables were built
+  for.
+
+This is conservative for off-critical-path branches (they could afford
+smaller allocations than their table suggests only when their branch is
+much shorter — in that case their table's generous-budget rows already
+assign ``Kmin``), and exact for the critical path itself, degenerating to
+the paper's per-suffix tables when the DAG is a chain.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as _t
+from dataclasses import dataclass, field
+
+from ..errors import SynthesisError
+from ..profiling.profiles import ProfileSet
+from ..workflow.catalog import Workflow
+from ..workflow.dag import WorkflowDAG
+from .budget import BudgetRange, budget_range_for_chain
+from .dp import ChainDP
+from .generator import HintSynthesizer, SynthesisConfig
+from .hints import CondensedHintsTable
+
+__all__ = ["DagWorkflowHints", "synthesize_dag_hints", "downstream_chain"]
+
+
+def downstream_chain(
+    dag: WorkflowDAG,
+    function: str,
+    weights: _t.Mapping[str, float],
+) -> list[str]:
+    """``[function] +`` the heaviest path through its downstream sub-DAG."""
+    if function not in dag:
+        raise SynthesisError(f"unknown function {function!r}")
+    # Critical path of the sub-DAG reachable from `function`.
+    reachable = {function}
+    frontier = [function]
+    while frontier:
+        node = frontier.pop()
+        for succ in dag.successors(node):
+            if succ not in reachable:
+                reachable.add(succ)
+                frontier.append(succ)
+    sub = dag.subgraph(reachable)
+    path = sub.critical_path({n: float(weights[n]) for n in sub.nodes})
+    if path[0] != function:
+        # The critical path of the reachable sub-DAG always starts at
+        # `function` because every node is reachable from it.
+        raise SynthesisError(
+            f"internal error: critical path {path} does not start at {function!r}"
+        )
+    return path
+
+
+@dataclass
+class DagWorkflowHints:
+    """Per-function condensed tables for a DAG workflow."""
+
+    workflow_name: str
+    tables: dict[str, CondensedHintsTable]
+    chains: dict[str, tuple[str, ...]]
+    synthesis_seconds: float = 0.0
+    metadata: dict[str, _t.Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise SynthesisError("DAG hints require at least one table")
+        missing = set(self.tables) ^ set(self.chains)
+        if missing:
+            raise SynthesisError(f"tables/chains key mismatch: {missing}")
+
+    def table_for(self, function: str) -> CondensedHintsTable:
+        """The condensed table whose head is ``function``."""
+        try:
+            return self.tables[function]
+        except KeyError:
+            raise SynthesisError(f"no hints for function {function!r}")
+
+    @property
+    def total_rows(self) -> int:
+        """Condensed rows across all functions."""
+        return sum(len(t) for t in self.tables.values())
+
+    def memory_bytes(self) -> int:
+        """Bytes across all tables."""
+        return sum(t.memory_bytes() for t in self.tables.values())
+
+
+def synthesize_dag_hints(
+    workflow: Workflow,
+    profiles: ProfileSet,
+    budget: BudgetRange | None = None,
+    concurrency: int = 1,
+    weight: float = 1.0,
+) -> DagWorkflowHints:
+    """Synthesize per-function hint tables for a (possibly branching) DAG.
+
+    For chain workflows this produces exactly the per-suffix tables of
+    :func:`~repro.synthesis.generator.synthesize_hints` (one per stage).
+    """
+    start = time.perf_counter()
+    dag = workflow.dag
+    anchor = profiles.percentiles.anchor
+    weights = {
+        n: profiles[n].latency(anchor, workflow.limits.kmin, concurrency)
+        for n in dag.nodes
+    }
+    tables: dict[str, CondensedHintsTable] = {}
+    chains: dict[str, tuple[str, ...]] = {}
+    for function in dag.nodes:
+        chain = downstream_chain(dag, function, weights)
+        chain_profiles = profiles.for_chain(chain)
+        chain_budget = budget_range_for_chain(chain_profiles, concurrency)
+        if budget is not None:
+            chain_budget = BudgetRange(
+                tmin_ms=min(chain_budget.tmin_ms, budget.tmin_ms),
+                tmax_ms=max(chain_budget.tmax_ms, budget.tmax_ms),
+            )
+        synth = HintSynthesizer(
+            profiles, chain, SynthesisConfig(weight=weight)
+        )
+        dp = ChainDP(chain_profiles, chain_budget.tmax_ms, concurrency)
+        raw = synth.synthesize_suffix(0, dp, chain_budget, concurrency)
+        from .condenser import condense
+
+        table = condense(raw, workflow.limits.kmax)
+        # Re-key the table by head function (suffix index is meaningless in
+        # the DAG setting; keep 0 so validation stays trivial).
+        tables[function] = CondensedHintsTable(
+            suffix_index=0,
+            head_function=function,
+            starts=table.starts,
+            ends=table.ends,
+            sizes=table.sizes,
+            kmax=table.kmax,
+            clamp_above=table.clamp_above,
+        )
+        chains[function] = tuple(chain)
+    return DagWorkflowHints(
+        workflow_name=workflow.name,
+        tables=tables,
+        chains=chains,
+        synthesis_seconds=time.perf_counter() - start,
+        metadata={"weight": weight, "concurrency": concurrency},
+    )

@@ -1,0 +1,193 @@
+"""Vectorised minimum-resource dynamic program over chain suffixes.
+
+This is the computational core of hint generation. The naive Algorithm 1
+recursion evaluates ``generate(F \\ f1, t - L1(p, k), {P99})`` for every
+(budget, percentile, size) triple — O(|T| * |P| * |K|^N) scalar work. We
+exploit two structural facts:
+
+1. With non-head functions pinned to the anchor percentile (Insight-2), the
+   downstream subproblem depends *only* on the remaining integral budget.
+2. The budget axis is a regular 1 ms grid, so "solve for every budget" is a
+   shift-and-minimum over NumPy arrays rather than a per-budget loop.
+
+For every suffix ``(f_j, ..., f_N)`` we tabulate, over all integral budgets
+``t in [0, tmax]``:
+
+* ``cost[j][t]``  — minimum total millicores ``sum_i k_i`` such that
+  ``sum_i L_i(P99, k_i) <= t`` (``inf`` when infeasible),
+* ``resil[j][t]`` — total resilience ``sum_i R_i(P99, k_i)`` of that argmin
+  allocation (the RHS of constraint Eq. 6),
+* ``head_k[j][t]`` — the suffix head's size index in the argmin allocation,
+
+using the recurrence ``cost[j][t] = min_k (k + cost[j+1][t - d_j(k)])`` where
+``d_j(k) = ceil(L_j(P99, k))``. Each suffix costs O(|K| * tmax) vector work:
+microseconds-per-budget instead of the naive exhaustive search.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..errors import SynthesisError
+from ..profiling.profiles import LatencyProfile
+
+__all__ = ["ChainDP"]
+
+_INF = np.inf
+
+
+class ChainDP:
+    """Suffix allocation tables for one chain at one concurrency level."""
+
+    def __init__(
+        self,
+        profiles: _t.Sequence[LatencyProfile],
+        tmax_ms: int,
+        concurrency: int = 1,
+    ) -> None:
+        if not profiles:
+            raise SynthesisError("chain must contain at least one function")
+        if tmax_ms < 0:
+            raise SynthesisError(f"tmax must be >= 0, got {tmax_ms}")
+        limits = profiles[0].limits
+        for prof in profiles:
+            if prof.limits != limits:
+                raise SynthesisError("all profiles must share one CPU grid")
+        self.profiles = list(profiles)
+        self.limits = limits
+        self.concurrency = int(concurrency)
+        self.tmax_ms = int(tmax_ms)
+        self.k_grid = limits.grid()  # int64[K]
+        n = len(self.profiles)
+        size = self.tmax_ms + 1
+
+        # Integral anchor-percentile durations d[j][ki] (ceil => conservative).
+        anchor = profiles[0].percentiles.anchor
+        self.durations = np.stack(
+            [
+                np.ceil(prof.latency_row(anchor, self.concurrency)).astype(np.int64)
+                for prof in self.profiles
+            ]
+        )
+        # Per-function resilience at the anchor percentile, per size.
+        self.resilience_rows = np.stack(
+            [
+                prof.latency_row(anchor, self.concurrency)
+                - prof.latency_row(anchor, self.concurrency)[-1]
+                for prof in self.profiles
+            ]
+        )
+
+        self._cost = np.full((n, size), _INF, dtype=np.float64)
+        self._resil = np.full((n, size), _INF, dtype=np.float64)
+        self._head_ki = np.full((n, size), -1, dtype=np.int32)
+        self._solve()
+
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        n = len(self.profiles)
+        size = self.tmax_ms + 1
+        k_vals = self.k_grid.astype(np.float64)
+
+        for j in range(n - 1, -1, -1):
+            d_j = self.durations[j]  # int64[K]
+            r_j = self.resilience_rows[j]  # float64[K]
+            if j == n - 1:
+                # Base case: cheapest size meeting the budget outright.
+                # Iterate sizes descending so the cheapest feasible size
+                # (largest duration threshold) wins the final overwrite.
+                cost = self._cost[j]
+                resil = self._resil[j]
+                head = self._head_ki[j]
+                for ki in range(len(k_vals) - 1, -1, -1):
+                    lo = d_j[ki]
+                    if lo <= self.tmax_ms:
+                        cost[lo:] = k_vals[ki]
+                        resil[lo:] = r_j[ki]
+                        head[lo:] = ki
+                continue
+
+            next_cost = self._cost[j + 1]
+            next_resil = self._resil[j + 1]
+            # Candidate totals for each head size: k + cost[j+1][t - d(k)].
+            cand = np.full((len(k_vals), size), _INF, dtype=np.float64)
+            for ki in range(len(k_vals)):
+                d = int(d_j[ki])
+                if d > self.tmax_ms:
+                    continue
+                cand[ki, d:] = k_vals[ki] + next_cost[: size - d]
+            best_ki = np.argmin(cand, axis=0).astype(np.int32)
+            best_cost = cand[best_ki, np.arange(size)]
+            feasible = np.isfinite(best_cost)
+            self._cost[j] = best_cost
+            self._head_ki[j] = np.where(feasible, best_ki, -1)
+            # Resilience of the argmin allocation: head's own + downstream's.
+            shift = self.durations[j][best_ki]
+            rest_idx = np.arange(size) - shift
+            rest_idx_clipped = np.clip(rest_idx, 0, size - 1)
+            rest_resil = next_resil[rest_idx_clipped]
+            total_resil = self.resilience_rows[j][best_ki] + rest_resil
+            self._resil[j] = np.where(feasible, total_resil, _INF)
+
+    # -- queries -------------------------------------------------------------
+    def _check(self, j: int, t: int) -> int:
+        if not 0 <= j < len(self.profiles):
+            raise SynthesisError(f"suffix index {j} out of range")
+        if t < 0:
+            raise SynthesisError(f"budget must be >= 0, got {t}")
+        return min(int(t), self.tmax_ms)
+
+    def feasible(self, j: int, t: int) -> bool:
+        """True when suffix ``j`` fits in budget ``t`` at the anchor."""
+        t = self._check(j, t)
+        return bool(np.isfinite(self._cost[j, t]))
+
+    def min_total_cores(self, j: int, t: int) -> float:
+        """Minimum ``sum k_i`` (millicores) for suffix ``j`` within ``t``."""
+        t = self._check(j, t)
+        return float(self._cost[j, t])
+
+    def total_resilience(self, j: int, t: int) -> float:
+        """``sum R_i(P99, k_i)`` of the argmin allocation (Eq. 6 RHS)."""
+        t = self._check(j, t)
+        return float(self._resil[j, t])
+
+    def cost_array(self, j: int) -> np.ndarray:
+        """Whole ``cost[j]`` table (view; do not mutate)."""
+        if not 0 <= j < len(self.profiles):
+            raise SynthesisError(f"suffix index {j} out of range")
+        return self._cost[j]
+
+    def resilience_array(self, j: int) -> np.ndarray:
+        """Whole ``resil[j]`` table (view; do not mutate)."""
+        if not 0 <= j < len(self.profiles):
+            raise SynthesisError(f"suffix index {j} out of range")
+        return self._resil[j]
+
+    def head_size_array(self, j: int) -> np.ndarray:
+        """Head size *indices* of the argmin allocation per budget (view)."""
+        if not 0 <= j < len(self.profiles):
+            raise SynthesisError(f"suffix index {j} out of range")
+        return self._head_ki[j]
+
+    def allocation(self, j: int, t: int) -> list[int] | None:
+        """Reconstruct the argmin allocation (millicores per function).
+
+        Returns ``None`` when the budget is infeasible for the suffix.
+        """
+        t = self._check(j, t)
+        if not np.isfinite(self._cost[j, t]):
+            return None
+        sizes: list[int] = []
+        budget = t
+        for i in range(j, len(self.profiles)):
+            ki = int(self._head_ki[i, budget])
+            if ki < 0:
+                raise SynthesisError(
+                    f"inconsistent DP state at suffix {i}, budget {budget}"
+                )
+            sizes.append(int(self.k_grid[ki]))
+            budget -= int(self.durations[i, ki])
+        return sizes

@@ -1,0 +1,272 @@
+"""Hint table data structures: raw (per-budget) and condensed (intervals).
+
+The synthesizer first produces *raw* hints — one entry per integral time
+budget (Algorithm 1's ``H = {<t, {k1..kN}>}``) — and then condenses them
+into ``<Tstart, Tend, size>`` interval rows keyed only by the head
+function's size (Algorithm 2, Insights 5-6). The condensed table is what the
+developer ships to the provider; the adapter answers lookups with one
+``searchsorted`` over the interval starts.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SynthesisError
+from ..types import Millicores
+
+__all__ = ["RawHints", "LookupResult", "CondensedHintsTable", "WorkflowHints"]
+
+
+@dataclass(frozen=True)
+class RawHints:
+    """Per-budget decisions for one sub-workflow (suffix).
+
+    Arrays are indexed by ``budget - tmin_ms``; ``head_sizes`` holds -1 where
+    the budget is infeasible even at the anchor percentile.
+    """
+
+    suffix_index: int
+    head_function: str
+    tmin_ms: int
+    tmax_ms: int
+    head_sizes: np.ndarray  # int32 millicores, -1 = infeasible
+    head_percentiles: np.ndarray  # float32, NaN = infeasible
+    expected_cost: np.ndarray  # float64, Eq. 4 value, inf = infeasible
+    planned_total: np.ndarray  # float64 planned sum of millicores, inf = infeasible
+
+    def __post_init__(self) -> None:
+        n = self.tmax_ms - self.tmin_ms + 1
+        for name in ("head_sizes", "head_percentiles", "expected_cost", "planned_total"):
+            arr = getattr(self, name)
+            if arr.shape != (n,):
+                raise SynthesisError(
+                    f"{name} has shape {arr.shape}, expected ({n},)"
+                )
+
+    def __len__(self) -> int:
+        return self.tmax_ms - self.tmin_ms + 1
+
+    @property
+    def feasible_mask(self) -> np.ndarray:
+        """Boolean mask of budgets with a feasible plan."""
+        return self.head_sizes >= 0
+
+    @property
+    def num_feasible(self) -> int:
+        """Count of feasible budgets (raw hint count, Fig. 8 numerator)."""
+        return int(np.count_nonzero(self.feasible_mask))
+
+    def first_feasible_budget(self) -> int | None:
+        """Smallest feasible budget in ms, or ``None``."""
+        idx = np.flatnonzero(self.feasible_mask)
+        return int(self.tmin_ms + idx[0]) if idx.size else None
+
+    def at(self, budget_ms: int) -> tuple[int, float] | None:
+        """(head size, head percentile) at a budget, or ``None``."""
+        if not self.tmin_ms <= budget_ms <= self.tmax_ms:
+            return None
+        i = int(budget_ms) - self.tmin_ms
+        if self.head_sizes[i] < 0:
+            return None
+        return int(self.head_sizes[i]), float(self.head_percentiles[i])
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a condensed-table lookup."""
+
+    hit: bool
+    size: Millicores
+    row_index: int = -1
+
+
+class CondensedHintsTable:
+    """Interval rows ``<Tstart, Tend, size>`` for one sub-workflow.
+
+    Rows are ascending and contiguous over the feasible budget range. A
+    lookup below the first interval is a **miss** (the adapter scales to
+    ``Kmax`` to protect the SLO); a lookup above the last interval is served
+    by the last row when ``clamp_above`` is set (extra slack can only help)
+    and is a miss otherwise.
+    """
+
+    def __init__(
+        self,
+        suffix_index: int,
+        head_function: str,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        sizes: np.ndarray,
+        kmax: Millicores,
+        clamp_above: bool = True,
+    ) -> None:
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int32)
+        if not (starts.shape == ends.shape == sizes.shape):
+            raise SynthesisError("starts/ends/sizes must have identical shape")
+        if starts.ndim != 1 or starts.size == 0:
+            raise SynthesisError("condensed table must contain >= 1 row")
+        if np.any(ends < starts):
+            raise SynthesisError("row end before start")
+        if np.any(np.diff(starts) <= 0):
+            raise SynthesisError("row starts must be strictly ascending")
+        if np.any(starts[1:] != ends[:-1] + 1):
+            raise SynthesisError("rows must be contiguous")
+        if np.any(sizes <= 0):
+            raise SynthesisError("sizes must be positive millicores")
+        self.suffix_index = int(suffix_index)
+        self.head_function = str(head_function)
+        self.starts = starts
+        self.ends = ends
+        self.sizes = sizes
+        self.kmax = int(kmax)
+        self.clamp_above = bool(clamp_above)
+
+    def __len__(self) -> int:
+        return int(self.starts.size)
+
+    @property
+    def tmin_ms(self) -> int:
+        """First budget covered by the table."""
+        return int(self.starts[0])
+
+    @property
+    def tmax_ms(self) -> int:
+        """Last budget covered by the table."""
+        return int(self.ends[-1])
+
+    def lookup(self, budget_ms: float) -> LookupResult:
+        """Resolve a runtime budget to a head size (hit) or Kmax (miss)."""
+        if budget_ms < self.starts[0]:
+            return LookupResult(hit=False, size=self.kmax)
+        if budget_ms > self.ends[-1]:
+            if self.clamp_above:
+                return LookupResult(
+                    hit=True,
+                    size=int(self.sizes[-1]),
+                    row_index=len(self) - 1,
+                )
+            return LookupResult(hit=False, size=self.kmax)
+        i = int(np.searchsorted(self.starts, budget_ms, side="right")) - 1
+        # Contiguity guarantees budget <= ends[i] here.
+        return LookupResult(hit=True, size=int(self.sizes[i]), row_index=i)
+
+    def rows(self) -> list[tuple[int, int, int]]:
+        """All rows as ``(Tstart, Tend, size)`` tuples."""
+        return [
+            (int(s), int(e), int(k))
+            for s, e, k in zip(self.starts, self.ends, self.sizes)
+        ]
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the row arrays (§V-H footprint)."""
+        return int(self.starts.nbytes + self.ends.nbytes + self.sizes.nbytes)
+
+    # -- serialization (developer -> provider hand-off) --------------------
+    def to_dict(self) -> dict[str, _t.Any]:
+        """JSON-serialisable representation."""
+        return {
+            "suffix_index": self.suffix_index,
+            "head_function": self.head_function,
+            "starts": self.starts.tolist(),
+            "ends": self.ends.tolist(),
+            "sizes": self.sizes.tolist(),
+            "kmax": self.kmax,
+            "clamp_above": self.clamp_above,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: _t.Mapping[str, _t.Any]) -> "CondensedHintsTable":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            suffix_index=doc["suffix_index"],
+            head_function=doc["head_function"],
+            starts=np.asarray(doc["starts"], dtype=np.int64),
+            ends=np.asarray(doc["ends"], dtype=np.int64),
+            sizes=np.asarray(doc["sizes"], dtype=np.int32),
+            kmax=doc["kmax"],
+            clamp_above=doc.get("clamp_above", True),
+        )
+
+
+@dataclass
+class WorkflowHints:
+    """Everything the developer submits to the provider for one workflow.
+
+    One condensed table per sub-workflow (suffix), at one concurrency and one
+    head weight. ``synthesis_seconds`` and the hint counts feed the Fig. 6b
+    and Fig. 8 reproductions.
+    """
+
+    workflow_name: str
+    concurrency: int
+    weight: float
+    tables: list[CondensedHintsTable]
+    raw_hint_count: int = 0
+    condensed_hint_count: int = 0
+    synthesis_seconds: float = 0.0
+    metadata: dict[str, _t.Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise SynthesisError("workflow hints require >= 1 table")
+        indices = [t.suffix_index for t in self.tables]
+        if indices != list(range(len(self.tables))):
+            raise SynthesisError(
+                f"tables must cover suffixes 0..N-1 in order, got {indices}"
+            )
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.tables)
+
+    def table_for_stage(self, stage_index: int) -> CondensedHintsTable:
+        """Condensed table whose head is stage ``stage_index``."""
+        if not 0 <= stage_index < len(self.tables):
+            raise SynthesisError(f"stage index {stage_index} out of range")
+        return self.tables[stage_index]
+
+    @property
+    def compression_ratio(self) -> float:
+        """1 - condensed/raw (paper reports up to 99.6%)."""
+        if self.raw_hint_count == 0:
+            return 0.0
+        return 1.0 - self.condensed_hint_count / self.raw_hint_count
+
+    def memory_bytes(self) -> int:
+        """Bytes held by all condensed tables."""
+        return sum(t.memory_bytes() for t in self.tables)
+
+    def to_json(self) -> str:
+        """Serialise for the developer -> provider hand-off."""
+        return json.dumps(
+            {
+                "workflow_name": self.workflow_name,
+                "concurrency": self.concurrency,
+                "weight": self.weight,
+                "tables": [t.to_dict() for t in self.tables],
+                "raw_hint_count": self.raw_hint_count,
+                "condensed_hint_count": self.condensed_hint_count,
+                "synthesis_seconds": self.synthesis_seconds,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkflowHints":
+        """Inverse of :meth:`to_json`."""
+        doc = json.loads(text)
+        return cls(
+            workflow_name=doc["workflow_name"],
+            concurrency=doc["concurrency"],
+            weight=doc["weight"],
+            tables=[CondensedHintsTable.from_dict(t) for t in doc["tables"]],
+            raw_hint_count=doc.get("raw_hint_count", 0),
+            condensed_hint_count=doc.get("condensed_hint_count", 0),
+            synthesis_seconds=doc.get("synthesis_seconds", 0.0),
+        )

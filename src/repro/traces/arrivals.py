@@ -1,0 +1,55 @@
+"""Request arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = ["poisson_arrivals", "constant_arrivals", "burst_arrivals"]
+
+
+def poisson_arrivals(
+    rate_per_s: float, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``n`` Poisson arrival timestamps (ms), starting at the first event."""
+    if rate_per_s <= 0:
+        raise TraceError(f"rate must be > 0, got {rate_per_s}")
+    if n <= 0:
+        raise TraceError(f"n must be > 0, got {n}")
+    gaps_ms = rng.exponential(1000.0 / rate_per_s, size=n)
+    return np.cumsum(gaps_ms)
+
+
+def constant_arrivals(interval_ms: float, n: int) -> np.ndarray:
+    """``n`` evenly spaced arrivals (closed-loop style)."""
+    if interval_ms < 0:
+        raise TraceError(f"interval must be >= 0, got {interval_ms}")
+    if n <= 0:
+        raise TraceError(f"n must be > 0, got {n}")
+    return np.arange(n, dtype=np.float64) * interval_ms
+
+
+def burst_arrivals(
+    base_rate_per_s: float,
+    burst_rate_per_s: float,
+    burst_fraction: float,
+    n: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Two-phase arrivals: alternating base and burst intensity.
+
+    Reproduces the bursty serverless traffic motivating BATCH [29]; each
+    request independently belongs to the burst regime with probability
+    ``burst_fraction``.
+    """
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise TraceError(f"burst fraction must be in [0, 1]: {burst_fraction}")
+    if base_rate_per_s <= 0 or burst_rate_per_s <= 0:
+        raise TraceError("rates must be > 0")
+    if n <= 0:
+        raise TraceError(f"n must be > 0, got {n}")
+    in_burst = rng.random(n) < burst_fraction
+    rates = np.where(in_burst, burst_rate_per_s, base_rate_per_s)
+    gaps_ms = rng.exponential(1000.0 / rates)
+    return np.cumsum(gaps_ms)

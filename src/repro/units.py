@@ -1,0 +1,65 @@
+"""Unit conventions and conversion helpers.
+
+The whole library uses two base units:
+
+* **time** — milliseconds, as ``float`` (the paper's hint tables use a 1 ms
+  budget grid, so milliseconds keep the grid integral);
+* **CPU** — millicores, as ``int`` (Kubernetes-style: 1000 millicores = 1
+  physical core; the paper sweeps 1000..3000 in steps of 100).
+
+Helpers here are intentionally tiny and total: they validate their input and
+raise :class:`~repro.errors.ConfigError` rather than silently producing
+nonsense.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigError
+
+__all__ = [
+    "MS_PER_SECOND",
+    "MILLICORES_PER_CORE",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "cores_to_millicores",
+    "millicores_to_cores",
+    "validate_positive",
+    "validate_non_negative",
+]
+
+MS_PER_SECOND: float = 1000.0
+MILLICORES_PER_CORE: int = 1000
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return float(seconds) * MS_PER_SECOND
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(ms) / MS_PER_SECOND
+
+
+def cores_to_millicores(cores: float) -> int:
+    """Convert (possibly fractional) cores to integral millicores."""
+    return int(round(float(cores) * MILLICORES_PER_CORE))
+
+
+def millicores_to_cores(millicores: int) -> float:
+    """Convert millicores to fractional cores."""
+    return float(millicores) / MILLICORES_PER_CORE
+
+
+def validate_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, else raise ``ConfigError``."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def validate_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if >= 0, else raise ``ConfigError``."""
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+    return value

@@ -1,0 +1,19 @@
+"""Convenience constructors for chain workflows (the paper's shape)."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import WorkflowError
+from .dag import WorkflowDAG
+
+__all__ = ["chain_dag"]
+
+
+def chain_dag(names: _t.Sequence[str]) -> WorkflowDAG:
+    """Build the chain ``names[0] -> names[1] -> ... -> names[-1]``."""
+    names = list(names)
+    if not names:
+        raise WorkflowError("chain requires at least one function")
+    edges = list(zip(names, names[1:]))
+    return WorkflowDAG(names, edges)

@@ -1,0 +1,146 @@
+"""JSON workflow-definition language (Amazon-States-Language-like).
+
+Serverless platforms describe workflows in structured JSON (paper §II-A:
+AWS Step Functions' Amazon States Language, Azure Durable Functions). This
+module parses a small ASL-inspired dialect into a :class:`WorkflowDAG`:
+
+.. code-block:: json
+
+    {
+        "Comment": "Intelligent Assistant",
+        "StartAt": "OD",
+        "States": {
+            "OD":  {"Type": "Task", "Next": "QA"},
+            "QA":  {"Type": "Task", "Next": "TS"},
+            "TS":  {"Type": "Task", "End": true},
+            "...": {"Type": "Parallel", "Branches": [...], "Next": "..."}
+        }
+    }
+
+``Task`` states become DAG nodes; ``Parallel`` states expand their branches
+as fan-out/fan-in edges through the parallel state's successors.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+from ..errors import WorkflowError
+from .dag import WorkflowDAG
+
+__all__ = ["parse_spec", "parse_spec_file", "chain_spec"]
+
+
+def parse_spec(spec: str | _t.Mapping[str, _t.Any]) -> WorkflowDAG:
+    """Parse an ASL-like JSON document (text or mapping) into a DAG."""
+    if isinstance(spec, str):
+        try:
+            doc = json.loads(spec)
+        except json.JSONDecodeError as exc:
+            raise WorkflowError(f"invalid JSON workflow spec: {exc}") from exc
+    else:
+        doc = dict(spec)
+    if not isinstance(doc, dict):
+        raise WorkflowError("workflow spec must be a JSON object")
+    states = doc.get("States")
+    start = doc.get("StartAt")
+    if not isinstance(states, dict) or not states:
+        raise WorkflowError("spec requires a non-empty 'States' object")
+    if start not in states:
+        raise WorkflowError(f"'StartAt' ({start!r}) must name a state")
+
+    nodes: list[str] = []
+    edges: list[tuple[str, str]] = []
+
+    def _leaf_exits(name: str) -> list[str]:
+        """Node names whose completion ends state ``name``."""
+        state = states[name]
+        if state.get("Type", "Task") == "Parallel":
+            exits: list[str] = []
+            for branch in state.get("Branches", []):
+                b_states = branch.get("States", {})
+                exits.extend(
+                    s for s, st in b_states.items() if st.get("End") or "Next" not in st
+                )
+            return exits
+        return [name]
+
+    def _entries(name: str) -> list[str]:
+        """Node names that start executing when state ``name`` is entered."""
+        state = states[name]
+        if state.get("Type", "Task") == "Parallel":
+            entry: list[str] = []
+            for branch in state.get("Branches", []):
+                b_start = branch.get("StartAt")
+                if b_start is None:
+                    raise WorkflowError(f"parallel branch in {name!r} lacks StartAt")
+                entry.append(b_start)
+            return entry
+        return [name]
+
+    def _expand(name: str, seen: set[str]) -> None:
+        if name in seen:
+            raise WorkflowError(f"state {name!r} visited twice (cycle?)")
+        seen.add(name)
+        state = states.get(name)
+        if state is None:
+            raise WorkflowError(f"transition to unknown state {name!r}")
+        stype = state.get("Type", "Task")
+        if stype == "Task":
+            nodes.append(name)
+        elif stype == "Parallel":
+            branches = state.get("Branches")
+            if not branches:
+                raise WorkflowError(f"parallel state {name!r} has no branches")
+            for branch in branches:
+                b_states = branch.get("States", {})
+                if not b_states:
+                    raise WorkflowError(f"empty branch in parallel state {name!r}")
+                # Branch states live in the same namespace as top-level states
+                # in this dialect; register and walk them.
+                for b_name, b_state in b_states.items():
+                    if b_name in states and b_name not in seen:
+                        pass  # already registered at top level
+                    states.setdefault(b_name, b_state)
+                _expand(branch["StartAt"], seen)
+        else:
+            raise WorkflowError(f"unsupported state type {stype!r} in {name!r}")
+
+        nxt = state.get("Next")
+        is_end = bool(state.get("End", False))
+        if nxt is None and not is_end and stype == "Task":
+            raise WorkflowError(f"state {name!r} has neither 'Next' nor 'End'")
+        if nxt is not None:
+            if nxt not in states:
+                raise WorkflowError(f"state {name!r} transitions to unknown {nxt!r}")
+            for exit_node in _leaf_exits(name):
+                for entry_node in _entries(nxt):
+                    edges.append((exit_node, entry_node))
+            if nxt not in seen:
+                _expand(nxt, seen)
+
+    _expand(start, set())
+    # Deduplicate while preserving order (parallel expansion may revisit).
+    uniq_nodes = list(dict.fromkeys(nodes))
+    uniq_edges = list(dict.fromkeys(edges))
+    return WorkflowDAG(uniq_nodes, uniq_edges)
+
+
+def parse_spec_file(path: str) -> WorkflowDAG:
+    """Parse a workflow spec from a JSON file on disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_spec(fh.read())
+
+
+def chain_spec(names: _t.Sequence[str], comment: str = "") -> dict[str, _t.Any]:
+    """Emit the ASL-like JSON document for a simple chain (round-trip aid)."""
+    if not names:
+        raise WorkflowError("chain requires at least one function")
+    states: dict[str, _t.Any] = {}
+    for i, name in enumerate(names):
+        if i + 1 < len(names):
+            states[name] = {"Type": "Task", "Next": names[i + 1]}
+        else:
+            states[name] = {"Type": "Task", "End": True}
+    return {"Comment": comment, "StartAt": names[0], "States": states}

@@ -1,0 +1,177 @@
+"""Provider-side adapter: decisions, supervision, service registry."""
+
+import numpy as np
+import pytest
+
+from repro.adapter.adapter import JanusAdapter
+from repro.adapter.service import AdapterService
+from repro.adapter.supervisor import HitMissSupervisor
+from repro.errors import AdapterError
+from repro.synthesis.hints import CondensedHintsTable, WorkflowHints
+
+
+def make_hints(n_stages=3, tmin=500, tmax=3000):
+    tables = []
+    for i in range(n_stages):
+        # Coarse synthetic tables: generous budgets -> small sizes.
+        starts = np.array([tmin, tmin + 500, tmin + 1500])
+        ends = np.array([tmin + 499, tmin + 1499, tmax])
+        sizes = np.array([3000, 2000, 1000])
+        tables.append(
+            CondensedHintsTable(i, f"F{i}", starts, ends, sizes, kmax=3000)
+        )
+    return WorkflowHints(
+        workflow_name="w", concurrency=1, weight=1.0, tables=tables,
+        raw_hint_count=100, condensed_hint_count=9,
+    )
+
+
+class TestSupervisor:
+    def test_counts_and_rates(self):
+        sup = HitMissSupervisor(min_samples=5)
+        for hit in (True, True, False, True):
+            sup.record(hit)
+        assert sup.hits == 3 and sup.misses == 1
+        assert sup.miss_rate == pytest.approx(0.25)
+        assert sup.hit_rate == pytest.approx(0.75)
+
+    def test_no_lookups_yet(self):
+        sup = HitMissSupervisor()
+        assert sup.miss_rate == 0.0 and sup.hit_rate == 0.0
+
+    def test_trigger_requires_min_samples(self):
+        sup = HitMissSupervisor(miss_threshold=0.1, min_samples=10)
+        fired = []
+        sup.on_regenerate(lambda s: fired.append(s.miss_rate))
+        for _ in range(5):
+            sup.record(False)
+        assert not fired  # below min_samples despite 100% misses
+        for _ in range(5):
+            sup.record(False)
+        assert len(fired) == 1
+
+    def test_trigger_fires_once_until_reset(self):
+        sup = HitMissSupervisor(miss_threshold=0.01, min_samples=2)
+        fired = []
+        sup.on_regenerate(lambda s: fired.append(1))
+        for _ in range(10):
+            sup.record(False)
+        assert len(fired) == 1
+        sup.reset()
+        assert sup.total == 0
+        for _ in range(10):
+            sup.record(False)
+        assert len(fired) == 2
+
+    def test_threshold_validation(self):
+        with pytest.raises(AdapterError):
+            HitMissSupervisor(miss_threshold=0.0)
+        with pytest.raises(AdapterError):
+            HitMissSupervisor(min_samples=0)
+
+    def test_snapshot(self):
+        sup = HitMissSupervisor()
+        sup.record(True)
+        snap = sup.snapshot()
+        assert snap == {"hits": 1, "misses": 0, "miss_rate": 0.0}
+
+
+class TestJanusAdapter:
+    def test_initial_decision_uses_full_slo(self):
+        adapter = JanusAdapter(make_hints(), slo_ms=3000.0)
+        d = adapter.initial_decision()
+        assert d.stage_index == 0 and d.budget_ms == 3000.0
+        assert d.hit and d.size == 1000  # generous budget -> smallest size
+
+    def test_budget_derivation(self):
+        adapter = JanusAdapter(make_hints(), slo_ms=3000.0)
+        d = adapter.on_stage_complete(0, elapsed_ms=2400.0)
+        assert d.stage_index == 1
+        assert d.budget_ms == pytest.approx(600.0)
+
+    def test_workflow_completion_returns_none(self):
+        adapter = JanusAdapter(make_hints(n_stages=2), slo_ms=3000.0)
+        assert adapter.on_stage_complete(1, 100.0) is None
+
+    def test_miss_scales_to_kmax(self):
+        adapter = JanusAdapter(make_hints(tmin=1000), slo_ms=3000.0)
+        d = adapter.decide(0, 200.0)  # below table coverage
+        assert not d.hit and d.size == 3000
+        assert adapter.supervisor.misses == 1
+
+    def test_negative_elapsed_rejected(self):
+        adapter = JanusAdapter(make_hints(), slo_ms=3000.0)
+        with pytest.raises(AdapterError):
+            adapter.on_stage_complete(0, -5.0)
+
+    def test_decision_latencies_recorded(self):
+        adapter = JanusAdapter(make_hints(), slo_ms=3000.0)
+        for _ in range(20):
+            adapter.initial_decision()
+        lats = adapter.decision_latencies_ms()
+        assert len(lats) == 20
+        # Paper §V-H: decisions stay well under 3 ms.
+        assert max(lats) < 3.0
+
+    def test_replace_hints_resets_supervisor(self):
+        adapter = JanusAdapter(make_hints(), slo_ms=3000.0)
+        adapter.decide(0, 100.0)  # miss
+        assert adapter.supervisor.misses == 1
+        adapter.replace_hints(make_hints())
+        assert adapter.supervisor.total == 0
+
+    def test_replace_hints_stage_mismatch_rejected(self):
+        adapter = JanusAdapter(make_hints(n_stages=3), slo_ms=3000.0)
+        with pytest.raises(AdapterError):
+            adapter.replace_hints(make_hints(n_stages=2))
+
+    def test_invalid_slo_rejected(self):
+        with pytest.raises(AdapterError):
+            JanusAdapter(make_hints(), slo_ms=0.0)
+
+
+class TestAdapterService:
+    def test_register_and_decide(self):
+        svc = AdapterService()
+        svc.register("t1", "wf", make_hints(), slo_ms=3000.0)
+        d = svc.decide("t1", "wf", 0, 2500.0)
+        assert d.hit
+
+    def test_tenant_isolation(self):
+        svc = AdapterService()
+        svc.register("t1", "wf", make_hints(), slo_ms=3000.0)
+        svc.register("t2", "wf", make_hints(), slo_ms=3000.0)
+        svc.decide("t1", "wf", 0, 100.0)  # miss for t1 only
+        stats = svc.stats()
+        assert stats[("t1", "wf")]["misses"] == 1
+        assert stats[("t2", "wf")]["misses"] == 0
+
+    def test_unknown_workflow_rejected(self):
+        svc = AdapterService()
+        with pytest.raises(AdapterError):
+            svc.decide("t", "missing", 0, 100.0)
+        with pytest.raises(AdapterError):
+            svc.unregister("t", "missing")
+
+    def test_reregister_swaps_hints(self):
+        svc = AdapterService()
+        a1 = svc.register("t", "wf", make_hints(), slo_ms=3000.0)
+        a2 = svc.register("t", "wf", make_hints(), slo_ms=3000.0)
+        assert a1 is a2  # same adapter, refreshed tables
+
+    def test_regeneration_queue(self):
+        svc = AdapterService(miss_threshold=0.01, min_samples=3)
+        svc.register("t", "wf", make_hints(), slo_ms=3000.0)
+        for _ in range(5):
+            svc.decide("t", "wf", 0, 10.0)  # all misses
+        pending = svc.pending_regenerations()
+        assert pending == [("t", "wf")]
+        assert svc.pending_regenerations() == []  # drained
+
+    def test_workflows_listing(self):
+        svc = AdapterService()
+        svc.register("t", "a", make_hints(), 1000.0)
+        svc.register("t", "b", make_hints(), 1000.0)
+        assert set(svc.workflows()) == {("t", "a"), ("t", "b")}
+        svc.unregister("t", "a")
+        assert svc.workflows() == [("t", "b")]

@@ -1,0 +1,138 @@
+"""The batching front end: batch formation, timing, amortisation."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.policies.early_binding import FixedPlanPolicy
+from repro.policies.janus import janus
+from repro.runtime.batching import BatchingExecutor
+from repro.traces.workload import WorkloadConfig, generate_requests
+from repro.workflow.catalog import intelligent_assistant, video_analytics
+from tests.conftest import make_chain_workflow
+
+
+@pytest.fixture(scope="module")
+def batch_workflow():
+    wf = make_chain_workflow(slo_ms=4000.0)
+    # All functions in the synthetic chain are batchable by default.
+    return wf.with_concurrency(3)
+
+
+class TestBatchFormation:
+    def test_size_rule(self, batch_workflow):
+        executor = BatchingExecutor(batch_workflow, max_batch=3, max_wait_ms=1e9)
+        requests = generate_requests(
+            batch_workflow,
+            WorkloadConfig(n_requests=7, arrival_rate_per_s=1000.0),
+            seed=1,
+        )
+        batches = executor.form_batches(requests)
+        assert [len(b) for b in batches] == [3, 3, 1]
+
+    def test_timeout_rule(self, batch_workflow):
+        executor = BatchingExecutor(batch_workflow, max_batch=3, max_wait_ms=10.0)
+        requests = generate_requests(
+            batch_workflow,
+            WorkloadConfig(n_requests=5, arrival_rate_per_s=1.0),  # ~1000 ms gaps
+            seed=1,
+        )
+        batches = executor.form_batches(requests)
+        assert all(len(b) == 1 for b in batches)  # gaps exceed the window
+
+    def test_batches_preserve_arrival_order(self, batch_workflow):
+        executor = BatchingExecutor(batch_workflow, max_batch=2, max_wait_ms=50.0)
+        requests = generate_requests(
+            batch_workflow,
+            WorkloadConfig(n_requests=10, arrival_rate_per_s=100.0),
+            seed=2,
+        )
+        batches = executor.form_batches(requests)
+        flat = [r.request_id for b in batches for r in b]
+        assert flat == sorted(flat)
+
+
+class TestBatchExecution:
+    def test_wait_counts_toward_latency(self, batch_workflow):
+        requests = generate_requests(
+            batch_workflow,
+            WorkloadConfig(n_requests=6, arrival_rate_per_s=50.0),
+            seed=3,
+        )
+        policy = FixedPlanPolicy("fixed", [2000, 2000, 2000])
+        batched = BatchingExecutor(
+            batch_workflow, max_batch=3, max_wait_ms=300.0
+        ).run(policy, requests)
+        from repro.runtime.executor import AnalyticExecutor
+
+        solo = AnalyticExecutor(batch_workflow).run(policy, requests)
+        # Batched requests wait and share slower (batch-factor) stages.
+        assert batched.e2e_ms().mean() > solo.e2e_ms().mean()
+
+    def test_amortized_resources_cheaper(self, batch_workflow):
+        requests = generate_requests(
+            batch_workflow,
+            WorkloadConfig(n_requests=30, arrival_rate_per_s=1000.0),
+            seed=4,
+        )
+        policy = FixedPlanPolicy("fixed", [2000, 2000, 2000])
+        result = BatchingExecutor(
+            batch_workflow, max_batch=3, max_wait_ms=100.0
+        ).run(policy, requests)
+        assert result.extras["mean_batch_size"] > 2.0
+        # Amortised per-request CPU is the batch allocation / batch size.
+        assert (
+            result.extras["mean_amortized_millicores"]
+            < result.mean_allocated / 2.0
+        )
+
+    def test_batch_members_share_stage_records(self, batch_workflow):
+        requests = generate_requests(
+            batch_workflow,
+            WorkloadConfig(n_requests=3, arrival_rate_per_s=1000.0),
+            seed=5,
+        )
+        result = BatchingExecutor(
+            batch_workflow, max_batch=3, max_wait_ms=100.0
+        ).run(policy := FixedPlanPolicy("f", [1500, 1500, 1500]), requests)
+        ends = {tuple(s.end_ms for s in o.stages) for o in result.outcomes}
+        assert len(ends) == 1  # one shared pipeline
+
+    def test_janus_with_batching_meets_slo(self):
+        # IA at concurrency 2 with SLO 4 s (paper Fig. 4 second panel) under
+        # an actual queueing front end.
+        from repro.profiling.profiler import profile_workflow
+
+        wf = intelligent_assistant(slo_ms=4000.0, concurrency=2)
+        profiles = profile_workflow(
+            wf, seed=5, samples=600, concurrencies=(1, 2)
+        )
+        policy = janus(wf, profiles, concurrency=2)
+        requests = generate_requests(
+            wf,
+            WorkloadConfig(n_requests=200, arrival_rate_per_s=20.0,
+                           concurrency=2),
+            seed=6,
+        )
+        result = BatchingExecutor(wf, max_batch=2, max_wait_ms=150.0).run(
+            policy, requests
+        )
+        # Queue wait eats budget; Janus adapts the remaining stages.
+        assert result.violation_rate <= 0.03
+        assert result.extras["mean_batch_size"] > 1.5
+
+    def test_non_batchable_rejected(self):
+        wf = video_analytics()
+        with pytest.raises(ExperimentError):
+            BatchingExecutor(wf, max_batch=2)
+
+    def test_invalid_params(self, batch_workflow):
+        with pytest.raises(ExperimentError):
+            BatchingExecutor(batch_workflow, max_batch=0)
+        with pytest.raises(ExperimentError):
+            BatchingExecutor(batch_workflow, max_wait_ms=-1.0)
+
+    def test_empty_stream_rejected(self, batch_workflow):
+        with pytest.raises(ExperimentError):
+            BatchingExecutor(batch_workflow).run(
+                FixedPlanPolicy("f", [1000] * 3), []
+            )

@@ -1,0 +1,42 @@
+"""The janus-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_knobs(self):
+        args = build_parser().parse_args(
+            ["run", "fig5", "--requests", "100", "--samples", "500"]
+        )
+        assert args.experiment == "fig5"
+        assert args.requests == 100 and args.samples == 500
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "overhead" in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "fig1b", "--samples", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1b" in out and "took" in out
+
+    def test_run_with_seed(self, capsys):
+        assert main(["run", "fig1a", "--seed", "3"]) == 0
+        assert "slack" in capsys.readouterr().out

@@ -1,0 +1,567 @@
+"""Cluster substrate: VMs, pods, pools, interference, platform DES."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.accounting import ClusterAccounting
+from repro.cluster.autoscaler import HorizontalAutoscaler
+from repro.cluster.interference import DEFAULT_COEFFICIENTS, InterferenceModel
+from repro.cluster.platform import ClusterConfig, ServerlessPlatform
+from repro.cluster.pod import Pod, PodState
+from repro.cluster.pool import PoolManager
+from repro.cluster.vm import VirtualMachine
+from repro.errors import ClusterError
+from repro.functions.model import Resource
+from repro.policies.early_binding import FixedPlanPolicy
+from repro.sim import Simulator
+from repro.traces.workload import WorkloadConfig, generate_requests
+from tests.conftest import make_chain_workflow, make_function
+
+
+class TestVM:
+    def test_capacity_accounting(self):
+        vm = VirtualMachine(0, 10_000)
+        pod = Pod("F", 4000, vm)
+        vm.place(pod)
+        assert vm.allocated == 4000 and vm.free == 6000
+        vm.evict(pod)
+        assert vm.allocated == 0
+
+    def test_overcommit_rejected(self):
+        vm = VirtualMachine(0, 3000)
+        vm.place(Pod("F", 2000, vm))
+        with pytest.raises(ClusterError):
+            vm.place(Pod("F", 2000, vm))
+
+    def test_resize(self):
+        vm = VirtualMachine(0, 5000)
+        pod = Pod("F", 1000, vm)
+        vm.place(pod)
+        vm.resize_pod(pod, 3000)
+        assert pod.size == 3000 and vm.free == 2000
+        with pytest.raises(ClusterError):
+            vm.resize_pod(pod, 9000)
+
+    def test_colocation_counts_busy_only(self):
+        vm = VirtualMachine(0, 10_000)
+        pods = [Pod("F", 1000, vm) for _ in range(3)]
+        for p in pods:
+            vm.place(p)
+            p.warm_up()
+        pods[0].start_invocation()
+        pods[1].start_invocation()
+        assert vm.colocated_count("F", busy_only=True) == 2
+        assert vm.colocated_count("F", busy_only=False) == 3
+        assert vm.colocated_count("G") == 0
+
+    def test_double_place_rejected(self):
+        vm = VirtualMachine(0, 10_000)
+        pod = Pod("F", 1000, vm)
+        vm.place(pod)
+        with pytest.raises(ClusterError):
+            vm.place(pod)
+
+    def test_evict_unknown_rejected(self):
+        vm = VirtualMachine(0, 10_000)
+        with pytest.raises(ClusterError):
+            vm.evict(Pod("F", 1000, vm))
+
+
+class TestPod:
+    def test_lifecycle(self):
+        vm = VirtualMachine(0, 10_000)
+        pod = Pod("F", 1000, vm)
+        assert pod.state is PodState.COLD
+        pod.warm_up()
+        pod.start_invocation()
+        assert pod.busy
+        pod.finish_invocation()
+        assert pod.invocations_served == 1
+        pod.kill()
+        assert not pod.alive
+
+    def test_invalid_transitions(self):
+        vm = VirtualMachine(0, 10_000)
+        pod = Pod("F", 1000, vm)
+        with pytest.raises(ClusterError):
+            pod.start_invocation()  # still cold
+        pod.warm_up()
+        pod.start_invocation()
+        with pytest.raises(ClusterError):
+            pod.kill()  # busy pods cannot be reclaimed
+
+    def test_invalid_size(self):
+        with pytest.raises(ClusterError):
+            Pod("F", 0, VirtualMachine(0, 1000))
+
+
+class TestInterferenceModel:
+    def test_alone_means_no_slowdown(self):
+        model = InterferenceModel()
+        for r in Resource:
+            assert model.slowdown(r, 1) == 1.0
+
+    def test_monotone_in_colocation(self):
+        model = InterferenceModel()
+        for r in Resource:
+            curve = model.curve(r, 6)
+            assert all(a <= b for a, b in zip(curve, curve[1:]))
+
+    def test_paper_ordering_at_six(self):
+        # Fig 1c: CPU < memory < IO < network at n = 6.
+        model = InterferenceModel()
+        at6 = {r: model.slowdown(r, 6) for r in Resource}
+        assert (at6[Resource.CPU] < at6[Resource.MEMORY]
+                < at6[Resource.IO] < at6[Resource.NETWORK])
+        assert at6[Resource.NETWORK] == pytest.approx(8.1, abs=0.2)
+
+    def test_invalid_count(self):
+        with pytest.raises(ClusterError):
+            InterferenceModel().slowdown(Resource.CPU, 0)
+
+    def test_default_coefficients_cover_all_resources(self):
+        assert set(DEFAULT_COEFFICIENTS) == set(Resource)
+
+
+class TestPoolManager:
+    def make_pool(self, warm=1):
+        sim = Simulator()
+        vms = [VirtualMachine(i, 10_000) for i in range(2)]
+        fn = make_function("F", sigma=0.0)
+        pool = PoolManager(sim, vms, {"F": fn}, warm_pool_size=warm)
+        return sim, pool
+
+    def test_cold_start_pays_delay(self):
+        sim, pool = self.make_pool()
+
+        def proc():
+            pod = yield from pool.acquire("F", 2000)
+            return pod
+
+        p = sim.process(proc())
+        pod = sim.run(until=p)
+        assert sim.now == pytest.approx(pod and make_function("F").cold_start_ms)
+        assert pool.cold_starts == 1
+
+    def test_warm_reuse_is_instant(self):
+        sim, pool = self.make_pool(warm=1)
+
+        def proc():
+            pod = yield from pool.acquire("F", 2000)
+            pod.start_invocation()
+            pod.finish_invocation()
+            pool.release(pod)
+            t_release = sim.now
+            pod2 = yield from pool.acquire("F", 1000)
+            return (pod, pod2, t_release)
+
+        p = sim.process(proc())
+        pod, pod2, t_release = sim.run(until=p)
+        assert pod is pod2  # same instance, resized
+        assert pod2.size == 1000
+        assert sim.now == t_release  # no extra delay
+        assert pool.warm_hits == 1
+
+    def test_pool_overflow_reclaims(self):
+        sim, pool = self.make_pool(warm=0)
+
+        def proc():
+            pod = yield from pool.acquire("F", 1000)
+            pod.start_invocation()
+            pod.finish_invocation()
+            pool.release(pod)
+            return pod
+
+        p = sim.process(proc())
+        pod = sim.run(until=p)
+        assert not pod.alive  # warm_pool_size=0: immediately reclaimed
+        assert pool.warm_count("F") == 0
+
+    def test_unknown_function_rejected(self):
+        sim, pool = self.make_pool()
+        with pytest.raises(ClusterError):
+            # generator raises on first advance
+            sim.run(until=sim.process(pool.acquire("Z", 1000)))
+
+    def test_release_requires_warm(self):
+        sim, pool = self.make_pool()
+
+        def proc():
+            pod = yield from pool.acquire("F", 1000)
+            pod.start_invocation()  # busy
+            return pod
+
+        pod = sim.run(until=sim.process(proc()))
+        with pytest.raises(ClusterError):
+            pool.release(pod)
+
+    def test_cold_start_rate(self):
+        sim, pool = self.make_pool()
+        assert pool.cold_start_rate == 0.0
+
+
+class TestPlatform:
+    def test_end_to_end_run(self):
+        wf = make_chain_workflow(slo_ms=3000.0)
+        platform = ServerlessPlatform(
+            wf, ClusterConfig(n_vms=2, vm_capacity_millicores=20_000)
+        )
+        requests = generate_requests(
+            wf, WorkloadConfig(n_requests=40, arrival_rate_per_s=5.0), seed=3
+        )
+        policy = FixedPlanPolicy("fixed", [2000, 2000, 2000])
+        result = platform.run(policy, requests)
+        assert len(result.outcomes) == 40
+        assert result.extras["events_processed"] > 0
+        # Outcomes keep request order.
+        assert [o.request_id for o in result.outcomes] == list(range(40))
+
+    def test_sequential_load_has_no_interference(self):
+        # One request at a time: colocated busy count is 1 -> no slowdown.
+        wf = make_chain_workflow(slo_ms=10_000.0)
+        platform = ServerlessPlatform(
+            wf, ClusterConfig(n_vms=1, vm_capacity_millicores=30_000,
+                              autoscale=False)
+        )
+        requests = generate_requests(
+            wf, WorkloadConfig(n_requests=5, arrival_rate_per_s=0.01), seed=3
+        )
+        policy = FixedPlanPolicy("fixed", [2000, 2000, 2000])
+        result = platform.run(policy, requests)
+        # Compare with the analytic backend (interference-free by default).
+        from repro.runtime.executor import AnalyticExecutor
+
+        analytic = AnalyticExecutor(wf).run(policy, requests)
+        for a, b in zip(result.outcomes, analytic.outcomes):
+            # Platform adds cold starts; execution portions match.
+            exec_platform = sum(
+                s.execution_ms - s.cold_start_ms for s in a.stages
+            )
+            exec_analytic = sum(s.execution_ms for s in b.stages)
+            assert exec_platform == pytest.approx(exec_analytic, rel=1e-9)
+
+    def test_concurrent_load_suffers_interference(self):
+        wf = make_chain_workflow(slo_ms=10_000.0)
+        mk = lambda: generate_requests(
+            wf, WorkloadConfig(n_requests=30, arrival_rate_per_s=200.0), seed=3
+        )
+        policy = FixedPlanPolicy("fixed", [1000, 1000, 1000])
+        open_loop = ServerlessPlatform(
+            wf, ClusterConfig(n_vms=1, vm_capacity_millicores=40_000)
+        ).run(policy, mk())
+        sequential = generate_requests(
+            wf, WorkloadConfig(n_requests=30, arrival_rate_per_s=0.01), seed=3
+        )
+        closed = ServerlessPlatform(
+            wf, ClusterConfig(n_vms=1, vm_capacity_millicores=40_000)
+        ).run(policy, sequential)
+        assert open_loop.e2e_ms().mean() > closed.e2e_ms().mean()
+
+    def test_accounting_tracks_allocation(self):
+        wf = make_chain_workflow(slo_ms=5000.0)
+        platform = ServerlessPlatform(
+            wf, ClusterConfig(n_vms=2, vm_capacity_millicores=20_000)
+        )
+        requests = generate_requests(
+            wf, WorkloadConfig(n_requests=10, arrival_rate_per_s=2.0), seed=4
+        )
+        platform.run(FixedPlanPolicy("f", [2000] * 3), requests)
+        assert platform.accounting.millicore_ms() > 0
+
+    def test_empty_stream_rejected(self):
+        wf = make_chain_workflow()
+        with pytest.raises(ClusterError):
+            ServerlessPlatform(wf).run(FixedPlanPolicy("f", [1000] * 3), [])
+
+    def test_colocation_experiment_scales(self, rng):
+        wf = make_chain_workflow()
+        platform = ServerlessPlatform(wf)
+        t1 = np.mean(platform.colocation_experiment("F0", 1, 1000, 50, rng))
+        t6 = np.mean(platform.colocation_experiment("F0", 6, 1000, 50, rng))
+        assert t6 > t1
+
+
+class TestAutoscaler:
+    def test_scales_with_demand(self):
+        sim = Simulator()
+        vms = [VirtualMachine(0, 50_000)]
+        fn = make_function("F")
+        pool = PoolManager(sim, vms, {"F": fn}, warm_pool_size=1)
+        scaler = HorizontalAutoscaler(sim, pool, interval_ms=100.0)
+        scaler.start()
+        for _ in range(8):
+            scaler.invocation_started("F")
+        sim.run(until=500.0)
+        assert pool.warm_pool_size > 1
+        for _ in range(8):
+            scaler.invocation_finished("F")
+        assert scaler.in_flight("F") == 0
+
+    def test_underflow_rejected(self):
+        sim = Simulator()
+        pool = PoolManager(
+            sim, [VirtualMachine(0, 1000)], {"F": make_function("F")}
+        )
+        scaler = HorizontalAutoscaler(sim, pool)
+        with pytest.raises(ClusterError):
+            scaler.invocation_finished("F")
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        pool = PoolManager(
+            sim, [VirtualMachine(0, 1000)], {"F": make_function("F")}
+        )
+        scaler = HorizontalAutoscaler(sim, pool)
+        scaler.start()
+        with pytest.raises(ClusterError):
+            scaler.start()
+
+    def test_invalid_params(self):
+        sim = Simulator()
+        pool = PoolManager(
+            sim, [VirtualMachine(0, 1000)], {"F": make_function("F")}
+        )
+        with pytest.raises(ClusterError):
+            HorizontalAutoscaler(sim, pool, interval_ms=0)
+        with pytest.raises(ClusterError):
+            HorizontalAutoscaler(sim, pool, headroom=0.5)
+
+
+class TestAccounting:
+    def test_snapshot_series(self):
+        sim = Simulator()
+        vms = [VirtualMachine(0, 10_000)]
+        acct = ClusterAccounting(sim, vms)
+        acct.snapshot()
+        pod = Pod("F", 3000, vms[0])
+        vms[0].place(pod)
+        sim.timeout(10.0)
+        sim.run()
+        acct.snapshot()
+        assert acct.total_allocated() == 3000
+        assert acct.mean_allocated() >= 0
+
+
+class TestSaturation:
+    def test_pending_pods_queue_instead_of_failing(self):
+        # A cluster too small for the instantaneous load must queue pending
+        # pods (and reclaim idle ones), not error out.
+        wf = make_chain_workflow(slo_ms=60_000.0)
+        platform = ServerlessPlatform(
+            wf,
+            ClusterConfig(n_vms=1, vm_capacity_millicores=4000,
+                          warm_pool_size=2, autoscale=False),
+        )
+        requests = generate_requests(
+            wf, WorkloadConfig(n_requests=25, arrival_rate_per_s=500.0), seed=5
+        )
+        result = platform.run(
+            FixedPlanPolicy("fat", [2000, 2000, 2000]), requests
+        )
+        assert len(result.outcomes) == 25
+        assert platform.pool.throttled > 0  # someone had to wait
+
+    def test_idle_reclamation_frees_capacity(self):
+        sim = Simulator()
+        vms = [VirtualMachine(0, 3000)]
+        fns = {"A": make_function("A"), "B": make_function("B")}
+        pool = PoolManager(sim, vms, fns, warm_pool_size=2)
+
+        def fill_and_switch():
+            # Park two warm A pods filling the VM, then ask for a large B pod.
+            a1 = yield from pool.acquire("A", 1500)
+            a2 = yield from pool.acquire("A", 1500)
+            for pod in (a1, a2):
+                pod.start_invocation()
+                pod.finish_invocation()
+                pool.release(pod)
+            b = yield from pool.acquire("B", 2000)
+            return b
+
+        b = sim.run(until=sim.process(fill_and_switch()))
+        assert b.function == "B"
+        assert pool.reclaimed >= 1  # parked A pods were evicted
+
+    def test_failed_request_process_surfaces(self):
+        # Platform.run must propagate process failures, not drop requests.
+        wf = make_chain_workflow()
+        platform = ServerlessPlatform(wf)
+
+        class ExplodingPolicy(FixedPlanPolicy):
+            def size_for_stage(self, stage_index, request, elapsed_ms):
+                raise RuntimeError("policy exploded")
+
+        requests = generate_requests(wf, WorkloadConfig(n_requests=2), seed=1)
+        with pytest.raises(RuntimeError, match="policy exploded"):
+            platform.run(ExplodingPolicy("boom", [1000] * 3), requests)
+
+
+class TestMultiTenantPlatform:
+    def _setup(self, n=25, rate=2.0):
+        from repro.cluster.multi import MultiTenantPlatform, TenantJob
+
+        wf_a = make_chain_workflow(slo_ms=8000.0)
+        # Second tenant gets structurally distinct function names.
+        from repro.workflow.catalog import Workflow
+        from repro.workflow.chain import chain_dag
+
+        models = {f"G{i}": make_function(f"G{i}", serial=30, parallel=150,
+                                         sigma=0.06, gamma=0.1)
+                  for i in range(2)}
+        wf_b = Workflow(
+            name="chainB", dag=chain_dag(list(models)), functions=models,
+            slo_ms=5000.0, limits=wf_a.limits,
+        )
+        platform = MultiTenantPlatform(
+            {"a": wf_a, "b": wf_b},
+            ClusterConfig(n_vms=2, vm_capacity_millicores=20_000,
+                          warm_pool_size=2, autoscale=False),
+        )
+        jobs = [
+            TenantJob(
+                tenant="a",
+                policy=FixedPlanPolicy("fa", [1500, 1500, 1500]),
+                requests=tuple(generate_requests(
+                    wf_a, WorkloadConfig(n_requests=n, arrival_rate_per_s=rate),
+                    seed=1,
+                )),
+            ),
+            TenantJob(
+                tenant="b",
+                policy=FixedPlanPolicy("fb", [1000, 1000]),
+                requests=tuple(generate_requests(
+                    wf_b, WorkloadConfig(n_requests=n, arrival_rate_per_s=rate),
+                    seed=2,
+                )),
+            ),
+        ]
+        return platform, jobs
+
+    def test_both_tenants_complete(self):
+        platform, jobs = self._setup()
+        results = platform.run(jobs)
+        assert set(results) == {"a", "b"}
+        assert len(results["a"].outcomes) == 25
+        assert len(results["b"].outcomes) == 25
+
+    def test_tenant_isolation_of_functions(self):
+        platform, jobs = self._setup()
+        platform.run(jobs)
+        # Namespaced pools: tenant a's functions never share warm pods with b.
+        assert set(platform.pool.functions) == {
+            "a:F0", "a:F1", "a:F2", "b:G0", "b:G1",
+        }
+
+    def test_duplicate_tenant_rejected(self):
+        from repro.cluster.multi import MultiTenantPlatform, TenantJob
+        from repro.errors import ClusterError as CE
+
+        platform, jobs = self._setup()
+        with pytest.raises(CE):
+            platform.run([jobs[0], jobs[0]])
+
+    def test_unknown_tenant_rejected(self):
+        from repro.cluster.multi import TenantJob
+        from repro.errors import ClusterError as CE
+
+        platform, jobs = self._setup()
+        rogue = TenantJob(tenant="ghost", policy=jobs[0].policy,
+                          requests=jobs[0].requests)
+        with pytest.raises(CE):
+            platform.run([rogue])
+
+    def test_empty_jobs_rejected(self):
+        from repro.errors import ClusterError as CE
+
+        platform, _ = self._setup()
+        with pytest.raises(CE):
+            platform.run([])
+
+    def test_warm_pod_unusable_when_vm_full(self):
+        # Regression: a parked pod whose VM lacks resize headroom must be
+        # skipped (cold-start elsewhere), not crash the acquisition.
+        sim = Simulator()
+        vms = [VirtualMachine(0, 2500), VirtualMachine(1, 10_000)]
+        fn = make_function("F", sigma=0.0)
+        blocker = make_function("B", sigma=0.0)
+        pool = PoolManager(sim, vms, {"F": fn, "B": blocker},
+                           warm_pool_size=2, colocate_same_function=True)
+
+        def scenario():
+            # Park a 1000mc F pod on VM0, then fill VM0 with a busy B pod.
+            f1 = yield from pool.acquire("F", 1000)
+            f1.start_invocation(); f1.finish_invocation()
+            pool.release(f1)
+            b = yield from pool.acquire("B", 1500)
+            b.start_invocation()
+            # VM0 free = 0; upsizing the parked F pod to 2500 is impossible
+            # there, so the pool must cold-start on VM1.
+            f2 = yield from pool.acquire("F", 2500)
+            return (f1, f2)
+
+        f1, f2 = sim.run(until=sim.process(scenario()))
+        assert f2.vm.vm_id == 1
+        assert f1 is not f2
+
+
+class TestKeepAlive:
+    def _pool(self, keepalive_ms):
+        sim = Simulator()
+        vms = [VirtualMachine(0, 10_000)]
+        fn = make_function("F", sigma=0.0)
+        pool = PoolManager(sim, vms, {"F": fn}, warm_pool_size=3,
+                           keepalive_ms=keepalive_ms)
+        return sim, pool
+
+    def _use_once(self, sim, pool, size=1000):
+        def proc():
+            pod = yield from pool.acquire("F", size)
+            pod.start_invocation()
+            pod.finish_invocation()
+            pool.release(pod)
+            return pod
+
+        return sim.run(until=sim.process(proc()))
+
+    def test_ttl_zero_never_parks(self):
+        sim, pool = self._pool(keepalive_ms=0.0)
+        pod = self._use_once(sim, pool)
+        assert not pod.alive
+        assert pool.warm_count("F") == 0
+
+    def test_expired_pod_forces_cold_start(self):
+        sim, pool = self._pool(keepalive_ms=100.0)
+        self._use_once(sim, pool)
+        assert pool.warm_count("F") == 1
+        sim.timeout(500.0)
+        sim.run()  # idle beyond the TTL
+        pod2 = self._use_once(sim, pool)
+        assert pool.expired == 1
+        assert pool.cold_starts == 2  # second acquisition was cold again
+
+    def test_within_ttl_reuses(self):
+        sim, pool = self._pool(keepalive_ms=10_000.0)
+        first = self._use_once(sim, pool)
+        second = self._use_once(sim, pool)
+        assert first is second
+        assert pool.warm_hits == 1
+
+    def test_idle_accounting_grows_with_park_time(self):
+        sim, pool = self._pool(keepalive_ms=None)
+        self._use_once(sim, pool, size=2000)
+        sim.timeout(1000.0)
+        sim.run()
+        self._use_once(sim, pool, size=2000)
+        # Parked 2000 mc for ~1000 ms -> ~2e6 millicore-ms.
+        assert pool.idle_millicore_ms == pytest.approx(2_000 * 1000.0, rel=0.05)
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ClusterError):
+            self._pool(keepalive_ms=-1.0)
+
+    def test_infinite_ttl_default_parks_forever(self):
+        sim, pool = self._pool(keepalive_ms=None)
+        self._use_once(sim, pool)
+        sim.timeout(1e9)
+        sim.run()
+        assert pool.warm_count("F") == 1

@@ -1,0 +1,137 @@
+"""End-to-end paper-shape assertions on the real IA / VA workflows.
+
+These are the repository's headline invariants: who wins, by roughly what
+factor, and that Janus never trades away the SLO. They run at moderate
+scale on the shared IA/VA profile fixtures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adapter.adapter import JanusAdapter
+from repro.policies.janus import janus
+from repro.runtime.driver import build_policy_suite, run_policies
+from repro.runtime.executor import AnalyticExecutor
+from repro.synthesis.budget import BudgetRange
+from repro.synthesis.generator import synthesize_hints
+from repro.traces.workload import WorkloadConfig, generate_requests
+
+
+@pytest.fixture(scope="module")
+def ia_results(request):
+    wf = request.getfixturevalue("ia_workflow")
+    profiles = request.getfixturevalue("ia_profiles")
+    suite = build_policy_suite(wf, profiles, budget=BudgetRange(2000, 7000))
+    requests = generate_requests(wf, WorkloadConfig(n_requests=400), seed=77)
+    return wf, run_policies(wf, suite, requests)
+
+
+@pytest.fixture(scope="module")
+def va_results(request):
+    wf = request.getfixturevalue("va_workflow")
+    profiles = request.getfixturevalue("va_profiles")
+    suite = build_policy_suite(wf, profiles, budget=BudgetRange(1500, 2000))
+    requests = generate_requests(wf, WorkloadConfig(n_requests=400), seed=78)
+    return wf, run_policies(wf, suite, requests)
+
+
+class TestTable1Shape:
+    @pytest.mark.parametrize("which", ["ia_results", "va_results"])
+    def test_ordering(self, which, request):
+        _, results = request.getfixturevalue(which)
+        mean = {name: r.mean_allocated for name, r in results.items()}
+        # Optimal lower-bounds everything.
+        assert min(mean, key=mean.get) == "Optimal"
+        # Late binding beats every early binder.
+        assert mean["Janus"] < mean["ORION"]
+        assert mean["Janus"] < mean["GrandSLAM"]
+        assert mean["Janus"] < mean["GrandSLAM+"]
+        # Exploration ordering within the family.
+        assert mean["Janus"] <= mean["Janus-"] * 1.02
+        assert mean["Janus+"] <= mean["Janus"] * 1.02
+        # Janus- still beats the early binders (paper Table I).
+        assert mean["Janus-"] < mean["ORION"]
+
+    @pytest.mark.parametrize("which", ["ia_results", "va_results"])
+    def test_magnitudes(self, which, request):
+        _, results = request.getfixturevalue(which)
+        opt = results["Optimal"].mean_allocated
+        janus_mc = results["Janus"].mean_allocated
+
+        def red(name):
+            return 100.0 * (results[name].mean_allocated - janus_mc) / opt
+
+        # Paper: ORION ~22.6/26.9%, GrandSLAM(+) ~31-35%, Janus- ~2.9/4.7%.
+        assert 10.0 <= red("ORION") <= 45.0
+        assert 20.0 <= red("GrandSLAM") <= 55.0
+        assert 0.0 <= red("Janus-") <= 12.0
+
+    @pytest.mark.parametrize("which", ["ia_results", "va_results"])
+    def test_slo_compliance_all_late_binders(self, which, request):
+        wf, results = request.getfixturevalue(which)
+        for name in ("Janus", "Janus-", "Janus+", "Optimal"):
+            assert results[name].violation_rate <= 0.01 + 1e-9, name
+
+    @pytest.mark.parametrize("which", ["ia_results", "va_results"])
+    def test_janus_trades_time_for_resources(self, which, request):
+        # Fig. 4: Janus runs closer to the SLO than the over-provisioned
+        # early binders while staying within it.
+        _, results = request.getfixturevalue(which)
+        assert (
+            results["Janus"].e2e_percentile(99)
+            >= results["GrandSLAM"].e2e_percentile(99)
+        )
+
+
+class TestAdapterOnline:
+    def test_full_pipeline_decisions_fast_and_hitting(
+        self, ia_workflow, ia_profiles
+    ):
+        policy = janus(ia_workflow, ia_profiles, budget=BudgetRange(2000, 7000))
+        requests = generate_requests(
+            ia_workflow, WorkloadConfig(n_requests=300), seed=5
+        )
+        AnalyticExecutor(ia_workflow).run(policy, requests)
+        adapter: JanusAdapter = policy.adapter
+        lats = np.asarray(adapter.decision_latencies_ms())
+        assert lats.size == 300 * 3
+        assert np.percentile(lats, 99) < 3.0  # paper §V-H
+        assert policy.hit_rate > 0.97
+
+    def test_hints_survive_serialization(self, ia_workflow, ia_profiles):
+        # Developer -> provider hand-off: JSON round trip preserves
+        # every online decision.
+        from repro.synthesis.hints import WorkflowHints
+
+        hints = synthesize_hints(
+            ia_profiles, ia_workflow.chain, BudgetRange(2000, 7000)
+        )
+        clone = WorkflowHints.from_json(hints.to_json())
+        a = JanusAdapter(hints, ia_workflow.slo_ms)
+        b = JanusAdapter(clone, ia_workflow.slo_ms)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            stage = int(rng.integers(0, 3))
+            budget = float(rng.uniform(0, 7500))
+            da, db = a.decide(stage, budget), b.decide(stage, budget)
+            assert (da.size, da.hit) == (db.size, db.hit)
+
+
+class TestConcurrencyPanels:
+    @pytest.mark.parametrize("conc,slo", [(2, 4000.0), (3, 5000.0)])
+    def test_higher_concurrency_still_compliant(self, conc, slo):
+        # Fig. 4 / Fig. 5b panels at batch sizes 2 and 3.
+        from repro.profiling.profiler import profile_workflow
+        from repro.workflow.catalog import intelligent_assistant
+
+        wf = intelligent_assistant(slo_ms=slo, concurrency=conc)
+        profiles = profile_workflow(
+            wf, seed=5, samples=600,
+            concurrencies=tuple(range(1, conc + 1)),
+        )
+        policy = janus(wf, profiles, concurrency=conc)
+        requests = generate_requests(
+            wf, WorkloadConfig(n_requests=250), seed=6
+        )
+        result = AnalyticExecutor(wf).run(policy, requests)
+        assert result.violation_rate <= 0.01 + 1e-9

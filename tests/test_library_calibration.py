@@ -1,0 +1,110 @@
+"""Calibration of the shipped IA / VA / microbenchmark models.
+
+Asserts the paper-anchored shape targets (loose tolerances): P99/P50
+skew ratios, budget-range bracketing, batchability, and the interference
+ordering. These tests pin the calibration that the experiment
+reproductions rely on.
+"""
+
+import pytest
+
+from repro.functions.library import (
+    ia_functions,
+    microbenchmark_functions,
+    va_functions,
+)
+from repro.functions.model import Resource
+from repro.metrics.stats import ratio_of_percentiles
+
+
+class TestIAFunctions:
+    def test_chain_order(self):
+        assert [m.name for m in ia_functions()] == ["OD", "QA", "TS"]
+
+    def test_all_batchable(self):
+        # IA is evaluated up to concurrency 3 (paper Fig. 4).
+        assert all(m.batchable for m in ia_functions())
+
+    def test_workset_ranges_match_paper(self):
+        od, qa, _ts = ia_functions()
+        assert od.workset.support() == (1.0, 15.0)  # objects per COCO image
+        assert qa.workset.support() == (35.0, 641.0)  # words per SQuAD text
+
+    def test_p99_p1_variance(self, ia_profiles):
+        # Fig. 1b: up to ~3.8x variance from worksets; ours should land
+        # in the 1.5x-4.5x band for each function.
+        for name in ("OD", "QA", "TS"):
+            prof = ia_profiles[name]
+            ratio = prof.latency(99, 2000) / prof.latency(1, 2000)
+            assert 1.5 <= ratio <= 4.5, f"{name}: {ratio}"
+
+    def test_slo_feasible_at_kmax(self, ia_workflow, ia_profiles):
+        # GrandSLAM must be configurable at the paper's 3 s SLO.
+        total = sum(
+            ia_profiles[n].latency(99, 3000) for n in ia_workflow.chain
+        )
+        assert total <= 3000.0
+
+    def test_budget_range_brackets_paper(self, ia_workflow, ia_profiles):
+        # Eq. 3 range must fit inside the paper's configured 2-7 s table.
+        tmin = sum(ia_profiles[n].latency(1, 3000) for n in ia_workflow.chain)
+        tmax = sum(ia_profiles[n].latency(99, 1000) for n in ia_workflow.chain)
+        assert tmin < 2000.0
+        assert 3500.0 <= tmax <= 7000.0
+
+
+class TestVAFunctions:
+    def test_chain_order(self):
+        assert [m.name for m in va_functions()] == ["FE", "ICL", "ICO"]
+
+    def test_fe_ico_not_batchable(self):
+        # Paper §V-A: FE and ICO cannot process frames in batch form.
+        fe, icl, ico = va_functions()
+        assert not fe.batchable and not ico.batchable
+        assert icl.batchable
+
+    def test_p99_p50_ratios(self, va_profiles, rng):
+        # Paper §V-A: average P99/P50 of 1.46 / 1.56 / 1.37 for FE/ICL/ICO.
+        targets = {"FE": 1.46, "ICL": 1.56, "ICO": 1.37}
+        for name, target in targets.items():
+            prof = va_profiles[name]
+            samples = None
+            ratio = prof.latency(99, 2000) / prof.latency(50, 2000)
+            assert ratio == pytest.approx(target, abs=0.25), f"{name}: {ratio}"
+            del samples
+
+    def test_slo_feasible_at_kmax(self, va_workflow, va_profiles):
+        total = sum(va_profiles[n].latency(99, 3000) for n in va_workflow.chain)
+        assert total <= 1500.0
+
+    def test_min_sizes_infeasible_at_slo(self, va_workflow, va_profiles):
+        # The SLO must actually bind: at Kmin the P99 path exceeds 1.5 s,
+        # otherwise every policy would trivially allocate the minimum.
+        total = sum(va_profiles[n].latency(99, 1000) for n in va_workflow.chain)
+        assert total > 1500.0
+
+
+class TestMicrobenchmarks:
+    def test_four_distinct_dominant_resources(self):
+        resources = {m.dominant_resource for m in microbenchmark_functions()}
+        assert resources == {
+            Resource.CPU,
+            Resource.MEMORY,
+            Resource.IO,
+            Resource.NETWORK,
+        }
+
+    def test_low_noise(self):
+        # Microbenchmarks isolate interference; intrinsic noise stays small.
+        assert all(m.sigma <= 0.15 for m in microbenchmark_functions())
+
+
+class TestSkewHelper:
+    def test_ratio_of_percentiles(self, rng):
+        data = rng.lognormal(0.0, 1.0, 20_000)
+        # lognormal sigma=1: P99/P50 = exp(2.326) ~ 10.2
+        assert ratio_of_percentiles(data) == pytest.approx(10.2, rel=0.15)
+
+    def test_ratio_requires_positive_denominator(self):
+        with pytest.raises(ValueError):
+            ratio_of_percentiles([0.0, 0.0, 0.0])

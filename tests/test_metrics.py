@@ -1,0 +1,117 @@
+"""Metrics: stats, slack, SLO, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.report import format_kv, format_table
+from repro.metrics.slack import slack, slack_cdf, slacks
+from repro.metrics.slo import (
+    e2e_percentile,
+    meets_p99_slo,
+    violation_count,
+    violation_rate,
+)
+from repro.metrics.stats import empirical_cdf, percentile_summary
+from repro.workflow.request import RequestOutcome, StageRecord
+
+
+def outcome(latency, slo=1000.0, rid=0):
+    return RequestOutcome(
+        request_id=rid, arrival_ms=0.0, slo_ms=slo,
+        stages=[StageRecord("F", 1000, 0.0, latency)],
+    )
+
+
+class TestStats:
+    def test_empirical_cdf_endpoints(self):
+        x, f = empirical_cdf([1.0, 2.0, 3.0], grid=np.array([0.5, 2.0, 5.0]))
+        np.testing.assert_allclose(f, [0.0, 2 / 3, 1.0])
+
+    def test_empirical_cdf_default_grid(self):
+        x, f = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert f[-1] == 1.0
+
+    def test_empirical_cdf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_percentile_summary(self):
+        summary = percentile_summary(np.arange(101))
+        assert summary["p50"] == pytest.approx(50.0)
+        assert summary["min"] == 0.0 and summary["max"] == 100.0
+
+    def test_percentile_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_summary([])
+
+
+class TestSlack:
+    def test_slack_formula(self):
+        assert slack(400.0, 1000.0) == pytest.approx(0.6)
+        assert slack(1200.0, 1000.0) == pytest.approx(-0.2)
+
+    def test_slack_invalid_slo(self):
+        with pytest.raises(ValueError):
+            slack(1.0, 0.0)
+
+    def test_slacks_vector(self):
+        outs = [outcome(200), outcome(800)]
+        np.testing.assert_allclose(slacks(outs), [0.8, 0.2])
+
+    def test_slack_cdf(self):
+        outs = [outcome(l) for l in (100, 500, 900)]
+        grid, cdf = slack_cdf(outs)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == 1.0
+
+
+class TestSLO:
+    def test_violation_counts(self):
+        outs = [outcome(500), outcome(1500), outcome(900)]
+        assert violation_count(outs) == 1
+        assert violation_rate(outs) == pytest.approx(1 / 3)
+
+    def test_meets_p99(self):
+        outs = [outcome(500) for _ in range(99)] + [outcome(2000)]
+        assert meets_p99_slo(outs)  # exactly 1% violations
+        outs += [outcome(2000)]
+        assert not meets_p99_slo(outs)
+
+    def test_e2e_percentile(self):
+        outs = [outcome(l) for l in range(1, 101)]
+        assert e2e_percentile(outs, 50) == pytest.approx(50.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            violation_rate([])
+        with pytest.raises(ValueError):
+            e2e_percentile([], 50)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [("a", 1.5), ("long-name", 2.25)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "---" in lines[2]
+        assert len(lines) == 5
+
+    def test_format_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_format_table_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_format_table_no_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1.23456, "b": "x"}, title="K")
+        assert text.startswith("K")
+        assert "alpha" in text and "1.235" in text

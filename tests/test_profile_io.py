@@ -1,0 +1,97 @@
+"""Profile persistence and the CLI developer workflow."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import ProfileError
+from repro.profiling.io import (
+    load_profile_set,
+    profile_from_dict,
+    profile_set_from_json,
+    profile_set_to_json,
+    profile_to_dict,
+    save_profile_set,
+)
+from repro.profiling.profiles import ProfileSet
+from tests.test_profiling import make_profile
+
+
+class TestProfileRoundTrip:
+    def test_single_profile(self):
+        prof = make_profile("F")
+        clone = profile_from_dict(profile_to_dict(prof))
+        assert clone.function == "F"
+        np.testing.assert_array_equal(clone.table, prof.table)
+        assert clone.limits == prof.limits
+        assert clone.percentiles.percentiles == prof.percentiles.percentiles
+
+    def test_profile_set(self):
+        ps = ProfileSet({"A": make_profile("A"), "B": make_profile("B")})
+        clone = profile_set_from_json(profile_set_to_json(ps))
+        assert set(clone.functions()) == {"A", "B"}
+        np.testing.assert_array_equal(clone["A"].table, ps["A"].table)
+
+    def test_file_round_trip(self, tmp_path):
+        ps = ProfileSet({"A": make_profile("A")})
+        path = tmp_path / "profiles.json"
+        save_profile_set(ps, str(path))
+        clone = load_profile_set(str(path))
+        np.testing.assert_array_equal(clone["A"].table, ps["A"].table)
+
+    def test_lookups_preserved(self):
+        ps = ProfileSet({"A": make_profile("A")})
+        clone = profile_set_from_json(profile_set_to_json(ps))
+        for p in (1, 50, 99):
+            for k in (1000, 2000, 3000):
+                assert clone["A"].latency(p, k) == ps["A"].latency(p, k)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProfileError):
+            profile_set_from_json("{broken")
+
+    def test_wrong_version_rejected(self):
+        doc = json.dumps({"format_version": 999, "profiles": {}})
+        with pytest.raises(ProfileError):
+            profile_set_from_json(doc)
+
+    def test_empty_profiles_rejected(self):
+        doc = json.dumps({"format_version": 1, "profiles": {}})
+        with pytest.raises(ProfileError):
+            profile_set_from_json(doc)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ProfileError):
+            profile_from_dict({"function": "F"})
+
+
+class TestCliDeveloperWorkflow:
+    def test_profile_synthesize_inspect(self, tmp_path, capsys):
+        prof_path = tmp_path / "va.json"
+        hints_path = tmp_path / "va-hints.json"
+        assert main(["profile", "VA", "--out", str(prof_path),
+                     "--samples", "600"]) == 0
+        assert prof_path.exists()
+        assert main(["synthesize", str(prof_path), "--out", str(hints_path),
+                     "--tmin", "1500", "--tmax", "2000"]) == 0
+        assert hints_path.exists()
+        assert main(["inspect", str(hints_path)]) == 0
+        out = capsys.readouterr().out
+        assert "compressed" in out and "stage 0 (FE)" in out
+
+    def test_synthesize_custom_chain_and_exploration(self, tmp_path, capsys):
+        prof_path = tmp_path / "va.json"
+        hints_path = tmp_path / "hints.json"
+        main(["profile", "VA", "--out", str(prof_path), "--samples", "600"])
+        assert main([
+            "synthesize", str(prof_path), "--out", str(hints_path),
+            "--chain", "FE,ICL,ICO", "--exploration", "none",
+            "--weight", "2.0",
+        ]) == 0
+        from repro.synthesis.hints import WorkflowHints
+
+        hints = WorkflowHints.from_json(hints_path.read_text())
+        assert hints.weight == 2.0
+        assert [t.head_function for t in hints.tables] == ["FE", "ICL", "ICO"]

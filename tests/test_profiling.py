@@ -1,0 +1,273 @@
+"""Profiler and latency-profile tables, timeout/resilience metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiling.metrics import (
+    resilience,
+    resilience_curve,
+    timeout,
+    timeout_curve,
+    total_resilience,
+)
+from repro.profiling.profiler import Profiler, ProfilerConfig
+from repro.profiling.profiles import LatencyProfile, ProfileSet
+from repro.rng import RngFactory
+from repro.types import PercentileGrid, ResourceLimits
+from tests.conftest import make_function, small_limits, tiny_percentiles
+
+
+def make_profile(
+    name: str = "F",
+    limits: ResourceLimits | None = None,
+    percentiles: PercentileGrid | None = None,
+    concurrencies: tuple[int, ...] = (1,),
+) -> LatencyProfile:
+    limits = limits or small_limits()
+    percentiles = percentiles or tiny_percentiles()
+    k = limits.grid().astype(float)
+    p = percentiles.as_array()
+    # Synthetic monotone table: decreasing in k, increasing in p.
+    base = 100.0 + 1000.0 * (1000.0 / k)[None, :]
+    spread = (1.0 + p / 100.0)[:, None]
+    plane = base * spread
+    table = np.stack([plane * (1.0 + 0.3 * c) for c in range(len(concurrencies))])
+    return LatencyProfile(
+        function=name,
+        percentiles=percentiles,
+        limits=limits,
+        concurrencies=concurrencies,
+        table=table,
+    )
+
+
+class TestLatencyProfile:
+    def test_lookup_exact(self):
+        prof = make_profile()
+        assert prof.latency(99, 1000) > prof.latency(1, 1000)
+        assert prof.latency(99, 1000) > prof.latency(99, 3000)
+
+    def test_off_grid_size_rejected(self):
+        prof = make_profile()
+        with pytest.raises(ProfileError):
+            prof.latency(99, 1234)
+
+    def test_unknown_concurrency_rejected(self):
+        prof = make_profile()
+        with pytest.raises(ProfileError):
+            prof.latency(99, 1000, concurrency=2)
+
+    def test_shape_mismatch_rejected(self):
+        limits, grid = small_limits(), tiny_percentiles()
+        with pytest.raises(ProfileError):
+            LatencyProfile(
+                function="F", percentiles=grid, limits=limits,
+                concurrencies=(1,), table=np.ones((1, 2, 2)),
+            )
+
+    def test_non_positive_table_rejected(self):
+        limits, grid = small_limits(), tiny_percentiles()
+        shape = (1, len(grid), limits.num_options)
+        with pytest.raises(ProfileError):
+            LatencyProfile(
+                function="F", percentiles=grid, limits=limits,
+                concurrencies=(1,), table=np.zeros(shape),
+            )
+
+    def test_concurrency_must_start_at_one(self):
+        limits, grid = small_limits(), tiny_percentiles()
+        shape = (1, len(grid), limits.num_options)
+        with pytest.raises(ProfileError):
+            LatencyProfile(
+                function="F", percentiles=grid, limits=limits,
+                concurrencies=(2,), table=np.ones(shape),
+            )
+
+    def test_timeout_definition(self):
+        prof = make_profile()
+        # D(p, k) = L(99, k) - L(p, k)
+        assert prof.timeout(50, 1500) == pytest.approx(
+            prof.latency(99, 1500) - prof.latency(50, 1500)
+        )
+        assert prof.timeout(99, 1500) == 0.0
+
+    def test_timeout_non_negative_everywhere(self):
+        prof = make_profile()
+        for p in prof.percentiles:
+            assert np.all(prof.timeout_row(p) >= -1e-9)
+
+    def test_resilience_definition(self):
+        prof = make_profile()
+        # R(p, k) = L(p, k) - L(p, Kmax), prose sign convention
+        assert prof.resilience(50, 1000) == pytest.approx(
+            prof.latency(50, 1000) - prof.latency(50, 3000)
+        )
+        assert prof.resilience(50, prof.limits.kmax) == 0.0
+
+    def test_resilience_non_negative(self):
+        prof = make_profile()
+        for p in prof.percentiles:
+            assert np.all(prof.resilience_row(p) >= -1e-9)
+
+    def test_bounds(self):
+        prof = make_profile()
+        assert prof.min_latency() == prof.latency(1, 3000)
+        assert prof.max_latency() == prof.latency(99, 1000)
+
+    def test_monotone_check_and_projection(self):
+        prof = make_profile()
+        assert prof.is_monotone()
+        # Corrupt the table, then project back.
+        bad_table = prof.table.copy()
+        bad_table[0, 0, 0], bad_table[0, 0, 1] = bad_table[0, 0, 1], bad_table[0, 0, 0] * 0.5
+        bad = LatencyProfile(
+            function="F", percentiles=prof.percentiles, limits=prof.limits,
+            concurrencies=prof.concurrencies, table=bad_table,
+        )
+        fixed = bad.enforce_monotone()
+        assert fixed.is_monotone()
+
+    def test_memory_bytes(self):
+        prof = make_profile()
+        assert prof.memory_bytes() == prof.table.nbytes
+
+    def test_higher_concurrency_slower(self):
+        prof = make_profile(concurrencies=(1, 2))
+        assert prof.latency(50, 2000, concurrency=2) > prof.latency(
+            50, 2000, concurrency=1
+        )
+
+
+class TestProfileSet:
+    def test_basic(self):
+        ps = ProfileSet({"A": make_profile("A"), "B": make_profile("B")})
+        assert len(ps) == 2 and "A" in ps
+        assert ps["A"].function == "A"
+        assert set(ps.functions()) == {"A", "B"}
+
+    def test_unknown_function_rejected(self):
+        ps = ProfileSet({"A": make_profile("A")})
+        with pytest.raises(ProfileError):
+            ps["Z"]
+
+    def test_mismatched_limits_rejected(self):
+        other = ResourceLimits(1000, 2000, 500)
+        with pytest.raises(ProfileError):
+            ProfileSet({
+                "A": make_profile("A"),
+                "B": make_profile("B", limits=other),
+            })
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfileError):
+            ProfileSet({})
+
+    def test_for_chain_orders(self):
+        ps = ProfileSet({"A": make_profile("A"), "B": make_profile("B")})
+        assert [p.function for p in ps.for_chain(["B", "A"])] == ["B", "A"]
+
+    def test_memory_bytes_sums(self):
+        ps = ProfileSet({"A": make_profile("A"), "B": make_profile("B")})
+        assert ps.memory_bytes() == ps["A"].memory_bytes() + ps["B"].memory_bytes()
+
+
+class TestProfiler:
+    def test_campaign_produces_monotone_tables(self):
+        cfg = ProfilerConfig(
+            limits=small_limits(), percentiles=tiny_percentiles(), samples=400
+        )
+        prof = Profiler(cfg).profile_function(
+            make_function(gamma=0.3, sigma=0.15), RngFactory(1).stream("p")
+        )
+        assert prof.is_monotone()
+
+    def test_campaign_reproducible(self):
+        cfg = ProfilerConfig(
+            limits=small_limits(), percentiles=tiny_percentiles(), samples=300
+        )
+        a = Profiler(cfg).profile_function(make_function(), RngFactory(2).stream("x"))
+        b = Profiler(cfg).profile_function(make_function(), RngFactory(2).stream("x"))
+        np.testing.assert_array_equal(a.table, b.table)
+
+    def test_non_batchable_profiles_reuse_c1(self):
+        cfg = ProfilerConfig(
+            limits=small_limits(), percentiles=tiny_percentiles(),
+            concurrencies=(1, 2), samples=300,
+        )
+        prof = Profiler(cfg).profile_function(
+            make_function(batchable=False, batch_eta=0.0),
+            RngFactory(3).stream("x"),
+        )
+        # Same distribution sampled independently: medians close.
+        mid = len(tiny_percentiles()) // 2
+        np.testing.assert_allclose(
+            prof.table[0, mid], prof.table[1, mid], rtol=0.1
+        )
+
+    def test_batchable_profiles_scale_with_concurrency(self):
+        cfg = ProfilerConfig(
+            limits=small_limits(), percentiles=tiny_percentiles(),
+            concurrencies=(1, 2), samples=400,
+        )
+        prof = Profiler(cfg).profile_function(
+            make_function(batch_eta=0.5), RngFactory(4).stream("x")
+        )
+        assert prof.latency(50, 2000, 2) > 1.3 * prof.latency(50, 2000, 1)
+
+    def test_interference_sampler_shifts_distribution(self):
+        cfg = ProfilerConfig(
+            limits=small_limits(), percentiles=tiny_percentiles(), samples=400
+        )
+        base = Profiler(cfg).profile_function(
+            make_function(), RngFactory(5).stream("x")
+        )
+        noisy = Profiler(
+            cfg, interference=lambda rng, n: 1.0 + rng.random(n)
+        ).profile_function(make_function(), RngFactory(5).stream("x"))
+        assert noisy.latency(50, 2000) > base.latency(50, 2000)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ProfileError):
+            ProfilerConfig(samples=10)
+
+    def test_concurrencies_must_start_at_one(self):
+        with pytest.raises(ProfileError):
+            ProfilerConfig(concurrencies=(2, 3))
+
+
+class TestMetricHelpers:
+    def test_functional_wrappers(self):
+        prof = make_profile()
+        assert timeout(prof, 50, 1500) == prof.timeout(50, 1500)
+        assert resilience(prof, 50, 1500) == prof.resilience(50, 1500)
+
+    def test_curves_cover_grid(self):
+        prof = make_profile()
+        ks, ds = timeout_curve(prof, 25)
+        assert len(ks) == len(ds) == prof.limits.num_options
+        ks2, rs = resilience_curve(prof)
+        assert rs[-1] == pytest.approx(0.0)
+
+    def test_timeout_decreases_with_percentile(self):
+        # Fig 7a: higher percentile -> smaller timeout.
+        prof = make_profile()
+        _, d25 = timeout_curve(prof, 25)
+        _, d75 = timeout_curve(prof, 75)
+        assert np.all(d25 >= d75)
+
+    def test_resilience_decreases_with_cores(self):
+        # Fig 7b: more cores -> less headroom left.
+        prof = make_profile()
+        _, r = resilience_curve(prof)
+        assert np.all(np.diff(r) <= 1e-9)
+
+    def test_total_resilience(self):
+        prof = make_profile()
+        val = total_resilience([prof, prof], [1000, 3000])
+        assert val == pytest.approx(prof.resilience(99, 1000))
+
+    def test_total_resilience_length_mismatch(self):
+        prof = make_profile()
+        with pytest.raises(ValueError):
+            total_resilience([prof], [1000, 2000])

@@ -1,0 +1,187 @@
+"""Property-based tests of the synthesis pipeline on randomised profiles.
+
+Hypothesis generates random (but physically valid) latency tables; the
+properties pin the pipeline's core invariants end to end:
+
+* the suffix DP equals brute force on every budget,
+* raw hints always satisfy the latency and resilience constraints,
+* condensing is lossless and lookups match the raw decision,
+* the adapter's decision never exceeds Kmax and always answers.
+"""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adapter.adapter import JanusAdapter
+from repro.profiling.profiles import LatencyProfile, ProfileSet
+from repro.synthesis.budget import budget_range_for_chain
+from repro.synthesis.condenser import condense
+from repro.synthesis.dp import ChainDP
+from repro.synthesis.generator import HintSynthesizer, synthesize_hints
+from repro.types import PercentileGrid, ResourceLimits
+
+LIMITS = ResourceLimits(kmin=1000, kmax=2000, step=500)  # 3 sizes
+GRID = PercentileGrid(percentiles=(1.0, 50.0, 99.0), anchor=99.0)
+
+
+@st.composite
+def latency_profiles(draw, name="F"):
+    """A random valid profile: monotone in k (dec) and p (inc)."""
+    k_opts = LIMITS.num_options
+    p_opts = len(GRID)
+    # Base latencies per size (descending in k by construction).
+    base = draw(
+        st.lists(
+            st.floats(min_value=20.0, max_value=400.0),
+            min_size=k_opts, max_size=k_opts,
+        )
+    )
+    base = np.sort(np.asarray(base))[::-1] + np.arange(k_opts, 0, -1)
+    # Percentile spreads (ascending in p).
+    spreads = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=2.5),
+            min_size=p_opts, max_size=p_opts,
+        )
+    )
+    spreads = np.sort(np.asarray(spreads))
+    table = (spreads[:, None] * base[None, :])[None, :, :]
+    return LatencyProfile(
+        function=name,
+        percentiles=GRID,
+        limits=LIMITS,
+        concurrencies=(1,),
+        table=table,
+    )
+
+
+@st.composite
+def profile_chains(draw, n=3):
+    profs = [draw(latency_profiles(name=f"F{i}")) for i in range(n)]
+    return profs
+
+
+def brute_force(profiles, budget):
+    grids = [p.limits.grid() for p in profiles]
+    best = None
+    for combo in itertools.product(*grids):
+        t = sum(
+            int(np.ceil(p.latency(99, int(k)))) for p, k in zip(profiles, combo)
+        )
+        if t <= budget:
+            total = sum(int(k) for k in combo)
+            best = total if best is None else min(best, total)
+    return best
+
+
+class TestDPProperties:
+    @given(profile_chains())
+    @settings(max_examples=25, deadline=None)
+    def test_dp_equals_brute_force(self, profiles):
+        tmax = int(sum(p.latency(99, 1000) for p in profiles)) + 10
+        dp = ChainDP(profiles, tmax)
+        rng = np.random.default_rng(0)
+        for budget in rng.integers(0, tmax + 1, size=8):
+            expected = brute_force(profiles, int(budget))
+            got = dp.min_total_cores(0, int(budget))
+            if expected is None:
+                assert not np.isfinite(got)
+            else:
+                assert got == expected
+
+    @given(profile_chains())
+    @settings(max_examples=25, deadline=None)
+    def test_allocation_meets_budget(self, profiles):
+        tmax = int(sum(p.latency(99, 1000) for p in profiles)) + 10
+        dp = ChainDP(profiles, tmax)
+        for budget in (tmax // 2, tmax):
+            alloc = dp.allocation(0, budget)
+            if alloc is not None:
+                total = sum(
+                    int(np.ceil(p.latency(99, k)))
+                    for p, k in zip(profiles, alloc)
+                )
+                assert total <= budget
+
+
+class TestGeneratorProperties:
+    @given(profile_chains())
+    @settings(max_examples=20, deadline=None)
+    def test_raw_hints_respect_constraints(self, profiles):
+        ps = ProfileSet({p.function: p for p in profiles})
+        chain = [p.function for p in profiles]
+        budget = budget_range_for_chain(profiles)
+        synth = HintSynthesizer(ps, chain)
+        dp = ChainDP(profiles, budget.tmax_ms)
+        raw = synth.synthesize_suffix(0, dp, budget)
+        head = profiles[0]
+        idx = np.flatnonzero(raw.feasible_mask)
+        step = max(1, idx.size // 20)
+        for i in idx[::step]:
+            t = raw.tmin_ms + int(i)
+            k = int(raw.head_sizes[i])
+            p = float(raw.head_percentiles[i])
+            d = int(np.ceil(head.latency(p, k)))
+            # Eq. 5: head + anchored downstream fit in the budget.
+            rest = dp.min_total_cores(1, t - d)
+            assert np.isfinite(rest)
+            # Eq. 6: head timeout within downstream resilience.
+            assert head.timeout(p, k) <= dp.total_resilience(1, t - d) + 1e-6
+
+    @given(profile_chains())
+    @settings(max_examples=20, deadline=None)
+    def test_condense_lossless_and_adapter_total(self, profiles):
+        ps = ProfileSet({p.function: p for p in profiles})
+        chain = [p.function for p in profiles]
+        hints = synthesize_hints(ps, chain)
+        adapter = JanusAdapter(hints, slo_ms=hints.tables[0].tmax_ms)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            stage = int(rng.integers(0, len(chain)))
+            budget = float(rng.uniform(0, hints.tables[0].tmax_ms * 1.2))
+            decision = adapter.decide(stage, budget)
+            # Total: the adapter always answers with a grid-valid size.
+            assert LIMITS.kmin <= decision.size <= LIMITS.kmax
+            assert LIMITS.contains(decision.size)
+            table = hints.tables[stage]
+            if table.tmin_ms <= budget <= table.tmax_ms:
+                assert decision.hit
+
+    @given(profile_chains(), st.floats(min_value=1.0, max_value=4.0))
+    @settings(max_examples=15, deadline=None)
+    def test_weight_monotone_head_size(self, profiles, weight):
+        # Higher head weight never increases the head allocation at any
+        # budget (the head term dominates more).
+        from repro.synthesis.generator import SynthesisConfig
+
+        ps = ProfileSet({p.function: p for p in profiles})
+        chain = [p.function for p in profiles]
+        budget = budget_range_for_chain(profiles)
+        dp = ChainDP(profiles, budget.tmax_ms)
+        raw1 = HintSynthesizer(ps, chain).synthesize_suffix(0, dp, budget)
+        raww = HintSynthesizer(
+            ps, chain, SynthesisConfig(weight=weight)
+        ).synthesize_suffix(0, dp, budget)
+        both = raw1.feasible_mask & raww.feasible_mask
+        assert np.all(raww.head_sizes[both] <= raw1.head_sizes[both] + 1e-9)
+
+
+class TestCondenserProperties:
+    @given(profile_chains())
+    @settings(max_examples=20, deadline=None)
+    def test_condensed_matches_raw_on_every_budget(self, profiles):
+        ps = ProfileSet({p.function: p for p in profiles})
+        chain = [p.function for p in profiles]
+        budget = budget_range_for_chain(profiles)
+        synth = HintSynthesizer(ps, chain)
+        dp = ChainDP(profiles, budget.tmax_ms)
+        raw = synth.synthesize_suffix(0, dp, budget)
+        table = condense(raw, LIMITS.kmax)
+        idx = np.flatnonzero(raw.feasible_mask)
+        step = max(1, idx.size // 40)
+        for i in idx[::step]:
+            budget_ms = raw.tmin_ms + int(i)
+            assert table.lookup(budget_ms).size == int(raw.head_sizes[i])

@@ -1,0 +1,191 @@
+"""Condensing (Algorithm 2) and the condensed-table structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynthesisError
+from repro.synthesis.condenser import condense
+from repro.synthesis.hints import CondensedHintsTable, RawHints, WorkflowHints
+
+
+def make_raw(sizes, tmin=100):
+    sizes = np.asarray(sizes, dtype=np.int32)
+    n = sizes.size
+    feasible = sizes >= 0
+    return RawHints(
+        suffix_index=0,
+        head_function="F",
+        tmin_ms=tmin,
+        tmax_ms=tmin + n - 1,
+        head_sizes=sizes,
+        head_percentiles=np.where(feasible, 99.0, np.nan).astype(np.float32),
+        expected_cost=np.where(feasible, sizes.astype(float), np.inf),
+        planned_total=np.where(feasible, sizes.astype(float), np.inf),
+    )
+
+
+class TestCondense:
+    def test_runs_fuse(self):
+        raw = make_raw([3000, 3000, 2000, 2000, 2000, 1000])
+        table = condense(raw, kmax=3000)
+        assert table.rows() == [
+            (100, 101, 3000), (102, 104, 2000), (105, 105, 1000),
+        ]
+
+    def test_leading_infeasible_region_excluded(self):
+        raw = make_raw([-1, -1, 2000, 1000])
+        table = condense(raw, kmax=3000)
+        assert table.tmin_ms == 102
+        assert table.lookup(101).hit is False
+
+    def test_all_infeasible_rejected(self):
+        with pytest.raises(SynthesisError):
+            condense(make_raw([-1, -1, -1]), kmax=3000)
+
+    def test_hole_in_feasible_region_rejected(self):
+        with pytest.raises(SynthesisError):
+            condense(make_raw([2000, -1, 1000]), kmax=3000)
+
+    def test_single_budget(self):
+        table = condense(make_raw([1500]), kmax=3000)
+        assert table.rows() == [(100, 100, 1500)]
+
+    @given(
+        st.lists(
+            st.sampled_from([1000, 1500, 2000, 2500, 3000]),
+            min_size=1, max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_matches_raw_everywhere(self, sizes):
+        """Property: condensing is lossless — every budget resolves to the
+        same head size the raw table held (Insight-5/6 preserve accuracy)."""
+        raw = make_raw(sizes)
+        table = condense(raw, kmax=3000)
+        for offset, size in enumerate(sizes):
+            budget = raw.tmin_ms + offset
+            result = table.lookup(budget)
+            assert result.hit and result.size == size
+
+    @given(
+        st.lists(
+            st.sampled_from([1000, 1100, 1200, 3000]),
+            min_size=1, max_size=150,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rows_are_contiguous_and_minimal(self, sizes):
+        table = condense(make_raw(sizes), kmax=3000)
+        rows = table.rows()
+        for (s1, e1, k1), (s2, e2, k2) in zip(rows, rows[1:]):
+            assert s2 == e1 + 1
+            assert k1 != k2  # maximal fusion: adjacent rows differ
+
+
+class TestCondensedTable:
+    def make(self):
+        return CondensedHintsTable(
+            suffix_index=0, head_function="F",
+            starts=np.array([100, 200]), ends=np.array([199, 300]),
+            sizes=np.array([3000, 1000]), kmax=3000,
+        )
+
+    def test_lookup_hit(self):
+        t = self.make()
+        assert t.lookup(150) == t.lookup(100)
+        assert t.lookup(150).size == 3000
+        assert t.lookup(250).size == 1000
+
+    def test_lookup_boundaries(self):
+        t = self.make()
+        assert t.lookup(199).size == 3000
+        assert t.lookup(200).size == 1000
+
+    def test_miss_below_scales_to_kmax(self):
+        t = self.make()
+        res = t.lookup(50)
+        assert not res.hit and res.size == 3000
+
+    def test_clamp_above(self):
+        t = self.make()
+        res = t.lookup(10_000)
+        assert res.hit and res.size == 1000
+
+    def test_strict_above_is_miss(self):
+        t = CondensedHintsTable(
+            suffix_index=0, head_function="F",
+            starts=np.array([100]), ends=np.array([200]),
+            sizes=np.array([1500]), kmax=3000, clamp_above=False,
+        )
+        assert not t.lookup(201).hit
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError):
+            CondensedHintsTable(
+                0, "F", np.array([100, 150]), np.array([160, 200]),
+                np.array([1, 2]), kmax=3000,
+            )  # overlapping / non-contiguous
+        with pytest.raises(SynthesisError):
+            CondensedHintsTable(
+                0, "F", np.array([100]), np.array([50]),
+                np.array([1]), kmax=3000,
+            )  # end before start
+        with pytest.raises(SynthesisError):
+            CondensedHintsTable(
+                0, "F", np.array([], dtype=int), np.array([], dtype=int),
+                np.array([], dtype=int), kmax=3000,
+            )  # empty
+
+    def test_serialization_roundtrip(self):
+        t = self.make()
+        clone = CondensedHintsTable.from_dict(t.to_dict())
+        assert clone.rows() == t.rows()
+        assert clone.kmax == t.kmax
+
+    def test_memory_bytes(self):
+        assert self.make().memory_bytes() > 0
+
+
+class TestWorkflowHints:
+    def make(self):
+        tables = [
+            CondensedHintsTable(
+                i, f"F{i}", np.array([100]), np.array([200]),
+                np.array([1000]), kmax=3000,
+            )
+            for i in range(3)
+        ]
+        return WorkflowHints(
+            workflow_name="w", concurrency=1, weight=1.0, tables=tables,
+            raw_hint_count=300, condensed_hint_count=3,
+        )
+
+    def test_stage_lookup(self):
+        hints = self.make()
+        assert hints.table_for_stage(1).head_function == "F1"
+        with pytest.raises(SynthesisError):
+            hints.table_for_stage(9)
+
+    def test_compression_ratio(self):
+        assert self.make().compression_ratio == pytest.approx(0.99)
+
+    def test_json_roundtrip(self):
+        hints = self.make()
+        clone = WorkflowHints.from_json(hints.to_json())
+        assert clone.workflow_name == "w"
+        assert clone.num_stages == 3
+        assert clone.tables[2].rows() == hints.tables[2].rows()
+
+    def test_suffix_ordering_enforced(self):
+        tables = self.make().tables
+        with pytest.raises(SynthesisError):
+            WorkflowHints(
+                workflow_name="w", concurrency=1, weight=1.0,
+                tables=list(reversed(tables)),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            WorkflowHints(workflow_name="w", concurrency=1, weight=1.0, tables=[])

@@ -1,0 +1,150 @@
+"""The vectorised suffix DP — correctness against brute force."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synthesis.budget import BudgetRange, budget_range_for_chain
+from repro.synthesis.dp import ChainDP
+from tests.test_profiling import make_profile
+
+
+def brute_force_min_cores(profiles, budget_ms, anchor=99.0):
+    """Exhaustive minimum total millicores with the P99 sum <= budget."""
+    grids = [p.limits.grid() for p in profiles]
+    best = None
+    for combo in itertools.product(*grids):
+        total_time = sum(
+            int(np.ceil(p.latency(anchor, int(k)))) for p, k in zip(profiles, combo)
+        )
+        if total_time <= budget_ms:
+            total_k = sum(int(k) for k in combo)
+            if best is None or total_k < best:
+                best = total_k
+    return best
+
+
+class TestBudgetRange:
+    def test_grid(self):
+        b = BudgetRange(100, 105)
+        assert list(b.grid()) == [100, 101, 102, 103, 104, 105]
+        assert b.num_budgets == 6
+
+    def test_contains_and_clamp(self):
+        b = BudgetRange(100, 200, step_ms=10)
+        assert b.contains(150) and not b.contains(99)
+        assert b.clamp(154) == 150
+        assert b.clamp(9999) == 200
+        assert b.clamp(0) == 100
+
+    def test_invalid_ranges(self):
+        with pytest.raises(SynthesisError):
+            BudgetRange(200, 100)
+        with pytest.raises(SynthesisError):
+            BudgetRange(-1, 100)
+        with pytest.raises(SynthesisError):
+            BudgetRange(0, 100, step_ms=0)
+
+    def test_eq3_range(self):
+        profiles = [make_profile("A"), make_profile("B")]
+        b = budget_range_for_chain(profiles)
+        expected_min = sum(p.latency(1, 3000) for p in profiles)
+        expected_max = sum(p.latency(99, 1000) for p in profiles)
+        assert b.tmin_ms == int(np.floor(expected_min))
+        assert b.tmax_ms == int(np.ceil(expected_max))
+
+    def test_eq3_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            budget_range_for_chain([])
+
+
+class TestChainDP:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return [make_profile("A"), make_profile("B"), make_profile("C")]
+
+    @pytest.fixture(scope="class")
+    def dp(self, profiles):
+        tmax = int(sum(p.latency(99, 1000) for p in profiles)) + 100
+        return ChainDP(profiles, tmax)
+
+    def test_matches_brute_force_across_budgets(self, profiles, dp):
+        rng = np.random.default_rng(0)
+        lo = int(sum(p.latency(99, 3000) for p in profiles))
+        for budget in rng.integers(lo - 200, dp.tmax_ms, size=12):
+            expected = brute_force_min_cores(profiles, int(budget))
+            got = dp.min_total_cores(0, int(budget))
+            if expected is None:
+                assert not np.isfinite(got)
+            else:
+                assert got == expected
+
+    def test_allocation_consistent_with_cost(self, profiles, dp):
+        budget = dp.tmax_ms - 50
+        alloc = dp.allocation(0, budget)
+        assert alloc is not None
+        assert sum(alloc) == dp.min_total_cores(0, budget)
+        total_time = sum(
+            np.ceil(p.latency(99, k)) for p, k in zip(profiles, alloc)
+        )
+        assert total_time <= budget
+
+    def test_infeasible_budget(self, profiles, dp):
+        assert not dp.feasible(0, 10)
+        assert dp.allocation(0, 10) is None
+
+    def test_cost_non_increasing_in_budget(self, dp):
+        for j in range(3):
+            cost = dp.cost_array(j)
+            finite = cost[np.isfinite(cost)]
+            assert np.all(np.diff(finite) <= 1e-9)
+
+    def test_feasibility_upper_set(self, dp):
+        # Once feasible, always feasible for larger budgets.
+        for j in range(3):
+            cost = dp.cost_array(j)
+            finite_idx = np.flatnonzero(np.isfinite(cost))
+            if finite_idx.size:
+                assert np.all(np.isfinite(cost[finite_idx[0]:]))
+
+    def test_resilience_of_allocation(self, profiles, dp):
+        budget = dp.tmax_ms - 10
+        alloc = dp.allocation(0, budget)
+        expected = sum(
+            p.resilience(99, k) for p, k in zip(profiles, alloc)
+        )
+        assert dp.total_resilience(0, budget) == pytest.approx(expected)
+
+    def test_suffix_indices_validated(self, dp):
+        with pytest.raises(SynthesisError):
+            dp.min_total_cores(5, 100)
+        with pytest.raises(SynthesisError):
+            dp.min_total_cores(0, -1)
+
+    def test_budget_clamped_to_tmax(self, dp):
+        # Budgets beyond tmax behave like tmax (cost already minimal).
+        assert dp.min_total_cores(0, dp.tmax_ms * 10) == dp.min_total_cores(
+            0, dp.tmax_ms
+        )
+
+    def test_single_function_chain(self):
+        prof = make_profile("solo")
+        dp = ChainDP([prof], int(prof.latency(99, 1000)) + 10)
+        # Budget just above the fastest P99 -> kmax; huge budget -> kmin.
+        fast = int(np.ceil(prof.latency(99, 3000)))
+        assert dp.allocation(0, fast) == [3000]
+        assert dp.allocation(0, dp.tmax_ms) == [1000]
+
+    def test_mixed_limits_rejected(self):
+        from repro.types import ResourceLimits
+
+        a = make_profile("A")
+        b = make_profile("B", limits=ResourceLimits(1000, 2000, 500))
+        with pytest.raises(SynthesisError):
+            ChainDP([a, b], 1000)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(SynthesisError):
+            ChainDP([], 100)

