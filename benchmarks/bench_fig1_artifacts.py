@@ -25,7 +25,7 @@ class TestFig1b:
 
 class TestFig1c:
     def test_fig1c_interference(self, benchmark):
-        result = run_once(benchmark, fig1_interference.run, samples=200)
+        result = run_once(benchmark, fig1_interference.run, samples_per_level=200)
         print("\n" + fig1_interference.render(result))
         finals = {n: s[-1] for n, s in result.series.items()}
         # Paper: up to 8.1x at six instances; network worst, CPU mildest.

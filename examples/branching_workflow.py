@@ -2,29 +2,17 @@
 """Branching workflows — the paper's §VII future work, implemented.
 
 A media-processing diamond: ingest fans out into a heavy vision branch and
-a light audio branch that join in a publish step. Hint tables are
-synthesized per function over each function's downstream critical path
-(`repro.synthesis.dag`), and the branch-parallel executor sizes every
-function the moment its predecessors finish.
+a light audio branch that join in a publish step. The same `Session` facade
+that drives chains drives this DAG: `Workflow.topology` selects the
+branch-parallel executor, hint tables are synthesized per function over
+each function's downstream critical path, and the registry resolves
+"Janus"/"GrandSLAM" to their DAG variants.
 
 Run:  python examples/branching_workflow.py
 """
 
-from repro import (
-    FunctionModel,
-    ProfileSet,
-    Profiler,
-    ProfilerConfig,
-    Resource,
-    Workflow,
-    WorkloadConfig,
-    generate_requests,
-)
+from repro import FunctionModel, Resource, Session, Workflow
 from repro.functions import LogUniformWorkset
-from repro.policies import DagGrandSLAMPolicy, DagJanusPolicy
-from repro.rng import RngFactory
-from repro.runtime import DagAnalyticExecutor
-from repro.synthesis import synthesize_dag_hints
 from repro.workflow import WorkflowDAG
 
 
@@ -62,32 +50,27 @@ def build_workflow() -> Workflow:
 
 def main() -> None:
     workflow = build_workflow()
-    print(f"DAG: {workflow.dag.edges}")
+    session = Session(workflow, seed=5)
+    print(f"DAG: {workflow.dag.edges}  (topology: {workflow.topology})")
     print(f"critical path: {' -> '.join(workflow.chain)}  "
           f"(SLO {workflow.slo_ms:g} ms)\n")
 
-    # Profile every function (including the off-critical-path Audio branch).
-    cfg = ProfilerConfig(limits=workflow.limits, samples=2000)
-    profiler = Profiler(cfg)
-    factory = RngFactory(5).fork("media")
-    profiles = ProfileSet({
-        name: profiler.profile_function(workflow.model(name), factory.stream(name))
-        for name in workflow.dag.nodes
-    })
-
-    hints = synthesize_dag_hints(workflow, profiles)
+    # Developer side: profile every function (including the
+    # off-critical-path Audio branch) and synthesize per-function tables.
+    hints = session.synthesize()
     for name, chain in hints.chains.items():
         print(f"  {name:8s} table over {' -> '.join(chain):28s} "
               f"({len(hints.table_for(name))} rows)")
 
-    requests = generate_requests(workflow, WorkloadConfig(n_requests=500), seed=9)
-    executor = DagAnalyticExecutor(workflow)
-    janus = DagJanusPolicy(workflow, hints)
-    early = DagGrandSLAMPolicy(workflow, profiles)
+    # Provider side: the DAG executor is auto-selected, and the registry
+    # resolves the policy names to their DAG variants.
+    requests = session.requests(500)
+    janus = session.policy("Janus")
+    early = session.policy("GrandSLAM")
 
     print(f"\n{'policy':14s}{'mean CPU':>10s}{'P99 E2E':>10s}{'viol':>8s}")
     for policy in (janus, early):
-        result = executor.run(policy, requests)
+        result = session.run(policy, requests)
         print(f"{policy.name:14s}{result.mean_allocated:10.0f}"
               f"{result.e2e_percentile(99):10.0f}{result.violation_rate:8.1%}")
     print(f"\nJanus-DAG hit rate: {janus.hit_rate:.1%}. Parallel branches are "

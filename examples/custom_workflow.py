@@ -13,7 +13,6 @@ Run:  python examples/custom_workflow.py
 
 
 from repro import (
-    AnalyticExecutor,
     FunctionModel,
     JanusPolicy,
     Profiler,
@@ -24,6 +23,7 @@ from repro import (
     WorkloadConfig,
     generate_requests,
     parse_spec,
+    resolve_executor,
     synthesize_hints,
 )
 from repro.adapter import AdapterService
@@ -97,7 +97,7 @@ def serve(workflow, policy, n, scale, seed):
         WorkloadConfig(n_requests=n, workset_scale=scale),
         seed=seed,
     )
-    return AnalyticExecutor(workflow).run(policy, requests)
+    return resolve_executor(workflow).run(policy, requests)
 
 
 def main() -> None:

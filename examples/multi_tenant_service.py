@@ -14,13 +14,13 @@ import time
 import numpy as np
 
 from repro import (
-    AnalyticExecutor,
     BudgetRange,
     JanusPolicy,
     WorkloadConfig,
     generate_requests,
     intelligent_assistant,
     profile_workflow,
+    resolve_executor,
     synthesize_hints,
     video_analytics,
 )
@@ -54,7 +54,7 @@ def main() -> None:
         requests = generate_requests(
             workflow, WorkloadConfig(n_requests=400), seed=17
         )
-        result = AnalyticExecutor(workflow).run(policy, requests)
+        result = resolve_executor(workflow).run(policy, requests)
         stats = service.stats()[(tenant, workflow.name)]
         hit_rate = 1.0 - stats["miss_rate"]
         print(

@@ -1,37 +1,27 @@
 #!/usr/bin/env python3
-"""Quickstart: the full Janus pipeline in ~40 lines.
+"""Quickstart: the full Janus pipeline through the `Session` facade.
 
-Profiles the Intelligent Assistant workflow, synthesizes hint tables,
-deploys them behind the provider-side adapter, serves 500 requests, and
-compares resource consumption against a worst-case early-binding plan.
+One `Session` owns the whole developer/provider pipeline — profiling,
+hint synthesis, policy construction, and serving — and the same code path
+drives chains and branching DAGs. Here it profiles the Intelligent
+Assistant workflow, deploys Janus behind the provider-side adapter, serves
+500 requests, and compares against an early-binding baseline.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    AnalyticExecutor,
-    BudgetRange,
-    JanusPolicy,
-    WorkloadConfig,
-    generate_requests,
-    intelligent_assistant,
-    profile_workflow,
-    synthesize_hints,
-)
-from repro.policies import GrandSLAMPolicy
+from repro import Session, intelligent_assistant
 
 
 def main() -> None:
     # 1. The application: OD -> QA -> TS with a 3 s end-to-end P99 SLO.
-    workflow = intelligent_assistant()
+    session = Session(intelligent_assistant(), seed=1)
+    workflow = session.workflow
     print(f"workflow: {' -> '.join(workflow.chain)}  (SLO {workflow.slo_ms:g} ms)")
 
-    # 2. Developer side (offline): profile and synthesize hints.
-    profiles = profile_workflow(workflow, seed=1, samples=2000)
-    hints = synthesize_hints(
-        profiles, workflow.chain, budget=BudgetRange(2000, 7000),
-        workflow_name=workflow.name,
-    )
+    # 2. Developer side (offline): profile and synthesize hints (memoised —
+    #    every later step reuses them).
+    hints = session.synthesize()
     print(
         f"hints: {hints.condensed_hint_count} rows "
         f"(from {hints.raw_hint_count} raw, "
@@ -39,14 +29,12 @@ def main() -> None:
         f"in {hints.synthesis_seconds:.2f} s"
     )
 
-    # 3. Provider side (online): serve requests with runtime adaptation.
-    janus = JanusPolicy(workflow, hints)
-    requests = generate_requests(workflow, WorkloadConfig(n_requests=500), seed=42)
-    executor = AnalyticExecutor(workflow)
-    adaptive = executor.run(janus, requests)
-
-    # 4. Compare with an early-binding baseline on the same requests.
-    early = executor.run(GrandSLAMPolicy(workflow, profiles), requests)
+    # 3. Provider side (online): serve the same 500 requests with runtime
+    #    adaptation and with an early-binding baseline.
+    requests = session.requests(500)
+    janus = session.policy("Janus")
+    adaptive = session.run(janus, requests)
+    early = session.run("GrandSLAM", requests)
 
     print(f"\n{'':16s}{'early binding':>16s}{'Janus':>16s}")
     print(f"{'mean CPU (mc)':16s}{early.mean_allocated:16.0f}"
@@ -58,6 +46,14 @@ def main() -> None:
     saving = 1 - adaptive.mean_allocated / early.mean_allocated
     print(f"\nJanus saves {saving:.1%} CPU while keeping the P99 SLO "
           f"(hit rate {janus.hit_rate:.1%}).")
+
+    # 4. Or do all of the above in one call (reusing this session's
+    #    profiling campaign instead of running a second one):
+    report = Session.evaluate(
+        intelligent_assistant(), slo_ms=3000, profiles=session.profile(),
+        include=["Optimal", "Janus", "GrandSLAM"], requests=500, seed=1,
+    )
+    print(f"\n{report}")
 
 
 if __name__ == "__main__":

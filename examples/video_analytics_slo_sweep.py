@@ -4,20 +4,13 @@
 Sweeps the VA workflow's SLO from 1.5 s to 2.0 s and prints the resource
 consumption of Janus, ORION and GrandSLAM normalised by the clairvoyant
 Optimal — showing how late binding's advantage narrows as the SLO loosens.
+One profiling campaign is shared across the sweep by seeding each
+`Session` with the same `ProfileSet`.
 
 Run:  python examples/video_analytics_slo_sweep.py
 """
 
-from repro import (
-    AnalyticExecutor,
-    BudgetRange,
-    WorkloadConfig,
-    generate_requests,
-    profile_workflow,
-    video_analytics,
-)
-from repro.errors import PolicyError
-from repro.policies import GrandSLAMPolicy, OraclePolicy, OrionPolicy, janus
+from repro import BudgetRange, Session, profile_workflow, video_analytics
 
 
 def main() -> None:
@@ -26,23 +19,20 @@ def main() -> None:
 
     print("SLO (s)   Optimal     Janus     ORION  GrandSLAM   (norm. CPU)")
     for slo_s in (1.5, 1.6, 1.7, 1.8, 1.9, 2.0):
-        workflow = base.with_slo(slo_s * 1000.0)
-        requests = generate_requests(
-            workflow, WorkloadConfig(n_requests=400), seed=int(slo_s * 10)
+        report = Session.evaluate(
+            base,
+            slo_ms=slo_s * 1000.0,
+            budget=BudgetRange(1500, int(slo_s * 1000)),
+            profiles=profiles,
+            requests=400,
+            seed=int(slo_s * 10) - 1,
+            include=["Optimal", "Janus", "ORION", "GrandSLAM"],
         )
-        executor = AnalyticExecutor(workflow)
-        optimal = executor.run(OraclePolicy(workflow), requests)
-
-        row = [f"{slo_s:7.1f}", f"{1.0:9.3f}"]
-        for build in (
-            lambda: janus(workflow, profiles, budget=BudgetRange(1500, int(slo_s * 1000))),
-            lambda: OrionPolicy(workflow, profiles),
-            lambda: GrandSLAMPolicy(workflow, profiles),
-        ):
-            try:
-                res = executor.run(build(), requests)
-                row.append(f"{res.normalized_cpu(optimal):9.3f}")
-            except PolicyError:
+        row = [f"{slo_s:7.1f}"]
+        for name in ("Optimal", "Janus", "ORION", "GrandSLAM"):
+            if name in report.results:
+                row.append(f"{report.normalized_cpu(name):9.3f}")
+            else:  # infeasible under this SLO — skipped by the suite builder
                 row.append(f"{'n/a':>9s}")
         print("  ".join(row))
 

@@ -3,17 +3,31 @@ workflows — a full reproduction of the IPDPS 2025 paper.
 
 Quickstart
 ----------
->>> from repro import (
-...     intelligent_assistant, profile_workflow, BudgetRange,
-...     synthesize_hints, JanusPolicy, generate_requests, AnalyticExecutor,
-... )
->>> wf = intelligent_assistant()
->>> profiles = profile_workflow(wf, seed=1)
->>> hints = synthesize_hints(profiles, wf.chain, BudgetRange(2000, 7000))
->>> policy = JanusPolicy(wf, hints)
->>> result = AnalyticExecutor(wf).run(policy, generate_requests(wf))
+The :class:`Session` facade runs the whole developer/provider pipeline —
+profile → synthesize → policy → serve → compare — in one call, for chains
+and branching DAGs alike:
+
+>>> from repro import Session, intelligent_assistant
+>>> report = Session.evaluate(intelligent_assistant(), slo_ms=3000)
+>>> report.violation_rate("Janus") <= 0.01
+True
+>>> report.normalized_cpu("Janus") < report.normalized_cpu("GrandSLAM")
+True
+
+Step-by-step control over the same pipeline:
+
+>>> session = Session(intelligent_assistant(), slo_ms=3000)
+>>> profiles = session.profile()
+>>> hints = session.synthesize()
+>>> result = session.run("Janus", requests=500)
 >>> result.violation_rate <= 0.01
 True
+
+New systems plug into the shared registries instead of spawning parallel
+API families: policies by name through :data:`POLICIES`
+(``POLICIES.register("MyPolicy")(builder)``) and execution backends through
+:func:`register_executor` (``analytic``, ``dag``, and ``batching`` ship
+built in; the right one is auto-selected from :attr:`Workflow.topology`).
 
 The package splits along the paper's developer/provider boundary:
 
@@ -23,9 +37,14 @@ The package splits along the paper's developer/provider boundary:
   :mod:`repro.traces`, :mod:`repro.sim`
 * evaluation: :mod:`repro.policies`, :mod:`repro.runtime`,
   :mod:`repro.metrics`, :mod:`repro.experiments`
+* high-level facade: :mod:`repro.api`
 """
 
+import typing as _t
+import warnings as _warnings
+
 from .adapter import AdapterService, HitMissSupervisor, JanusAdapter
+from .api import ComparisonReport, Session
 from .cluster import (
     ClusterConfig,
     InterferenceModel,
@@ -45,14 +64,14 @@ from .profiling import (
     save_profile_set,
 )
 from .policies import (
-    DagGrandSLAMPolicy,
-    DagJanusPolicy,
-    DagSizingPolicy,
+    DEFAULT_SUITE,
     GrandSLAMPlusPolicy,
     GrandSLAMPolicy,
     JanusPolicy,
     OraclePolicy,
     OrionPolicy,
+    POLICIES,
+    PolicyRegistry,
     SizingPolicy,
     janus,
     janus_minus,
@@ -61,21 +80,23 @@ from .policies import (
 from .runtime import (
     AnalyticExecutor,
     BatchingExecutor,
-    DagAnalyticExecutor,
+    Executor,
     RunResult,
     build_policy_suite,
     compare,
+    executor_names,
+    get_executor,
+    register_executor,
+    resolve_executor,
     run_policies,
 )
 from .synthesis import (
     BudgetRange,
     CondensedHintsTable,
-    DagWorkflowHints,
     HeadExploration,
     HintSynthesizer,
     SynthesisConfig,
     WorkflowHints,
-    synthesize_dag_hints,
     synthesize_hints,
 )
 from .traces import WorkloadConfig, generate_requests
@@ -91,11 +112,65 @@ from .workflow import (
     video_analytics,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Pre-unification names kept importable from the top level. Accessing one
+#: emits a DeprecationWarning pointing at the unified replacement; the
+#: aliases are scheduled for removal two minor releases out (see
+#: CHANGES.md). The canonical classes remain importable from their
+#: submodules without a warning. Deliberately absent from ``__all__`` so a
+#: ``from repro import *`` of non-deprecated names stays warning-free.
+_DEPRECATED_ALIASES: dict[str, tuple[str, str, str]] = {
+    # name -> (module, attribute, replacement hint)
+    "DagAnalyticExecutor": (
+        "repro.runtime.dag_executor", "DagAnalyticExecutor",
+        'get_executor("dag", workflow) or Session(...).executor()',
+    ),
+    "DagSizingPolicy": (
+        "repro.policies.dag", "DagSizingPolicy",
+        "the unified repro.SizingPolicy (override size_for_node)",
+    ),
+    "DagJanusPolicy": (
+        "repro.policies.dag", "DagJanusPolicy",
+        'POLICIES.build("Janus", workflow, profiles) or Session.policy("Janus")',
+    ),
+    "DagGrandSLAMPolicy": (
+        "repro.policies.dag", "DagGrandSLAMPolicy",
+        'POLICIES.build("GrandSLAM", workflow, profiles)',
+    ),
+    "DagWorkflowHints": (
+        "repro.synthesis.dag", "DagWorkflowHints",
+        "Session.synthesize() (topology-dispatched)",
+    ),
+    "synthesize_dag_hints": (
+        "repro.synthesis.dag", "synthesize_dag_hints",
+        "Session.synthesize() (topology-dispatched)",
+    ),
+}
+
+
+def __getattr__(name: str) -> _t.Any:
+    try:
+        module, attr, replacement = _DEPRECATED_ALIASES[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    _warnings.warn(
+        f"repro.{name} is deprecated since the Session/registry unification "
+        f"(1.1.0) and will be removed in 1.3.0; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module), attr)
+
 
 __all__ = [
     "__version__",
     "ReproError",
+    # facade
+    "Session",
+    "ComparisonReport",
     # workflow
     "Workflow",
     "WorkflowDAG",
@@ -125,28 +200,30 @@ __all__ = [
     "WorkflowHints",
     "CondensedHintsTable",
     "synthesize_hints",
-    "DagWorkflowHints",
-    "synthesize_dag_hints",
     # adapter
     "JanusAdapter",
     "AdapterService",
     "HitMissSupervisor",
     # policies
     "SizingPolicy",
+    "PolicyRegistry",
+    "POLICIES",
+    "DEFAULT_SUITE",
     "JanusPolicy",
     "janus",
     "janus_minus",
     "janus_plus",
     "OraclePolicy",
     "OrionPolicy",
-    "DagSizingPolicy",
-    "DagJanusPolicy",
-    "DagGrandSLAMPolicy",
     "GrandSLAMPolicy",
     "GrandSLAMPlusPolicy",
     # runtime
+    "Executor",
+    "register_executor",
+    "executor_names",
+    "get_executor",
+    "resolve_executor",
     "AnalyticExecutor",
-    "DagAnalyticExecutor",
     "BatchingExecutor",
     "RunResult",
     "build_policy_suite",

@@ -1,0 +1,14 @@
+"""Unified high-level API: the :class:`Session` facade and its report.
+
+One composable entry point over the chain/DAG dual machinery::
+
+    from repro.api import Session
+    report = Session.evaluate(intelligent_assistant(), slo_ms=3000)
+
+See :mod:`repro.api.session` for the full surface.
+"""
+
+from .report import ComparisonReport
+from .session import Session
+
+__all__ = ["Session", "ComparisonReport"]

@@ -1,0 +1,97 @@
+"""The :class:`ComparisonReport` returned by :meth:`Session.evaluate`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+from ..metrics.report import format_table
+from ..runtime.driver import compare
+from ..runtime.results import RunResult
+
+__all__ = ["ComparisonReport"]
+
+
+@dataclass
+class ComparisonReport:
+    """Per-policy results of one profile → synthesize → serve comparison.
+
+    ``table`` holds each policy's headline metrics (the paper's Fig. 5 /
+    Table I quantities) including ``normalized_cpu`` against ``baseline``.
+    """
+
+    workflow_name: str
+    topology: str
+    slo_ms: float
+    executor: str
+    baseline: str
+    results: dict[str, RunResult]
+    table: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ExperimentError("comparison report requires results")
+        if self.baseline not in self.results:
+            raise ExperimentError(
+                f"baseline {self.baseline!r} missing from results "
+                f"{sorted(self.results)}"
+            )
+        if not self.table:
+            self.table = compare(self.results, baseline=self.baseline)
+
+    @property
+    def policies(self) -> list[str]:
+        """Compared policy names, in suite order."""
+        return list(self.results)
+
+    def result_for(self, name: str) -> RunResult:
+        """The :class:`RunResult` of one policy."""
+        try:
+            return self.results[name]
+        except KeyError:
+            raise ExperimentError(
+                f"no result for policy {name!r}; have {self.policies}"
+            )
+
+    def normalized_cpu(self, name: str) -> float:
+        """Mean allocation of ``name`` normalised by the baseline."""
+        return self.result_for(name).normalized_cpu(self.result_for(self.baseline))
+
+    def violation_rate(self, name: str) -> float:
+        """SLO violation rate of ``name``."""
+        return self.result_for(name).violation_rate
+
+    def saving_vs(self, name: str, other: str) -> float:
+        """CPU saving of ``name`` against ``other`` as a fraction of ``other``."""
+        a = self.result_for(name).mean_allocated
+        b = self.result_for(other).mean_allocated
+        if b <= 0:
+            raise ExperimentError(f"{other} has zero mean allocation")
+        return 1.0 - a / b
+
+    def render(self) -> str:
+        """Aligned comparison table, one row per policy (from :attr:`table`,
+        the single source the programmatic accessors also reflect)."""
+        rows = [
+            (
+                name,
+                row["mean_allocated_millicores"],
+                row["normalized_cpu"],
+                row["p50_e2e_ms"],
+                row["p99_e2e_ms"],
+                row["violation_rate"],
+            )
+            for name, row in self.table.items()
+        ]
+        return format_table(
+            ["policy", "mean CPU (mc)", "norm. CPU", "P50 (ms)",
+             "P99 (ms)", "viol."],
+            rows,
+            title=(
+                f"{self.workflow_name} ({self.topology}, SLO {self.slo_ms:g} ms, "
+                f"executor {self.executor}, baseline {self.baseline})"
+            ),
+        )
+
+    def __str__(self) -> str:
+        return self.render()

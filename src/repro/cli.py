@@ -13,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 import time
@@ -22,24 +23,28 @@ from .experiments.registry import EXPERIMENTS, list_experiments, run_experiment
 
 __all__ = ["main", "build_parser"]
 
-#: Experiments whose run() accepts a request-count knob, and its name.
-_REQUEST_PARAM = {
-    "fig2": "n_requests",
-    "fig4": "n_requests",
-    "fig5": "n_requests",
-    "fig6": "n_requests",
-    "table2": "n_requests",
-    "fig9": "n_requests",
-    "overhead": "n_requests",
-    "regeneration": "n_requests",
-    "ablation-resilience": "n_requests",
+#: CLI knob -> the run() parameter it maps to. Whether an experiment
+#: supports a knob is discovered from its run() signature, so new
+#: experiments get the flags for free.
+_KNOB_PARAMS = {
+    "requests": "n_requests",
+    "samples": "samples",
+    "seed": "seed",
 }
 
-_SAMPLE_PARAM = {
-    exp_id: "samples"
-    for exp_id in EXPERIMENTS
-    if exp_id not in ("fig1a", "fig1c")
-}
+
+def _accepts(run: _t.Callable[..., _t.Any], param: str) -> bool:
+    """True when ``run`` takes ``param`` (directly or via ``**kwargs``)."""
+    sig = inspect.signature(run)
+    if param in sig.parameters:
+        kind = sig.parameters[param].kind
+        return kind not in (
+            inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.VAR_POSITIONAL
+        )
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in sig.parameters.values()
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,13 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _params_for(exp_id: str, args: argparse.Namespace) -> dict[str, _t.Any]:
+    run = EXPERIMENTS[exp_id].run
     params: dict[str, _t.Any] = {}
-    if args.requests is not None and exp_id in _REQUEST_PARAM:
-        params[_REQUEST_PARAM[exp_id]] = args.requests
-    if args.samples is not None and exp_id in _SAMPLE_PARAM:
-        params[_SAMPLE_PARAM[exp_id]] = args.samples
-    if getattr(args, "seed", None) is not None:
-        params["seed"] = args.seed
+    for knob, param in _KNOB_PARAMS.items():
+        value = getattr(args, knob, None)
+        if value is not None and _accepts(run, param):
+            params[param] = value
     return params
 
 

@@ -86,12 +86,13 @@ class MultiTenantPlatform:
         workflow = self.workflows[tenant]
         chain = workflow.chain
         limits = workflow.limits
+        policy.bind(workflow)
         policy.begin_request(request)
         start_time = self.sim.now
         stages: list[StageRecord] = []
-        for i, fname in enumerate(chain):
+        for fname in chain:
             elapsed = self.sim.now - start_time
-            size = limits.clamp(policy.size_for_stage(i, request, elapsed))
+            size = limits.clamp(policy.size_for_node(fname, request, elapsed))
             model = workflow.model(fname)
             key = self._key(tenant, fname)
             stage_start = self.sim.now

@@ -92,12 +92,13 @@ class ServerlessPlatform:
         """Simulation process serving one request through the chain."""
         chain = self.workflow.chain
         limits = self.workflow.limits
+        policy.bind(self.workflow)
         policy.begin_request(request)
         start_time = self.sim.now
         stages: list[StageRecord] = []
-        for i, fname in enumerate(chain):
+        for fname in chain:
             elapsed = self.sim.now - start_time
-            size = limits.clamp(policy.size_for_stage(i, request, elapsed))
+            size = limits.clamp(policy.size_for_node(fname, request, elapsed))
             model = self.workflow.model(fname)
             stage_start = self.sim.now
             pod = yield from self.pool.acquire(fname, size)

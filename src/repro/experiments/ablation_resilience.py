@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from ..metrics.report import format_table
 from ..policies.janus import janus
-from ..runtime.executor import AnalyticExecutor
+from ..runtime.registry import resolve_executor
 from ..traces.workload import WorkloadConfig, generate_requests
 from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup, va_setup
 
@@ -43,7 +43,7 @@ def run(
         requests = generate_requests(
             wf, WorkloadConfig(n_requests=n_requests), seed=seed + 5
         )
-        executor = AnalyticExecutor(wf)
+        executor = resolve_executor(wf)
         for enforce, label in ((True, "with Eq.6"), (False, "without Eq.6")):
             policy = janus(
                 wf, profiles, budget=budget, enforce_resilience=enforce

@@ -11,9 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..metrics.report import format_table
-from ..policies.early_binding import GrandSLAMPolicy
-from ..policies.janus import janus
-from ..runtime.batching import BatchingExecutor
+from ..policies.registry import POLICIES
+from ..runtime.registry import get_executor
 from ..traces.workload import WorkloadConfig, generate_requests
 from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup
 
@@ -46,10 +45,12 @@ def run(
             ),
             seed=seed + int(rate),
         )
-        executor = BatchingExecutor(wf, max_batch=2, max_wait_ms=max_wait_ms)
+        executor = get_executor(
+            "batching", wf, max_batch=2, max_wait_ms=max_wait_ms
+        )
         for policy in (
-            janus(wf, profiles, budget=budget, concurrency=2),
-            GrandSLAMPolicy(wf, profiles, concurrency=2),
+            POLICIES.build("Janus", wf, profiles, budget=budget, concurrency=2),
+            POLICIES.build("GrandSLAM", wf, profiles, concurrency=2),
         ):
             res = executor.run(policy, requests)
             rows.append(

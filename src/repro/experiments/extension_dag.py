@@ -12,12 +12,11 @@ from dataclasses import dataclass
 from ..functions.model import FunctionModel, Resource
 from ..functions.worksets import LogUniformWorkset
 from ..metrics.report import format_table
-from ..policies.dag import DagGrandSLAMPolicy, DagJanusPolicy
+from ..policies.registry import POLICIES
 from ..profiling.profiler import Profiler, ProfilerConfig
 from ..profiling.profiles import ProfileSet
 from ..rng import RngFactory
-from ..runtime.dag_executor import DagAnalyticExecutor
-from ..synthesis.dag import synthesize_dag_hints
+from ..runtime.registry import resolve_executor
 from ..traces.workload import WorkloadConfig, generate_requests
 from ..workflow.catalog import Workflow
 from ..workflow.dag import WorkflowDAG
@@ -83,13 +82,17 @@ def run(
         )
         for name in workflow.dag.nodes
     })
-    hints = synthesize_dag_hints(workflow, profiles)
-    janus_pol = DagJanusPolicy(workflow, hints)
-    early_pol = DagGrandSLAMPolicy(workflow, profiles)
+    # Topology-aware registry dispatch: "Janus"/"GrandSLAM" resolve to the
+    # per-function-table and uniform-critical-path DAG variants here; this
+    # experiment labels them with the topology suffix its report uses.
+    janus_pol = POLICIES.build("Janus", workflow, profiles, label="Janus-DAG")
+    early_pol = POLICIES.build(
+        "GrandSLAM", workflow, profiles, label="GrandSLAM-DAG"
+    )
     requests = generate_requests(
         workflow, WorkloadConfig(n_requests=n_requests), seed=seed + 1
     )
-    executor = DagAnalyticExecutor(workflow)
+    executor = resolve_executor(workflow)
     rows = []
     results = {}
     for policy in (janus_pol, early_pol):

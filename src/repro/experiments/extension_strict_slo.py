@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from ..metrics.report import format_table
 from ..policies.janus import JanusPolicy
 from ..profiling.profiler import profile_workflow
-from ..runtime.executor import AnalyticExecutor
+from ..runtime.registry import resolve_executor
 from ..synthesis.generator import synthesize_hints
 from ..traces.workload import WorkloadConfig, generate_requests
 from ..types import DEFAULT_PERCENTILES, PercentileGrid
@@ -56,7 +56,7 @@ def run(
     requests = generate_requests(
         wf, WorkloadConfig(n_requests=n_requests), seed=seed + 9
     )
-    executor = AnalyticExecutor(wf)
+    executor = resolve_executor(wf)
     rows = []
     for label, grid in (
         ("P99", PercentileGrid()),

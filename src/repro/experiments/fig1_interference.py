@@ -38,11 +38,16 @@ class Fig1cResult:
 
 def run(
     max_colocated: int = 6,
-    samples: int = 200,
+    samples_per_level: int = 200,
     size_millicores: int = 1000,
     seed: int = 0,
 ) -> Fig1cResult:
-    """Measure normalised latency for each microbenchmark."""
+    """Measure normalised latency for each microbenchmark.
+
+    ``samples_per_level`` counts microbenchmark repetitions per co-location
+    level — deliberately not named ``samples`` so the CLI's ``--samples``
+    knob (profiling-campaign size, default 2000) does not map onto it.
+    """
     models = microbenchmark_functions()
     wf = Workflow(
         name="micro",
@@ -62,7 +67,7 @@ def run(
         means = []
         for n in levels:
             times = platform.colocation_experiment(
-                model.name, n, size_millicores, samples, rng
+                model.name, n, size_millicores, samples_per_level, rng
             )
             means.append(float(np.mean(times)))
         series[model.name] = [m / means[0] for m in means]

@@ -17,7 +17,7 @@ from ..metrics.report import format_table
 from ..policies.early_binding import GrandSLAMPolicy
 from ..policies.janus import janus
 from ..policies.oracle import OraclePolicy
-from ..runtime.executor import AnalyticExecutor
+from ..runtime.registry import resolve_executor
 from ..traces.workload import WorkloadConfig, generate_requests
 from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup
 
@@ -48,7 +48,7 @@ def run(
     requests = generate_requests(
         wf, WorkloadConfig(n_requests=n_requests), seed=seed + 1
     )
-    executor = AnalyticExecutor(wf)
+    executor = resolve_executor(wf)
     early = executor.run(GrandSLAMPolicy(wf, profiles), requests)
     late = executor.run(janus(wf, profiles, budget=budget), requests)
     optimal = executor.run(OraclePolicy(wf), requests)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from ..metrics.report import format_table
 from ..policies.janus import janus, janus_plus
-from ..runtime.executor import AnalyticExecutor
+from ..runtime.registry import resolve_executor
 from ..traces.workload import WorkloadConfig, generate_requests
 from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup
 
@@ -61,7 +61,7 @@ def run(
         requests = generate_requests(
             wf, WorkloadConfig(n_requests=n_requests), seed=seed + int(slo_s)
         )
-        executor = AnalyticExecutor(wf)
+        executor = resolve_executor(wf)
         pol_j = janus(wf, profiles, budget=budget)
         pol_jp = janus_plus(wf, profiles, budget=budget)
         res_j = executor.run(pol_j, requests)

@@ -14,7 +14,7 @@ import numpy as np
 from ..adapter.adapter import JanusAdapter
 from ..metrics.report import format_table
 from ..policies.janus import janus
-from ..runtime.executor import AnalyticExecutor
+from ..runtime.registry import resolve_executor
 from ..traces.workload import WorkloadConfig, generate_requests
 from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup, va_setup
 
@@ -50,7 +50,7 @@ def run(
         requests = generate_requests(
             wf, WorkloadConfig(n_requests=n_requests), seed=seed
         )
-        AnalyticExecutor(wf).run(policy, requests)
+        resolve_executor(wf).run(policy, requests)
         adapter: JanusAdapter = policy.adapter
         lat = np.asarray(adapter.decision_latencies_ms())
         decision[wf_name] = {

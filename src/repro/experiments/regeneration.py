@@ -16,7 +16,7 @@ from ..adapter.service import AdapterService
 from ..metrics.report import format_kv
 from ..policies.janus import JanusPolicy
 from ..profiling.profiles import LatencyProfile, ProfileSet
-from ..runtime.executor import AnalyticExecutor
+from ..runtime.registry import resolve_executor
 from ..synthesis.generator import synthesize_hints
 from ..traces.workload import WorkloadConfig, generate_requests
 from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup
@@ -74,7 +74,7 @@ def run(
     policy = JanusPolicy(wf, hints)
     policy.adapter = adapter  # route decisions through the service's adapter
 
-    executor = AnalyticExecutor(wf)
+    executor = resolve_executor(wf)
 
     # Phase 1: in-distribution traffic.
     in_dist = generate_requests(

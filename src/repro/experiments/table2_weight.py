@@ -19,7 +19,7 @@ import numpy as np
 
 from ..metrics.report import format_table
 from ..policies.janus import janus
-from ..runtime.executor import AnalyticExecutor
+from ..runtime.registry import resolve_executor
 from ..synthesis.dp import ChainDP
 from ..synthesis.generator import HintSynthesizer, SynthesisConfig
 from ..traces.workload import WorkloadConfig, generate_requests
@@ -57,7 +57,7 @@ def run(
         requests = generate_requests(
             wf, WorkloadConfig(n_requests=n_requests), seed=seed + int(slo_s)
         )
-        executor = AnalyticExecutor(wf)
+        executor = resolve_executor(wf)
         dp = ChainDP(profiles.for_chain(wf.chain), budget.tmax_ms)
         for w in weights:
             synth = HintSynthesizer(

@@ -1,5 +1,5 @@
-"""Sizing policies: early-binding baselines, ORION, the Janus family and
-the clairvoyant Optimal oracle (paper §V-A)."""
+"""Sizing policies: early-binding baselines, ORION, the Janus family, the
+clairvoyant Optimal oracle (paper §V-A), and the shared policy registry."""
 
 from .base import SizingPolicy
 from .dag import (
@@ -17,9 +17,14 @@ from .early_binding import (
 from .janus import JanusPolicy, janus, janus_minus, janus_plus
 from .oracle import OraclePolicy
 from .orion import OrionPolicy
+from .registry import DEFAULT_SUITE, POLICIES, PolicyBuilder, PolicyRegistry
 
 __all__ = [
     "SizingPolicy",
+    "PolicyRegistry",
+    "PolicyBuilder",
+    "POLICIES",
+    "DEFAULT_SUITE",
     "DagSizingPolicy",
     "DagFixedPolicy",
     "DagGrandSLAMPolicy",

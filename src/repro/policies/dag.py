@@ -1,16 +1,19 @@
-"""Sizing policies for DAG workflows (paper §VII future work).
+"""Node-keyed sizing policies for branching workflows (paper §VII).
 
-DAG policies answer by function name rather than chain stage index, because
-parallel branches have no global stage order. :class:`DagJanusPolicy` is
-the late-binding adaptation policy over per-function hint tables;
-:class:`DagFixedPolicy` carries a fixed allocation map (early binding);
-:class:`DagGrandSLAMPolicy` sizes uniformly against the critical path's
-anchor-percentile latency.
+These policies answer natively by function name because parallel branches
+have no global stage order. They are plain :class:`SizingPolicy` subclasses
+since the unification of the chain and DAG interfaces — the separate
+``DagSizingPolicy`` base survives only as a deprecated alias for older
+subclasses and ``isinstance`` checks.
+
+:class:`DagJanusPolicy` is the late-binding adaptation policy over
+per-function hint tables; :class:`DagFixedPolicy` carries a fixed
+allocation map (early binding); :class:`DagGrandSLAMPolicy` sizes uniformly
+against the critical path's anchor-percentile latency.
 """
 
 from __future__ import annotations
 
-import abc
 import typing as _t
 
 from ..adapter.supervisor import HitMissSupervisor
@@ -20,6 +23,7 @@ from ..synthesis.dag import DagWorkflowHints
 from ..types import Millicores, Milliseconds
 from ..workflow.catalog import Workflow
 from ..workflow.request import WorkflowRequest
+from .base import SizingPolicy
 
 __all__ = [
     "DagSizingPolicy",
@@ -29,26 +33,15 @@ __all__ = [
 ]
 
 
-class DagSizingPolicy(abc.ABC):
-    """Per-function allocation decisions for DAG workflow requests."""
+class DagSizingPolicy(SizingPolicy):
+    """Deprecated: the unified :class:`SizingPolicy` serves both topologies.
+
+    Kept so existing subclasses (which override ``size_for_function``) and
+    ``isinstance`` checks keep working; new policies should subclass
+    :class:`SizingPolicy` and override :meth:`SizingPolicy.size_for_node`.
+    """
 
     name: str = "dag-policy"
-    late_binding: bool = False
-
-    def begin_request(self, request: WorkflowRequest) -> None:
-        """Hook invoked when a request starts."""
-
-    @abc.abstractmethod
-    def size_for_function(
-        self,
-        function: str,
-        request: WorkflowRequest,
-        elapsed_ms: Milliseconds,
-    ) -> Millicores:
-        """Allocation for ``function``, sized when its predecessors finish."""
-
-    def end_request(self, request: WorkflowRequest) -> None:
-        """Hook invoked after the last function completes."""
 
 
 class DagFixedPolicy(DagSizingPolicy):
@@ -62,16 +55,16 @@ class DagFixedPolicy(DagSizingPolicy):
         self.name = name
         self.plan = dict(plan)
 
-    def size_for_function(
+    def size_for_node(
         self,
-        function: str,
+        node: str,
         request: WorkflowRequest,
         elapsed_ms: Milliseconds,
     ) -> Millicores:
         try:
-            return self.plan[function]
+            return self.plan[node]
         except KeyError:
-            raise PolicyError(f"{self.name}: no plan entry for {function!r}")
+            raise PolicyError(f"{self.name}: no plan entry for {node!r}")
 
     @property
     def total_millicores(self) -> int:
@@ -87,6 +80,7 @@ class DagGrandSLAMPolicy(DagFixedPolicy):
         workflow: Workflow,
         profiles: ProfileSet,
         slo_ms: Milliseconds | None = None,
+        name: str = "GrandSLAM-DAG",
     ) -> None:
         slo = float(slo_ms if slo_ms is not None else workflow.slo_ms)
         anchor = profiles.percentiles.anchor
@@ -104,9 +98,7 @@ class DagGrandSLAMPolicy(DagFixedPolicy):
             raise PolicyError(
                 f"DagGrandSLAM: no uniform size meets SLO {slo} ms"
             )
-        super().__init__(
-            "GrandSLAM-DAG", {n: chosen for n in workflow.dag.nodes}
-        )
+        super().__init__(name, {n: chosen for n in workflow.dag.nodes})
 
 
 class DagJanusPolicy(DagSizingPolicy):
@@ -130,14 +122,14 @@ class DagJanusPolicy(DagSizingPolicy):
         self.slo_ms = float(slo_ms if slo_ms is not None else workflow.slo_ms)
         self.supervisor = HitMissSupervisor()
 
-    def size_for_function(
+    def size_for_node(
         self,
-        function: str,
+        node: str,
         request: WorkflowRequest,
         elapsed_ms: Milliseconds,
     ) -> Millicores:
         budget = self.slo_ms - elapsed_ms
-        result = self.hints.table_for(function).lookup(budget)
+        result = self.hints.table_for(node).lookup(budget)
         self.supervisor.record(result.hit)
         return result.size
 
@@ -145,3 +137,8 @@ class DagJanusPolicy(DagSizingPolicy):
     def hit_rate(self) -> float:
         """Fraction of table lookups that hit."""
         return self.supervisor.hit_rate
+
+    @property
+    def synthesis_seconds(self) -> float:
+        """Offline synthesis time of the deployed tables."""
+        return self.hints.synthesis_seconds

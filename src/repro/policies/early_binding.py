@@ -69,6 +69,18 @@ class WorstCasePolicy(FixedPlanPolicy):
         super().__init__(
             "WorstCase", [workflow.limits.kmax] * workflow.num_functions
         )
+        self.stage_order = tuple(workflow.chain)
+        self._kmax = int(workflow.limits.kmax)
+
+    def size_for_node(
+        self,
+        node: str,
+        request: WorkflowRequest,
+        elapsed_ms: Milliseconds,
+    ) -> Millicores:
+        # Kmax regardless of the node, so the upper bound also serves
+        # off-critical-path branches of DAG workflows.
+        return self._kmax
 
 
 class GrandSLAMPolicy(FixedPlanPolicy):
@@ -97,6 +109,7 @@ class GrandSLAMPolicy(FixedPlanPolicy):
             )
         k = int(k_grid[feasible[0]])
         super().__init__("GrandSLAM", [k] * len(chain_profiles))
+        self.stage_order = tuple(workflow.chain)
 
 
 class GrandSLAMPlusPolicy(FixedPlanPolicy):
@@ -118,3 +131,4 @@ class GrandSLAMPlusPolicy(FixedPlanPolicy):
                 f"GrandSLAM+: no allocation meets SLO {slo} ms even at Kmax"
             )
         super().__init__("GrandSLAM+", plan)
+        self.stage_order = tuple(workflow.chain)

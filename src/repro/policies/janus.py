@@ -48,6 +48,7 @@ class JanusPolicy(SizingPolicy):
             )
         self.name = name
         self.workflow = workflow
+        self.stage_order = tuple(workflow.chain)
         self.adapter = JanusAdapter(
             hints,
             slo_ms if slo_ms is not None else workflow.slo_ms,
@@ -90,17 +91,19 @@ def _build(
     weight: float,
     slo_ms: Milliseconds | None,
     enforce_resilience: bool = True,
+    hints: WorkflowHints | None = None,
 ) -> JanusPolicy:
-    hints = synthesize_hints(
-        profiles,
-        workflow.chain,
-        budget=budget,
-        concurrency=concurrency,
-        weight=weight,
-        exploration=exploration,
-        enforce_resilience=enforce_resilience,
-        workflow_name=workflow.name,
-    )
+    if hints is None:
+        hints = synthesize_hints(
+            profiles,
+            workflow.chain,
+            budget=budget,
+            concurrency=concurrency,
+            weight=weight,
+            exploration=exploration,
+            enforce_resilience=enforce_resilience,
+            workflow_name=workflow.name,
+        )
     return JanusPolicy(workflow, hints, slo_ms=slo_ms, name=name)
 
 
@@ -112,11 +115,16 @@ def janus(
     weight: float = 1.0,
     slo_ms: Milliseconds | None = None,
     enforce_resilience: bool = True,
+    hints: WorkflowHints | None = None,
 ) -> JanusPolicy:
-    """Janus: head-function percentile exploration (the paper's system)."""
+    """Janus: head-function percentile exploration (the paper's system).
+
+    Pass pre-synthesized ``hints`` to deploy existing tables instead of
+    running synthesis again.
+    """
     return _build(
         workflow, profiles, HeadExploration.HEAD_ONLY, "Janus",
-        budget, concurrency, weight, slo_ms, enforce_resilience,
+        budget, concurrency, weight, slo_ms, enforce_resilience, hints,
     )
 
 
@@ -127,11 +135,13 @@ def janus_minus(
     concurrency: int = 1,
     weight: float = 1.0,
     slo_ms: Milliseconds | None = None,
+    enforce_resilience: bool = True,
+    hints: WorkflowHints | None = None,
 ) -> JanusPolicy:
     """Janus-: exploration disabled, heads pinned to P99."""
     return _build(
         workflow, profiles, HeadExploration.NONE, "Janus-",
-        budget, concurrency, weight, slo_ms,
+        budget, concurrency, weight, slo_ms, enforce_resilience, hints,
     )
 
 
@@ -142,9 +152,11 @@ def janus_plus(
     concurrency: int = 1,
     weight: float = 1.0,
     slo_ms: Milliseconds | None = None,
+    enforce_resilience: bool = True,
+    hints: WorkflowHints | None = None,
 ) -> JanusPolicy:
     """Janus+: head and next-to-head exploration (costly synthesis)."""
     return _build(
         workflow, profiles, HeadExploration.HEAD_PLUS_NEXT, "Janus+",
-        budget, concurrency, weight, slo_ms,
+        budget, concurrency, weight, slo_ms, enforce_resilience, hints,
     )

@@ -35,6 +35,7 @@ class OraclePolicy(SizingPolicy):
 
     def __init__(self, workflow: Workflow, slo_ms: Milliseconds | None = None) -> None:
         self.workflow = workflow
+        self.stage_order = tuple(workflow.chain)
         self.slo_ms = float(slo_ms if slo_ms is not None else workflow.slo_ms)
         self._plan: dict[int, list[Millicores]] = {}
         self._k_grid = workflow.limits.grid()

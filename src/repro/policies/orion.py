@@ -136,5 +136,6 @@ class OrionPolicy(FixedPlanPolicy):
 
         plan = [int(limits.grid()[ki]) for ki in k_idx]
         super().__init__("ORION", plan)
+        self.stage_order = tuple(workflow.chain)
         self.e2e_p99_ms = e2e_p99(k_idx)
         self.slo_ms = slo

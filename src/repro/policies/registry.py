@@ -1,0 +1,275 @@
+"""Policy registry: every evaluated system resolved by name.
+
+The registry replaces the hardcoded lambda table that used to live in
+:mod:`repro.runtime.driver`: ``build_policy_suite``, the CLI, the
+experiments, and the :class:`~repro.api.Session` facade all resolve policy
+names through the shared :data:`POLICIES` instance, so a new system plugs
+in with one :meth:`PolicyRegistry.register` call instead of edits across
+layers.
+
+Builders are *topology-aware*: they receive the workflow and dispatch on
+:attr:`Workflow.topology`, so ``"Janus"`` yields a
+:class:`~repro.policies.janus.JanusPolicy` over chain hint tables for a
+chain and a :class:`~repro.policies.dag.DagJanusPolicy` over per-function
+tables for a branching workflow. Chain-only systems (the clairvoyant
+oracle, ORION's convolution) raise :class:`PolicyError` on DAG input, which
+``build_policy_suite`` treats like an infeasible configuration and skips.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ExperimentError, PolicyError
+from ..profiling.profiles import ProfileSet
+from ..synthesis.budget import BudgetRange
+from ..synthesis.dag import synthesize_dag_hints
+from ..synthesis.generator import HeadExploration
+from ..types import Milliseconds
+from ..workflow.catalog import Workflow
+from .base import SizingPolicy
+from .dag import DagGrandSLAMPolicy, DagJanusPolicy
+from .early_binding import GrandSLAMPlusPolicy, GrandSLAMPolicy
+from .janus import janus, janus_minus, janus_plus
+from .oracle import OraclePolicy
+from .orion import OrionPolicy
+
+__all__ = [
+    "PolicyBuilder",
+    "ProfilesArg",
+    "PolicyRegistry",
+    "POLICIES",
+    "DEFAULT_SUITE",
+    "JANUS_EXPLORATIONS",
+]
+
+#: Canonical policy order used in the paper's figures.
+DEFAULT_SUITE = [
+    "Optimal",
+    "ORION",
+    "Janus-",
+    "Janus+",
+    "Janus",
+    "GrandSLAM+",
+    "GrandSLAM",
+]
+
+PolicyBuilder = _t.Callable[..., SizingPolicy]
+
+#: What builders accept as profiling input: a ready ProfileSet, a zero-arg
+#: callable producing one (resolved only if the builder needs profiles —
+#: lets facades defer the campaign), or None.
+ProfilesArg = _t.Union[ProfileSet, _t.Callable[[], ProfileSet], None]
+
+
+class PolicyRegistry:
+    """Named policy builders, callable as ``builder(workflow, profiles, **kw)``.
+
+    Builders receive the standard evaluation knobs (``budget``,
+    ``concurrency``, ``weight``, ``slo_ms``) plus any caller extras; they
+    are free to ignore what they don't use. Unknown names raise
+    :class:`ExperimentError`; infeasible configurations raise
+    :class:`PolicyError` so suite construction can skip them.
+    """
+
+    def __init__(self) -> None:
+        self._builders: dict[str, PolicyBuilder] = {}
+
+    def register(
+        self, name: str, builder: PolicyBuilder | None = None
+    ) -> _t.Callable[[PolicyBuilder], PolicyBuilder] | PolicyBuilder:
+        """Add ``builder`` under ``name`` (usable as a decorator)."""
+
+        def add(fn: PolicyBuilder) -> PolicyBuilder:
+            self._builders[name] = fn
+            return fn
+
+        return add(builder) if builder is not None else add
+
+    def names(self) -> list[str]:
+        """Registered policy names, in registration order."""
+        return list(self._builders)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._builders
+
+    def __iter__(self) -> _t.Iterator[str]:
+        return iter(self._builders)
+
+    def build(
+        self,
+        name: str,
+        workflow: Workflow,
+        profiles: ProfilesArg = None,
+        **kwargs: _t.Any,
+    ) -> SizingPolicy:
+        """Instantiate the policy registered under ``name``.
+
+        ``profiles`` may be a zero-arg callable; builders resolve it through
+        :func:`_require_profiles` only when they actually consume profiles,
+        so e.g. the clairvoyant oracle never triggers a profiling campaign.
+        """
+        try:
+            builder = self._builders[name]
+        except KeyError:
+            raise ExperimentError(
+                f"unknown policy {name!r}; known: {self.names()}"
+            )
+        return builder(workflow, profiles, **kwargs)
+
+
+#: The shared default registry every layer resolves through.
+POLICIES = PolicyRegistry()
+
+
+def _require_chain(workflow: Workflow, name: str) -> None:
+    if workflow.topology != "chain":
+        raise PolicyError(
+            f"{name} supports chain workflows only, "
+            f"got topology {workflow.topology!r} ({workflow.name})"
+        )
+
+
+def _require_profiles(profiles: ProfilesArg, name: str) -> ProfileSet:
+    if callable(profiles):
+        profiles = profiles()
+    if profiles is None:
+        raise ExperimentError(f"{name} requires a profile set")
+    return profiles
+
+
+@POLICIES.register("Optimal")
+def _build_optimal(
+    workflow: Workflow,
+    profiles: ProfilesArg = None,
+    slo_ms: Milliseconds | None = None,
+    **_: _t.Any,
+) -> SizingPolicy:
+    _require_chain(workflow, "Optimal")
+    return OraclePolicy(workflow, slo_ms=slo_ms)
+
+
+@POLICIES.register("ORION")
+def _build_orion(
+    workflow: Workflow,
+    profiles: ProfilesArg = None,
+    concurrency: int = 1,
+    slo_ms: Milliseconds | None = None,
+    **_: _t.Any,
+) -> SizingPolicy:
+    _require_chain(workflow, "ORION")
+    return OrionPolicy(
+        workflow, _require_profiles(profiles, "ORION"),
+        concurrency=concurrency, slo_ms=slo_ms,
+    )
+
+
+@POLICIES.register("GrandSLAM")
+def _build_grandslam(
+    workflow: Workflow,
+    profiles: ProfilesArg = None,
+    concurrency: int = 1,
+    slo_ms: Milliseconds | None = None,
+    label: str | None = None,
+    **_: _t.Any,
+) -> SizingPolicy:
+    profiles = _require_profiles(profiles, "GrandSLAM")
+    if workflow.topology == "dag":
+        # Default to the requested registry name so suite keys and
+        # RunResult.policy_name agree; ``label`` overrides for callers that
+        # want an explicit topology-suffixed name.
+        return DagGrandSLAMPolicy(
+            workflow, profiles, slo_ms=slo_ms, name=label or "GrandSLAM"
+        )
+    policy = GrandSLAMPolicy(
+        workflow, profiles, concurrency=concurrency, slo_ms=slo_ms
+    )
+    if label:
+        policy.name = label
+    return policy
+
+
+@POLICIES.register("GrandSLAM+")
+def _build_grandslam_plus(
+    workflow: Workflow,
+    profiles: ProfilesArg = None,
+    concurrency: int = 1,
+    slo_ms: Milliseconds | None = None,
+    **_: _t.Any,
+) -> SizingPolicy:
+    _require_chain(workflow, "GrandSLAM+")
+    return GrandSLAMPlusPolicy(
+        workflow, _require_profiles(profiles, "GrandSLAM+"),
+        concurrency=concurrency, slo_ms=slo_ms,
+    )
+
+
+_JANUS_CHAIN_BUILDERS = {
+    "Janus": janus,
+    "Janus-": janus_minus,
+    "Janus+": janus_plus,
+}
+
+#: Exploration mode behind each Janus variant name (used by the Session
+#: facade to decide whether memoised hints can be redeployed).
+JANUS_EXPLORATIONS = {
+    "Janus": HeadExploration.HEAD_ONLY,
+    "Janus-": HeadExploration.NONE,
+    "Janus+": HeadExploration.HEAD_PLUS_NEXT,
+}
+
+
+def _make_janus_builder(variant: str) -> PolicyBuilder:
+    def build(
+        workflow: Workflow,
+        profiles: ProfilesArg = None,
+        budget: BudgetRange | None = None,
+        concurrency: int = 1,
+        weight: float = 1.0,
+        slo_ms: Milliseconds | None = None,
+        enforce_resilience: bool = True,
+        hints: _t.Any = None,
+        label: str | None = None,
+        exploration: HeadExploration | None = None,
+        **_: _t.Any,
+    ) -> SizingPolicy:
+        if exploration is not None and exploration is not JANUS_EXPLORATIONS[variant]:
+            # The variant name *is* the exploration mode — refusing beats
+            # silently synthesizing with the hard-coded one.
+            raise ExperimentError(
+                f"exploration is determined by the policy name ({variant!r} "
+                f"-> {JANUS_EXPLORATIONS[variant].value!r}); request the "
+                f"matching variant instead of overriding exploration"
+            )
+        if workflow.topology == "dag":
+            if hints is None:
+                profiles = _require_profiles(profiles, variant)
+                hints = synthesize_dag_hints(
+                    workflow, profiles, budget=budget, concurrency=concurrency,
+                    weight=weight, exploration=JANUS_EXPLORATIONS[variant],
+                    enforce_resilience=enforce_resilience,
+                )
+            # Same naming rule as GrandSLAM: suite key by default.
+            return DagJanusPolicy(
+                workflow, hints, slo_ms=slo_ms, name=label or variant
+            )
+        # With hints supplied the chain builder never touches profiles —
+        # don't resolve a deferred campaign just to pass it along.
+        profiles = (
+            _require_profiles(profiles, variant) if hints is None else None
+        )
+        policy = _JANUS_CHAIN_BUILDERS[variant](
+            workflow, profiles, budget=budget, concurrency=concurrency,
+            weight=weight, slo_ms=slo_ms,
+            enforce_resilience=enforce_resilience, hints=hints,
+        )
+        if label:
+            policy.name = label
+        return policy
+
+    build.__name__ = f"_build_{variant.lower().replace('+', '_plus').replace('-', '_minus')}"
+    return build
+
+
+for _variant in _JANUS_CHAIN_BUILDERS:
+    POLICIES.register(_variant, _make_janus_builder(_variant))

@@ -134,6 +134,9 @@ def profile_workflow(
     """One-call profiling of every function in ``workflow``.
 
     ``concurrencies`` defaults to ``(1, ..., workflow.max_concurrency)``.
+    Every DAG node is profiled (branching workflows execute
+    off-critical-path functions too); chain-order functions come first so
+    ``ProfileSet.functions()`` preserves the historical chain ordering.
     """
     if concurrencies is None:
         concurrencies = tuple(range(1, workflow.max_concurrency + 1))
@@ -144,6 +147,14 @@ def profile_workflow(
         samples=samples,
     )
     profiler = Profiler(cfg, interference=interference)
+    models = workflow.models_in_order()
+    if workflow.topology == "dag":
+        on_chain = set(workflow.chain)
+        models += [
+            workflow.functions[n]
+            for n in workflow.dag.nodes
+            if n not in on_chain
+        ]
     return profiler.profile_models(
-        workflow.models_in_order(), RngFactory(seed).fork("profiling", workflow.name)
+        models, RngFactory(seed).fork("profiling", workflow.name)
     )

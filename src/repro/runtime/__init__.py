@@ -1,16 +1,29 @@
-"""Execution backends and experiment drivers."""
+"""Execution backends, the executor registry, and experiment drivers."""
 
-from .driver import POLICY_ORDER, build_policy_suite, compare, run_policies
+from .registry import (
+    Executor,
+    executor_names,
+    get_executor,
+    register_executor,
+    resolve_executor,
+)
 from .batching import BatchingExecutor
 from .dag_executor import DagAnalyticExecutor
 from .executor import AnalyticExecutor
-from .results import RunResult
+from .driver import POLICY_ORDER, build_policy_suite, compare, run_policies
+from .results import RunResult, collect_policy_extras
 
 __all__ = [
+    "Executor",
+    "register_executor",
+    "executor_names",
+    "get_executor",
+    "resolve_executor",
     "AnalyticExecutor",
     "DagAnalyticExecutor",
     "BatchingExecutor",
     "RunResult",
+    "collect_policy_extras",
     "build_policy_suite",
     "run_policies",
     "compare",

@@ -24,11 +24,13 @@ from ..errors import ExperimentError
 from ..policies.base import SizingPolicy
 from ..workflow.catalog import Workflow
 from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
-from .results import RunResult
+from .registry import register_executor
+from .results import RunResult, collect_policy_extras
 
 __all__ = ["BatchingExecutor"]
 
 
+@register_executor("batching")
 class BatchingExecutor:
     """Analytic executor with a size-or-timeout batching front end."""
 
@@ -85,6 +87,7 @@ class BatchingExecutor:
     ) -> list[RequestOutcome]:
         chain = self.workflow.chain
         limits = self.workflow.limits
+        policy.bind(self.workflow)
         oldest = batch[0]
         # Dispatch when full, or when the oldest member's wait expires.
         if len(batch) == self.max_batch:
@@ -97,8 +100,8 @@ class BatchingExecutor:
         elapsed = dispatch - oldest.arrival_ms  # oldest member's clock
         stage_records: list[list[StageRecord]] = [[] for _ in batch]
         now = dispatch
-        for i, fname in enumerate(chain):
-            size = limits.clamp(policy.size_for_stage(i, oldest, elapsed))
+        for fname in chain:
+            size = limits.clamp(policy.size_for_node(fname, oldest, elapsed))
             model = self.workflow.model(fname)
             # The batch finishes a stage when its slowest member does.
             exec_ms = max(
@@ -148,6 +151,7 @@ class BatchingExecutor:
             policy_name=policy.name,
             outcomes=outcomes,
             extras={
+                **collect_policy_extras(policy),
                 "mean_batch_size": mean_batch,
                 "num_batches": len(batches),
                 "mean_amortized_millicores": sum(amortized) / len(amortized),

@@ -8,7 +8,9 @@ under the realised per-stage durations.
 
 Sizing decisions happen at each function's start time with the elapsed
 wall-clock at that moment — the same information a provider-side adapter
-would have.
+would have. Registered as ``"dag"`` — the auto-selected backend for
+branching workflows; on a chain it degenerates to exactly the analytic
+backend's sequential replay.
 """
 
 from __future__ import annotations
@@ -16,27 +18,30 @@ from __future__ import annotations
 import typing as _t
 
 from ..errors import ExperimentError
-from ..policies.dag import DagSizingPolicy
+from ..policies.base import SizingPolicy
 from ..workflow.catalog import Workflow
 from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
-from .results import RunResult
+from .registry import register_executor
+from .results import RunResult, collect_policy_extras
 
 __all__ = ["DagAnalyticExecutor"]
 
 
+@register_executor("dag")
 class DagAnalyticExecutor:
-    """Replays request streams through a DAG under a DAG sizing policy."""
+    """Replays request streams through a DAG under a sizing policy."""
 
     def __init__(self, workflow: Workflow, clamp_sizes: bool = True) -> None:
         self.workflow = workflow
         self.clamp_sizes = bool(clamp_sizes)
 
     def run_request(
-        self, policy: DagSizingPolicy, request: WorkflowRequest
+        self, policy: SizingPolicy, request: WorkflowRequest
     ) -> RequestOutcome:
         """Serve one request; returns its outcome (stages sorted by end)."""
         dag = self.workflow.dag
         limits = self.workflow.limits
+        policy.bind(self.workflow)
         policy.begin_request(request)
         end_times: dict[str, float] = {}
         stages: list[StageRecord] = []
@@ -44,7 +49,7 @@ class DagAnalyticExecutor:
         for fname in dag.nodes:
             preds = dag.predecessors(fname)
             start_offset = max((end_times[p] for p in preds), default=0.0)
-            size = policy.size_for_function(fname, request, start_offset)
+            size = policy.size_for_node(fname, request, start_offset)
             if self.clamp_sizes:
                 size = limits.clamp(size)
             elif not limits.contains(size):
@@ -74,13 +79,14 @@ class DagAnalyticExecutor:
         )
 
     def run(
-        self, policy: DagSizingPolicy, requests: _t.Sequence[WorkflowRequest]
+        self, policy: SizingPolicy, requests: _t.Sequence[WorkflowRequest]
     ) -> RunResult:
         """Serve a whole stream and collect a :class:`RunResult`."""
         if not requests:
             raise ExperimentError("request stream is empty")
         outcomes = [self.run_request(policy, r) for r in requests]
-        extras: dict[str, _t.Any] = {}
-        if hasattr(policy, "hit_rate"):
-            extras["hit_rate"] = policy.hit_rate
-        return RunResult(policy_name=policy.name, outcomes=outcomes, extras=extras)
+        return RunResult(
+            policy_name=policy.name,
+            outcomes=outcomes,
+            extras=collect_policy_extras(policy),
+        )

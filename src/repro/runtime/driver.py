@@ -1,4 +1,10 @@
-"""Experiment driver: build the standard policy suite and compare them."""
+"""Experiment driver: build the standard policy suite and compare them.
+
+Both halves resolve through the shared registries: policy names go through
+:data:`repro.policies.registry.POLICIES` and executors through
+:mod:`repro.runtime.registry`, so custom systems and backends registered by
+callers are first-class citizens of every comparison.
+"""
 
 from __future__ import annotations
 
@@ -6,30 +12,53 @@ import typing as _t
 
 from ..errors import ExperimentError, PolicyError
 from ..policies.base import SizingPolicy
-from ..policies.early_binding import GrandSLAMPlusPolicy, GrandSLAMPolicy
-from ..policies.janus import janus, janus_minus, janus_plus
-from ..policies.oracle import OraclePolicy
-from ..policies.orion import OrionPolicy
+from ..policies.registry import DEFAULT_SUITE, POLICIES, PolicyRegistry
 from ..profiling.profiles import ProfileSet
 from ..synthesis.budget import BudgetRange
 from ..types import Milliseconds
 from ..workflow.catalog import Workflow
 from ..workflow.request import WorkflowRequest
-from .executor import AnalyticExecutor
+from .registry import Executor, resolve_executor
 from .results import RunResult
 
-__all__ = ["build_policy_suite", "run_policies", "compare"]
-
-#: Canonical policy order used in the paper's figures.
-POLICY_ORDER = [
-    "Optimal",
-    "ORION",
-    "Janus-",
-    "Janus+",
-    "Janus",
-    "GrandSLAM+",
-    "GrandSLAM",
+__all__ = [
+    "assemble_suite",
+    "build_policy_suite",
+    "run_policies",
+    "compare",
+    "POLICY_ORDER",
 ]
+
+#: Canonical policy order used in the paper's figures (a copy of the policy
+#: registry's DEFAULT_SUITE, so legacy in-place edits of this list cannot
+#: mutate the registry's canonical suite).
+POLICY_ORDER = list(DEFAULT_SUITE)
+
+
+def assemble_suite(
+    wanted: _t.Sequence[str],
+    registry: PolicyRegistry,
+    build_one: _t.Callable[[str], SizingPolicy],
+) -> dict[str, SizingPolicy]:
+    """The suite-construction contract, shared by every suite builder.
+
+    Unknown names raise :class:`ExperimentError` up front; policies whose
+    builder raises :class:`PolicyError` (infeasible SLO, unsupported
+    topology) are skipped, as the paper does when a baseline cannot be
+    configured; an empty result is an error.
+    """
+    unknown = [name for name in wanted if name not in registry]
+    if unknown:
+        raise ExperimentError(f"unknown policies requested: {unknown}")
+    suite: dict[str, SizingPolicy] = {}
+    for name in wanted:
+        try:
+            suite[name] = build_one(name)
+        except PolicyError:
+            continue
+    if not suite:
+        raise ExperimentError("no policy could be built for this configuration")
+    return suite
 
 
 def build_policy_suite(
@@ -40,61 +69,42 @@ def build_policy_suite(
     weight: float = 1.0,
     slo_ms: Milliseconds | None = None,
     include: _t.Sequence[str] | None = None,
+    registry: PolicyRegistry | None = None,
 ) -> dict[str, SizingPolicy]:
     """Instantiate the evaluation's seven systems (or a subset).
 
-    Policies whose offline planning finds the SLO infeasible are skipped
-    with a note rather than aborting the whole comparison.
+    Names resolve through ``registry`` (the shared :data:`POLICIES` by
+    default), so suites can include custom registered policies. Policies
+    whose offline planning finds the SLO infeasible — or that do not
+    support the workflow's topology — are skipped with a note rather than
+    aborting the whole comparison.
     """
+    registry = registry if registry is not None else POLICIES
     wanted = list(include) if include is not None else list(POLICY_ORDER)
-    builders: dict[str, _t.Callable[[], SizingPolicy]] = {
-        "Optimal": lambda: OraclePolicy(workflow, slo_ms=slo_ms),
-        "ORION": lambda: OrionPolicy(
-            workflow, profiles, concurrency=concurrency, slo_ms=slo_ms
-        ),
-        "GrandSLAM": lambda: GrandSLAMPolicy(
-            workflow, profiles, concurrency=concurrency, slo_ms=slo_ms
-        ),
-        "GrandSLAM+": lambda: GrandSLAMPlusPolicy(
-            workflow, profiles, concurrency=concurrency, slo_ms=slo_ms
-        ),
-        "Janus": lambda: janus(
-            workflow, profiles, budget=budget, concurrency=concurrency,
+    return assemble_suite(
+        wanted,
+        registry,
+        lambda name: registry.build(
+            name, workflow, profiles,
+            budget=budget, concurrency=concurrency,
             weight=weight, slo_ms=slo_ms,
         ),
-        "Janus-": lambda: janus_minus(
-            workflow, profiles, budget=budget, concurrency=concurrency,
-            weight=weight, slo_ms=slo_ms,
-        ),
-        "Janus+": lambda: janus_plus(
-            workflow, profiles, budget=budget, concurrency=concurrency,
-            weight=weight, slo_ms=slo_ms,
-        ),
-    }
-    unknown = [name for name in wanted if name not in builders]
-    if unknown:
-        raise ExperimentError(f"unknown policies requested: {unknown}")
-    suite: dict[str, SizingPolicy] = {}
-    for name in wanted:
-        try:
-            suite[name] = builders[name]()
-        except PolicyError:
-            # Infeasible early-binding plan under this SLO — skip, as the
-            # paper does when a baseline cannot be configured.
-            continue
-    if not suite:
-        raise ExperimentError("no policy could be built for this configuration")
-    return suite
+    )
 
 
 def run_policies(
     workflow: Workflow,
     policies: _t.Mapping[str, SizingPolicy],
     requests: _t.Sequence[WorkflowRequest],
+    executor: str | Executor | None = None,
 ) -> dict[str, RunResult]:
-    """Serve the same stream with every policy."""
-    executor = AnalyticExecutor(workflow)
-    return {name: executor.run(policy, requests) for name, policy in policies.items()}
+    """Serve the same stream with every policy.
+
+    ``executor`` is a registered backend name, a prebuilt executor, or
+    ``None`` to auto-select from the workflow topology.
+    """
+    backend = resolve_executor(workflow, executor)
+    return {name: backend.run(policy, requests) for name, policy in policies.items()}
 
 
 def compare(

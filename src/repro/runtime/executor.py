@@ -9,7 +9,8 @@ relies on.
 This backend models per-request latency exactly and resource consumption as
 the per-stage allocations (the paper's CPU-millicore metric); queueing and
 co-location effects are the domain of the DES cluster backend
-(:mod:`repro.cluster`).
+(:mod:`repro.cluster`). Registered as ``"analytic"`` — the auto-selected
+backend for chain workflows.
 """
 
 from __future__ import annotations
@@ -20,11 +21,13 @@ from ..errors import ExperimentError
 from ..policies.base import SizingPolicy
 from ..workflow.catalog import Workflow
 from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
-from .results import RunResult
+from .registry import register_executor
+from .results import RunResult, collect_policy_extras
 
 __all__ = ["AnalyticExecutor"]
 
 
+@register_executor("analytic")
 class AnalyticExecutor:
     """Replays request streams under a policy, stage by stage."""
 
@@ -38,11 +41,12 @@ class AnalyticExecutor:
         """Serve one request; returns its outcome record."""
         chain = self.workflow.chain
         limits = self.workflow.limits
+        policy.bind(self.workflow)
         policy.begin_request(request)
         elapsed = 0.0
         stages: list[StageRecord] = []
-        for i, fname in enumerate(chain):
-            size = policy.size_for_stage(i, request, elapsed)
+        for fname in chain:
+            size = policy.size_for_node(fname, request, elapsed)
             if self.clamp_sizes:
                 size = limits.clamp(size)
             elif not limits.contains(size):
@@ -78,9 +82,8 @@ class AnalyticExecutor:
         if not requests:
             raise ExperimentError("request stream is empty")
         outcomes = [self.run_request(policy, r) for r in requests]
-        extras: dict[str, _t.Any] = {}
-        # Janus-style policies expose hit rates / synthesis costs — keep them.
-        for attr in ("hit_rate", "synthesis_seconds"):
-            if hasattr(policy, attr):
-                extras[attr] = getattr(policy, attr)
-        return RunResult(policy_name=policy.name, outcomes=outcomes, extras=extras)
+        return RunResult(
+            policy_name=policy.name,
+            outcomes=outcomes,
+            extras=collect_policy_extras(policy),
+        )

@@ -1,0 +1,106 @@
+"""Executor protocol and registry.
+
+An executor serves a request stream against a workflow under a sizing
+policy; every backend exposes the same surface (``run(policy, requests)``)
+so callers select one by *name* instead of importing per-topology classes.
+The built-ins register themselves on import:
+
+* ``"analytic"`` — sequential trace-driven replay (chains),
+* ``"dag"`` — branch-parallel replay (general DAGs),
+* ``"batching"`` — size-or-timeout batching front end over the chain.
+
+New backends (DES cluster drivers, multi-tenant frontends, ...) plug in via
+:func:`register_executor` and become addressable from
+:func:`~repro.runtime.driver.run_policies`, the :class:`~repro.api.Session`
+facade, and experiments without another parallel API family.
+
+:func:`resolve_executor` auto-selects by :attr:`Workflow.topology` when no
+name is given — the one place the chain/DAG split is decided.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ExperimentError
+from ..policies.base import SizingPolicy
+from ..workflow.catalog import Workflow
+from ..workflow.request import WorkflowRequest
+from .results import RunResult
+
+__all__ = [
+    "Executor",
+    "register_executor",
+    "executor_names",
+    "get_executor",
+    "resolve_executor",
+]
+
+
+@_t.runtime_checkable
+class Executor(_t.Protocol):
+    """What every execution backend must provide."""
+
+    workflow: Workflow
+
+    def run(
+        self, policy: SizingPolicy, requests: _t.Sequence[WorkflowRequest]
+    ) -> RunResult:
+        """Serve a whole stream and collect a :class:`RunResult`."""
+        ...  # pragma: no cover - protocol
+
+
+ExecutorFactory = _t.Callable[..., Executor]
+
+_EXECUTORS: dict[str, ExecutorFactory] = {}
+
+
+def register_executor(name: str) -> _t.Callable[[ExecutorFactory], ExecutorFactory]:
+    """Class/factory decorator adding an executor under ``name``.
+
+    The factory is called as ``factory(workflow, **kwargs)``.
+    """
+
+    def deco(factory: ExecutorFactory) -> ExecutorFactory:
+        _EXECUTORS[name] = factory
+        return factory
+
+    return deco
+
+
+def executor_names() -> list[str]:
+    """Registered executor names, sorted."""
+    return sorted(_EXECUTORS)
+
+
+def get_executor(name: str, workflow: Workflow, **kwargs: _t.Any) -> Executor:
+    """Instantiate the executor registered under ``name``."""
+    try:
+        factory = _EXECUTORS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown executor {name!r}; known: {executor_names()}"
+        )
+    return factory(workflow, **kwargs)
+
+
+def resolve_executor(
+    workflow: Workflow,
+    executor: str | Executor | None = None,
+    **kwargs: _t.Any,
+) -> Executor:
+    """Executor for ``workflow``: by name, pass-through, or auto-detected.
+
+    ``None`` selects by :attr:`Workflow.topology` — ``"dag"`` for branching
+    workflows, ``"analytic"`` for chains. An already-built executor passes
+    through unchanged (``kwargs`` must then be empty).
+    """
+    if executor is not None and not isinstance(executor, str):
+        if kwargs:
+            raise ExperimentError(
+                f"cannot apply options {sorted(kwargs)} to an already-built "
+                f"executor {type(executor).__name__}"
+            )
+        return executor
+    name = executor or ("dag" if workflow.topology == "dag" else "analytic")
+    return get_executor(name, workflow, **kwargs)

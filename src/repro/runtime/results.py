@@ -10,7 +10,20 @@ import numpy as np
 from ..errors import ExperimentError
 from ..workflow.request import RequestOutcome
 
-__all__ = ["RunResult"]
+__all__ = ["RunResult", "collect_policy_extras"]
+
+#: Diagnostic attributes lifted off a policy into ``RunResult.extras``
+#: (Janus-style policies expose hit rates / synthesis costs — keep them).
+_POLICY_EXTRA_ATTRS = ("hit_rate", "synthesis_seconds")
+
+
+def collect_policy_extras(policy: _t.Any) -> dict[str, _t.Any]:
+    """Per-policy diagnostics every executor attaches to its result."""
+    return {
+        attr: getattr(policy, attr)
+        for attr in _POLICY_EXTRA_ATTRS
+        if hasattr(policy, attr)
+    }
 
 
 @dataclass

@@ -33,8 +33,9 @@ from ..profiling.profiles import ProfileSet
 from ..workflow.catalog import Workflow
 from ..workflow.dag import WorkflowDAG
 from .budget import BudgetRange, budget_range_for_chain
+from .condenser import condense
 from .dp import ChainDP
-from .generator import HintSynthesizer, SynthesisConfig
+from .generator import HeadExploration, HintSynthesizer, SynthesisConfig
 from .hints import CondensedHintsTable
 
 __all__ = ["DagWorkflowHints", "synthesize_dag_hints", "downstream_chain"]
@@ -108,11 +109,16 @@ def synthesize_dag_hints(
     budget: BudgetRange | None = None,
     concurrency: int = 1,
     weight: float = 1.0,
+    exploration: HeadExploration = HeadExploration.HEAD_ONLY,
+    enforce_resilience: bool = True,
 ) -> DagWorkflowHints:
     """Synthesize per-function hint tables for a (possibly branching) DAG.
 
     For chain workflows this produces exactly the per-suffix tables of
     :func:`~repro.synthesis.generator.synthesize_hints` (one per stage).
+    ``exploration`` selects the Janus variant exactly as in the chain
+    synthesizer (NONE = Janus-, HEAD_ONLY = Janus, HEAD_PLUS_NEXT = Janus+);
+    ``enforce_resilience`` toggles the Eq. 6 constraint as there.
     """
     start = time.perf_counter()
     dag = workflow.dag
@@ -133,12 +139,14 @@ def synthesize_dag_hints(
                 tmax_ms=max(chain_budget.tmax_ms, budget.tmax_ms),
             )
         synth = HintSynthesizer(
-            profiles, chain, SynthesisConfig(weight=weight)
+            profiles, chain,
+            SynthesisConfig(
+                weight=weight, exploration=exploration,
+                enforce_resilience=enforce_resilience,
+            ),
         )
         dp = ChainDP(chain_profiles, chain_budget.tmax_ms, concurrency)
         raw = synth.synthesize_suffix(0, dp, chain_budget, concurrency)
-        from .condenser import condense
-
         table = condense(raw, workflow.limits.kmax)
         # Re-key the table by head function (suffix index is meaningless in
         # the DAG setting; keep 0 so validation stays trivial).
@@ -157,5 +165,9 @@ def synthesize_dag_hints(
         tables=tables,
         chains=chains,
         synthesis_seconds=time.perf_counter() - start,
-        metadata={"weight": weight, "concurrency": concurrency},
+        metadata={
+            "weight": weight,
+            "concurrency": concurrency,
+            "exploration": exploration.value,
+        },
     )

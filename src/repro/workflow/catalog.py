@@ -56,6 +56,16 @@ class Workflow:
                 )
 
     @property
+    def topology(self) -> str:
+        """``"chain"`` when the DAG is a simple path, ``"dag"`` otherwise.
+
+        The single switch executors, synthesis, and the :class:`Session`
+        facade key on — callers should not probe ``.dag``/``.chain`` shape
+        themselves.
+        """
+        return "chain" if self.dag.is_chain else "dag"
+
+    @property
     def chain(self) -> list[str]:
         """Execution order as a chain (critical path for general DAGs)."""
         if self.dag.is_chain:

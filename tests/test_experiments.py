@@ -56,7 +56,7 @@ class TestFig1b:
 
 class TestFig1c:
     def test_interference_ordering(self):
-        result = fig1_interference.run(samples=60)
+        result = fig1_interference.run(samples_per_level=60)
         finals = {name: series[-1] for name, series in result.series.items()}
         # Network-dominant worst, CPU-dominant best (paper Fig. 1c).
         assert finals["SocketComm"] == max(finals.values())
@@ -64,7 +64,7 @@ class TestFig1c:
         assert result.max_slowdown > 5.0
 
     def test_series_start_at_one(self):
-        result = fig1_interference.run(max_colocated=3, samples=40)
+        result = fig1_interference.run(max_colocated=3, samples_per_level=40)
         for series in result.series.values():
             assert series[0] == pytest.approx(1.0)
 
