@@ -1,0 +1,150 @@
+"""Benchmark the scenario sweep path and record the perf trajectory.
+
+Unlike the figure benchmarks (which regenerate paper artifacts), this
+module tracks the *engine*: sim-kernel event throughput, hint-synthesis
+memoisation, and end-to-end sweep wall time, serial vs process pool. The
+headline numbers are written to ``BENCH_scenarios.json`` (override the
+location with ``JANUS_BENCH_OUT``) so successive PRs can compare.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.scenarios import ScenarioMatrix, SweepRunner
+from repro.sim.engine import Simulator
+from repro.synthesis.generator import clear_hints_cache, synthesize_hints
+from repro.synthesis.dp import clear_dp_cache
+from repro.traces.workload import ArrivalSpec
+
+from .conftest import run_once
+
+OUT_PATH = os.environ.get("JANUS_BENCH_OUT", "BENCH_scenarios.json")
+
+_RESULTS: dict[str, object] = {}
+
+
+def _write_results() -> None:
+    # Read-update-write: running a subset of these tests must refresh only
+    # its own sections, not erase the other recorded ones.
+    payload: dict[str, object] = {}
+    try:
+        with open(OUT_PATH, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        pass
+    payload.update(_RESULTS)
+    with open(OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def _timeout_worker(sim: Simulator, n: int):
+    for _ in range(n):
+        yield sim.timeout(1.0)
+
+
+def _fanout_worker(sim: Simulator, n: int):
+    for _ in range(n):
+        yield sim.all_of([sim.timeout(0.5), sim.timeout(1.0), sim.timeout(1.5)])
+
+
+def _events_per_sec(make, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        sim = Simulator()
+        make(sim)
+        start = time.perf_counter()
+        sim.run()
+        best = min(best, (time.perf_counter() - start) / sim.processed_events)
+    return 1.0 / best
+
+
+def test_sim_engine_throughput(benchmark):
+    """Events/sec of the DES kernel on its two dominant shapes."""
+    timeout_eps = run_once(
+        benchmark,
+        _events_per_sec,
+        lambda sim: [sim.process(_timeout_worker(sim, 2000)) for _ in range(50)],
+    )
+    fanout_eps = _events_per_sec(
+        lambda sim: [sim.process(_fanout_worker(sim, 500)) for _ in range(50)]
+    )
+    print(f"\nsim engine: timeout-loop {timeout_eps:,.0f} ev/s, "
+          f"AllOf fan-out {fanout_eps:,.0f} ev/s")
+    assert timeout_eps > 50_000  # sanity floor, an order below expectations
+    _RESULTS["sim_engine"] = {
+        "timeout_loop_events_per_s": timeout_eps,
+        "fanout_events_per_s": fanout_eps,
+    }
+    _write_results()
+
+
+def test_synthesis_memoisation(benchmark, bench_samples):
+    """Live vs memoised hint synthesis for the IA chain."""
+    from repro.experiments.common import ia_setup
+
+    wf, profiles, budget = ia_setup(samples=min(bench_samples, 1000), seed=5)
+    clear_dp_cache()
+    clear_hints_cache()
+
+    def live():
+        clear_dp_cache()
+        clear_hints_cache()
+        start = time.perf_counter()
+        synthesize_hints(profiles, wf.chain, budget=budget, workflow_name="IA")
+        return time.perf_counter() - start
+
+    live_s = run_once(benchmark, live)
+    start = time.perf_counter()
+    synthesize_hints(profiles, wf.chain, budget=budget, workflow_name="IA")
+    memo_s = time.perf_counter() - start
+    print(f"\nsynthesis: live {live_s * 1000:.1f} ms, "
+          f"memoised {memo_s * 1000:.3f} ms")
+    assert memo_s < live_s
+    _RESULTS["synthesis"] = {
+        "live_ms": live_s * 1000.0,
+        "memoised_ms": memo_s * 1000.0,
+    }
+    _write_results()
+
+
+def test_scenario_sweep(benchmark, bench_requests, bench_samples):
+    """End-to-end sweep wall time, serial vs process pool, bit-compared."""
+    matrix = ScenarioMatrix(
+        workflows=("IA", "VA"),
+        arrivals=(
+            ArrivalSpec(kind="constant"),
+            ArrivalSpec(kind="poisson", rate_per_s=8.0),
+            ArrivalSpec(kind="azure", rate_per_s=8.0),
+        ),
+        slo_scales=(1.0, 1.25),
+        tenant_counts=(1,),
+        n_requests=min(bench_requests, 150),
+        samples=min(bench_samples, 800),
+        seed=2025,
+    )
+    serial = run_once(benchmark, SweepRunner(max_workers=1).run, matrix)
+    # At least two workers so the pool path (and its determinism) is
+    # genuinely exercised even on single-core runners.
+    workers = max(2, min(4, os.cpu_count() or 1))
+    start = time.perf_counter()
+    pooled = SweepRunner(max_workers=workers).run(matrix)
+    pooled_s = time.perf_counter() - start
+    assert pooled.to_json() == serial.to_json()
+    assert serial.num_cells == len(matrix)
+    print(f"\nsweep: {serial.num_cells} cells, "
+          f"serial {serial.wall_seconds:.2f} s, "
+          f"pooled({workers}) {pooled_s:.2f} s")
+    print(serial.render())
+    _RESULTS["sweep"] = {
+        "cells": serial.num_cells,
+        "n_requests": matrix.n_requests,
+        "samples": matrix.samples,
+        "serial_seconds": serial.wall_seconds,
+        "pooled_seconds": pooled_s,
+        "pool_workers": workers,
+        "bit_identical": True,
+    }
+    _write_results()

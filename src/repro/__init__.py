@@ -36,8 +36,12 @@ The package splits along the paper's developer/provider boundary:
 * shared substrate: :mod:`repro.workflow`, :mod:`repro.functions`,
   :mod:`repro.traces`, :mod:`repro.sim`
 * evaluation: :mod:`repro.policies`, :mod:`repro.runtime`,
-  :mod:`repro.metrics`, :mod:`repro.experiments`
+  :mod:`repro.metrics`, :mod:`repro.experiments`, :mod:`repro.scenarios`
 * high-level facade: :mod:`repro.api`
+
+Broad scenario coverage goes through :class:`ScenarioMatrix` /
+:class:`SweepRunner` — a declarative arrival x topology x SLO x tenant
+product executed on a process pool with bit-reproducible results.
 """
 
 import typing as _t
@@ -90,6 +94,13 @@ from .runtime import (
     resolve_executor,
     run_policies,
 )
+from .scenarios import (
+    Scenario,
+    ScenarioMatrix,
+    SweepReport,
+    SweepRunner,
+    run_scenario,
+)
 from .synthesis import (
     BudgetRange,
     CondensedHintsTable,
@@ -99,7 +110,7 @@ from .synthesis import (
     WorkflowHints,
     synthesize_hints,
 )
-from .traces import WorkloadConfig, generate_requests
+from .traces import ArrivalSpec, WorkloadConfig, generate_requests
 from .types import PercentileGrid, ResourceLimits
 from .workflow import (
     RequestOutcome,
@@ -112,7 +123,7 @@ from .workflow import (
     video_analytics,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Pre-unification names kept importable from the top level. Accessing one
 #: emits a DeprecationWarning pointing at the unified replacement; the
@@ -235,9 +246,16 @@ __all__ = [
     "TenantJob",
     "ClusterConfig",
     "InterferenceModel",
+    # scenarios
+    "Scenario",
+    "ScenarioMatrix",
+    "SweepRunner",
+    "SweepReport",
+    "run_scenario",
     # traces
     "generate_requests",
     "WorkloadConfig",
+    "ArrivalSpec",
     # types
     "ResourceLimits",
     "PercentileGrid",

@@ -256,16 +256,20 @@ class Session:
         requests: RequestSpec = None,
         executor: str | Executor | None = None,
         baseline: str | None = None,
+        suite: _t.Mapping[str, SizingPolicy] | None = None,
     ) -> "ComparisonReport":
         """Run the whole profile → synthesize → serve → compare pipeline.
 
         Returns a :class:`ComparisonReport` over every buildable policy in
         the suite. ``baseline`` defaults to ``"Optimal"`` when present (the
-        paper's normalisation), else the first built policy.
+        paper's normalisation), else the first built policy. A prebuilt
+        ``suite`` (e.g. from :meth:`suite`) is served as given — ``include``
+        is ignored then, and no policies are rebuilt.
         """
         from .report import ComparisonReport
 
-        suite = self.suite(include)
+        if suite is None:
+            suite = self.suite(include)
         stream = self.requests(requests)
         backend = self.executor(executor)
         results = run_policies(self.workflow, suite, stream, executor=backend)

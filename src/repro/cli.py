@@ -5,6 +5,7 @@ Usage::
     janus-repro list
     janus-repro run fig5 --requests 1000
     janus-repro run-all --requests 400 --samples 1000
+    janus-repro sweep --workflows IA,VA --arrivals constant,poisson@8 --jobs 4
     janus-repro profile IA --out ia-profiles.json
     janus-repro synthesize ia-profiles.json --slo 3000 --out ia-hints.json
     janus-repro inspect ia-hints.json
@@ -70,6 +71,43 @@ def build_parser() -> argparse.ArgumentParser:
     all_p.add_argument("--samples", type=int, default=None)
     all_p.add_argument("--seed", type=int, default=None)
 
+    sweep_p = sub.add_parser(
+        "sweep", help="run a scenario-matrix sweep on a process pool"
+    )
+    sweep_p.add_argument(
+        "--workflows", default="IA,VA",
+        help="comma-separated scenario workflow names (default: IA,VA)")
+    sweep_p.add_argument(
+        "--arrivals", default="constant,poisson@8,burst@8,azure@8",
+        help="comma-separated arrival tokens: poisson@RATE, burst@RATE, "
+             "azure@RATE (requests/s), or constant[@INTERVAL_MS] "
+             "(back-to-back when no interval is given)")
+    sweep_p.add_argument(
+        "--slo-scales", default="1.0,1.25",
+        help="comma-separated multipliers on each workflow's default SLO")
+    sweep_p.add_argument(
+        "--tenants", default="1,2",
+        help="comma-separated tenant counts (streams merged by arrival)")
+    sweep_p.add_argument(
+        "--policies", default=None,
+        help="comma-separated policy names "
+             "(default: Optimal,ORION,GrandSLAM,Janus)")
+    sweep_p.add_argument("--requests", type=int, default=None,
+                         help="requests per tenant per cell (default 200)")
+    sweep_p.add_argument("--samples", type=int, default=None,
+                         help="profiling samples per grid point (default 1000)")
+    sweep_p.add_argument("--seed", type=int, default=None,
+                         help="master seed every cell derives from")
+    sweep_p.add_argument("--jobs", type=int, default=None,
+                         help="process-pool workers (1 = serial; "
+                              "default: CPU count)")
+    sweep_p.add_argument("--baseline", default=None,
+                         help="normalisation baseline policy (default: "
+                              "Optimal when present)")
+    sweep_p.add_argument("--csv", default=None, help="write per-cell CSV here")
+    sweep_p.add_argument("--json", default=None,
+                         help="write the full JSON report here")
+
     prof_p = sub.add_parser(
         "profile", help="profile a catalog workflow to a JSON file"
     )
@@ -130,6 +168,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
             print(run_experiment(exp_id, **_params_for(exp_id, args)))
             print(f"\n[{exp_id} took {time.perf_counter() - t0:.1f} s]")
         return 0
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "synthesize":
@@ -137,6 +177,41 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     if args.command == "inspect":
         return _cmd_inspect(args)
     return 2  # pragma: no cover - argparse enforces choices
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .scenarios import ScenarioMatrix, SweepRunner, parse_arrival
+
+    def _split(text: str) -> list[str]:
+        return [part.strip() for part in text.split(",") if part.strip()]
+
+    matrix_kwargs: dict[str, _t.Any] = {
+        "workflows": tuple(_split(args.workflows)),
+        "arrivals": tuple(parse_arrival(tok) for tok in _split(args.arrivals)),
+        "slo_scales": tuple(float(s) for s in _split(args.slo_scales)),
+        "tenant_counts": tuple(int(t) for t in _split(args.tenants)),
+        "baseline": args.baseline,
+    }
+    if args.policies:
+        matrix_kwargs["policies"] = tuple(_split(args.policies))
+    # Same knob-introspection contract as `run`: a scale flag reaches the
+    # matrix only if its constructor takes the parameter.
+    for knob, param in _KNOB_PARAMS.items():
+        value = getattr(args, knob, None)
+        if value is not None and _accepts(ScenarioMatrix.__init__, param):
+            matrix_kwargs[param] = value
+    matrix = ScenarioMatrix(**matrix_kwargs)
+    print(f"sweeping {len(matrix)} scenario cells "
+          f"({len(matrix.policies)} policies each)...")
+    report = SweepRunner(max_workers=args.jobs).run(matrix)
+    print(report.render())
+    if args.csv:
+        report.write_csv(args.csv)
+        print(f"per-cell CSV -> {args.csv}")
+    if args.json:
+        report.write_json(args.json)
+        print(f"JSON report -> {args.json}")
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from ..metrics.report import format_table
 from ..policies.janus import janus, janus_plus
 from ..runtime.registry import resolve_executor
+from ..synthesis.dp import clear_dp_cache
+from ..synthesis.generator import clear_hints_cache
 from ..traces.workload import WorkloadConfig, generate_requests
 from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup
 
@@ -62,7 +64,15 @@ def run(
             wf, WorkloadConfig(n_requests=n_requests), seed=seed + int(slo_s)
         )
         executor = resolve_executor(wf)
+        # This experiment *measures* synthesis cost, so both variants must
+        # pay the full cold path: drop the process-wide DP/hints memos
+        # before each timed build or the second variant would reuse the
+        # first's DP tables (and repeat runs would report stale timings).
+        clear_dp_cache()
+        clear_hints_cache()
         pol_j = janus(wf, profiles, budget=budget)
+        clear_dp_cache()
+        clear_hints_cache()
         pol_jp = janus_plus(wf, profiles, budget=budget)
         res_j = executor.run(pol_j, requests)
         res_jp = executor.run(pol_jp, requests)

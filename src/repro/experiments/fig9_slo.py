@@ -4,16 +4,25 @@ Paper claims: sweeping the SLO (IA 3-7 s, VA 1.5-2.0 s), Janus outperforms
 ORION by 16.1% / 22.2% and GrandSLAM by 24.1% / 27.7% on average (normalised
 by Optimal), with the gains narrowing at loose SLOs where every system
 approaches the 1000-millicore floor.
+
+The sweep itself is now a thin :class:`~repro.scenarios.ScenarioMatrix`
+per workflow — absolute SLOs become multipliers on the workflow's default
+SLO and the scenario engine owns seeding, profiling reuse, and (optionally
+parallel) execution; this module only reshapes the sweep report into the
+figure's series.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ExperimentError
 from ..metrics.report import format_table
-from ..runtime.driver import build_policy_suite, run_policies
-from ..traces.workload import WorkloadConfig, generate_requests
-from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup, va_setup
+from ..scenarios.matrix import ScenarioMatrix
+from ..scenarios.runner import SweepRunner
+from ..traces.workload import ArrivalSpec
+from ..workflow.catalog import intelligent_assistant, video_analytics
+from .common import DEFAULT_SAMPLES, DEFAULT_SEED, IA_SETTINGS, VA_BUDGET
 
 __all__ = ["Fig9Result", "run", "render"]
 
@@ -41,31 +50,54 @@ def run(
     n_requests: int = 400,
     samples: int = DEFAULT_SAMPLES,
     seed: int = DEFAULT_SEED,
+    max_workers: int | None = 1,
 ) -> Fig9Result:
-    """SLO sweeps for IA and VA with the Fig. 9 systems."""
+    """SLO sweeps for IA and VA with the Fig. 9 systems.
+
+    ``max_workers`` > 1 runs each workflow's matrix on a process pool;
+    results are bit-identical to the serial run (the sweep engine's
+    determinism contract).
+    """
+    runner = SweepRunner(max_workers=max_workers)
+    base_slo = {
+        "IA": float(intelligent_assistant().slo_ms),
+        "VA": float(video_analytics().slo_ms),
+    }
+    # The paper's pinned per-workflow budget ranges (§V-A); the scenario
+    # runner extends tmax to the cell's SLO exactly as ia_setup/va_setup do.
+    budgets = {
+        "IA": (IA_SETTINGS[1][1].tmin_ms, IA_SETTINGS[1][1].tmax_ms),
+        "VA": (VA_BUDGET.tmin_ms, VA_BUDGET.tmax_ms),
+    }
     series: dict[str, dict[float, dict[str, float]]] = {"IA": {}, "VA": {}}
     for wf_name, slos in (("IA", ia_slos_s), ("VA", va_slos_s)):
-        for slo_s in slos:
-            if wf_name == "IA":
-                wf, profiles, budget = ia_setup(
-                    slo_ms=slo_s * 1000.0, samples=samples, seed=seed
-                )
-            else:
-                wf, profiles, budget = va_setup(
-                    slo_ms=slo_s * 1000.0, samples=samples, seed=seed
-                )
-            suite = build_policy_suite(
-                wf, profiles, budget=budget, include=SYSTEMS
+        matrix = ScenarioMatrix(
+            workflows=(wf_name,),
+            arrivals=(ArrivalSpec(kind="constant"),),
+            slo_scales=tuple(s * 1000.0 / base_slo[wf_name] for s in slos),
+            policies=tuple(SYSTEMS),
+            # Pin the paper's normalisation: if Optimal is ever infeasible
+            # in a cell, the cell dies and trips the 1:1 guard below rather
+            # than silently renormalising by the first surviving system.
+            baseline="Optimal",
+            n_requests=n_requests,
+            samples=samples,
+            seed=seed,
+            budgets=budgets,
+        )
+        report = runner.run(matrix)
+        # Expansion order is the slo_scales order, so surviving cells map
+        # 1:1 to SLOs — but only if no cell was skipped; a dropped cell
+        # would silently shift the pairing, so it is a hard error here.
+        if len(report.results) != len(slos):
+            raise ExperimentError(
+                f"fig9 {wf_name}: {len(slos)} SLOs but "
+                f"{len(report.results)} evaluated cells "
+                f"(skipped: {sorted(report.skipped)})"
             )
-            requests = generate_requests(
-                wf,
-                WorkloadConfig(n_requests=n_requests),
-                seed=seed + int(slo_s * 10),
-            )
-            results = run_policies(wf, suite, requests)
-            optimal = results["Optimal"]
+        for slo_s, cell in zip(slos, report.results):
             series[wf_name][slo_s] = {
-                name: res.normalized_cpu(optimal) for name, res in results.items()
+                name: cell.metric(name, "normalized_cpu") for name in cell.table
             }
     return Fig9Result(series=series)
 

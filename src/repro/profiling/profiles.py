@@ -12,6 +12,7 @@ it scans most), per the cache-effects guidance in the hpc-parallel guides.
 
 from __future__ import annotations
 
+import hashlib
 import typing as _t
 from dataclasses import dataclass
 
@@ -174,6 +175,28 @@ class LatencyProfile:
     def memory_bytes(self) -> int:
         """Bytes held by the table (for the §V-H footprint experiment)."""
         return int(self.table.nbytes)
+
+    def digest(self) -> str:
+        """Content hash of the profile (grids + table bytes).
+
+        Two profiles with equal digests produce identical synthesis output,
+        so the digest is the memo key for cached DP tables and hints. The
+        profile is frozen, so the hash is computed once and cached.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            h = hashlib.sha256()
+            h.update(self.function.encode())
+            h.update(repr(self.percentiles.percentiles).encode())
+            h.update(repr((self.percentiles.anchor,)).encode())
+            h.update(
+                repr((self.limits.kmin, self.limits.kmax, self.limits.step)).encode()
+            )
+            h.update(repr(self.concurrencies).encode())
+            h.update(np.ascontiguousarray(self.table).tobytes())
+            cached = h.hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
 
 class ProfileSet:

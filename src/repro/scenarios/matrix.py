@@ -1,0 +1,225 @@
+"""The declarative scenario matrix and its expansion into seeded specs."""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+from dataclasses import dataclass, field, replace
+
+from ..errors import ExperimentError
+from ..rng import child_seed
+from ..traces.workload import ArrivalSpec
+from .registry import SCENARIO_WORKFLOWS
+
+__all__ = ["Scenario", "ScenarioMatrix", "parse_arrival"]
+
+#: Default policy suite for sweeps: the paper's headline systems.
+DEFAULT_SWEEP_POLICIES = ("Optimal", "ORION", "GrandSLAM", "Janus")
+
+
+def _validate_suite(
+    policies: _t.Sequence[str], baseline: str | None
+) -> None:
+    """Reject unknown policy/baseline names before any cell runs."""
+    from ..policies.registry import POLICIES
+
+    unknown = [p for p in policies if p not in POLICIES]
+    if unknown:
+        raise ExperimentError(
+            f"unknown policies {unknown}; known: {POLICIES.names()}"
+        )
+    if baseline is not None and baseline not in policies:
+        raise ExperimentError(
+            f"baseline {baseline!r} is not in the policy suite "
+            f"{list(policies)}"
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified evaluation cell — picklable and self-contained.
+
+    A scenario names its workflow (resolved through
+    :data:`~repro.scenarios.registry.SCENARIO_WORKFLOWS` inside the worker)
+    and carries two derived seeds: ``seed`` drives the request streams and
+    is unique per cell, ``profile_seed`` drives the profiling campaign and
+    is shared by every cell of the same workflow so one campaign serves the
+    whole matrix — exactly the paper's "profile once, sweep SLOs" idiom.
+    """
+
+    workflow: str
+    arrival: ArrivalSpec
+    slo_scale: float
+    tenants: int
+    policies: tuple[str, ...]
+    n_requests: int
+    samples: int
+    seed: int
+    profile_seed: int
+    baseline: str | None = None
+    #: Optional pinned synthesis budget ``(tmin_ms, tmax_ms)`` — e.g. the
+    #: paper's per-workflow ranges. ``None`` derives the Eq. 3 range from
+    #: the profiles. ``tmax`` is extended to the cell's SLO when the SLO
+    #: exceeds it (matching ``experiments.common.ia_setup``).
+    budget_ms: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.slo_scale <= 0:
+            raise ExperimentError(f"slo_scale must be > 0, got {self.slo_scale}")
+        if self.tenants < 1:
+            raise ExperimentError(f"tenants must be >= 1, got {self.tenants}")
+        if self.n_requests < 1:
+            raise ExperimentError(
+                f"n_requests must be >= 1, got {self.n_requests}"
+            )
+        if not self.policies:
+            raise ExperimentError("scenario requires at least one policy")
+        # Scenarios are public API and may be built without a matrix, so
+        # name typos must fail here — run_scenario treats every remaining
+        # ExperimentError as a legitimately dead cell.
+        _validate_suite(self.policies, self.baseline)
+
+    @property
+    def scenario_id(self) -> str:
+        """Stable identifier, also the label path for seed derivation."""
+        return (
+            f"{self.workflow}/{self.arrival.label}/"
+            f"slo x{self.slo_scale:g}/tenants {self.tenants}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """Cartesian product of scenario axes, expandable into seeded cells.
+
+    Axes: ``workflows`` (names in the scenario workflow registry) x
+    ``arrivals`` (:class:`ArrivalSpec` shapes) x ``slo_scales``
+    (multipliers on each workflow's default SLO) x ``tenant_counts``
+    (independent request streams merged by arrival time). Every cell is
+    served with every policy in ``policies`` on a common request stream.
+    """
+
+    workflows: tuple[str, ...] = ("IA", "VA")
+    arrivals: tuple[ArrivalSpec, ...] = (ArrivalSpec(kind="constant"),)
+    slo_scales: tuple[float, ...] = (1.0,)
+    tenant_counts: tuple[int, ...] = (1,)
+    policies: tuple[str, ...] = DEFAULT_SWEEP_POLICIES
+    n_requests: int = 200
+    samples: int = 1000
+    seed: int = 2025
+    baseline: str | None = field(default=None)
+    #: Optional per-workflow pinned synthesis budgets
+    #: ``{workflow: (tmin_ms, tmax_ms)}`` — workflows absent from the map
+    #: derive their range from the profiles (Eq. 3).
+    budgets: _t.Mapping[str, tuple[int, int]] | None = None
+
+    def __post_init__(self) -> None:
+        for axis, values in (
+            ("workflows", self.workflows),
+            ("arrivals", self.arrivals),
+            ("slo_scales", self.slo_scales),
+            ("tenant_counts", self.tenant_counts),
+            ("policies", self.policies),
+        ):
+            if not values:
+                raise ExperimentError(f"matrix axis {axis!r} may not be empty")
+        unknown = [w for w in self.workflows if w not in SCENARIO_WORKFLOWS]
+        if unknown:
+            raise ExperimentError(
+                f"unknown workflows {unknown}; "
+                f"known: {sorted(SCENARIO_WORKFLOWS)}"
+            )
+        # Config typos must fail at construction, not hours into a pooled
+        # run.
+        _validate_suite(self.policies, self.baseline)
+        if self.budgets is not None:
+            for wf, pair in self.budgets.items():
+                tmin, tmax = pair
+                if tmin < 0 or tmax < tmin:
+                    raise ExperimentError(
+                        f"invalid budget range {pair} for workflow {wf!r}"
+                    )
+
+    def __len__(self) -> int:
+        return (
+            len(self.workflows)
+            * len(self.arrivals)
+            * len(self.slo_scales)
+            * len(self.tenant_counts)
+        )
+
+    def expand(self) -> list[Scenario]:
+        """All cells in deterministic axis order, each with derived seeds.
+
+        Seeds hash the cell's identifying labels, so adding or removing
+        axis values never shifts the randomness of unrelated cells.
+        """
+        cells = []
+        for wf, arrival, scale, tenants in itertools.product(
+            self.workflows, self.arrivals, self.slo_scales, self.tenant_counts
+        ):
+            cells.append(
+                Scenario(
+                    workflow=wf,
+                    arrival=arrival,
+                    slo_scale=float(scale),
+                    tenants=int(tenants),
+                    policies=tuple(self.policies),
+                    n_requests=int(self.n_requests),
+                    samples=int(self.samples),
+                    seed=child_seed(
+                        self.seed, "scenario", wf, arrival.label,
+                        f"{float(scale):g}", str(int(tenants)),
+                    ),
+                    profile_seed=child_seed(self.seed, "profiles", wf),
+                    baseline=self.baseline,
+                    budget_ms=(
+                        tuple(self.budgets[wf])
+                        if self.budgets is not None and wf in self.budgets
+                        else None
+                    ),
+                )
+            )
+        return cells
+
+    def with_scale(
+        self, n_requests: int | None = None, samples: int | None = None
+    ) -> "ScenarioMatrix":
+        """Copy with a different evaluation scale (request/sample counts)."""
+        changes: dict[str, _t.Any] = {}
+        if n_requests is not None:
+            changes["n_requests"] = int(n_requests)
+        if samples is not None:
+            changes["samples"] = int(samples)
+        return replace(self, **changes) if changes else self
+
+
+def parse_arrival(text: str) -> ArrivalSpec:
+    """Parse a CLI arrival token into an :class:`ArrivalSpec`.
+
+    Grammar: ``kind[@rate]`` — ``constant`` (back-to-back, or
+    ``constant@interval_ms``), ``poisson@8``, ``burst@8`` (burst phase
+    defaults to 10x the base rate at fraction 0.1), ``azure@8`` (heavy
+    tail, default sigma). Full control over burst/azure shape parameters
+    is available through :class:`ArrivalSpec` directly.
+    """
+    kind, _, rate = text.partition("@")
+    kind = kind.strip().lower()
+    try:
+        value = float(rate) if rate else None
+    except ValueError:
+        raise ExperimentError(f"invalid arrival rate in {text!r}")
+    if kind == "constant":
+        return ArrivalSpec(
+            kind="constant", interval_ms=value if value is not None else 0.0
+        )
+    if kind in ("poisson", "burst", "azure"):
+        # An explicit 0 rate passes through so the generators' own
+        # validation rejects it — only an *absent* rate gets the default.
+        return ArrivalSpec(
+            kind=kind, rate_per_s=value if value is not None else 10.0
+        )
+    raise ExperimentError(
+        f"unknown arrival kind {kind!r} in {text!r}; "
+        "known: constant, poisson, burst, azure"
+    )

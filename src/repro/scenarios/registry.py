@@ -1,0 +1,67 @@
+"""Workflow catalog for scenarios: name -> zero-arg workflow factory.
+
+Scenarios cross process boundaries, so they carry workflow *names* and the
+worker resolves them through this registry. Factories registered at import
+time (the catalog chains plus the diamond DAG) are therefore available in
+every pool worker; caller-registered factories must live in an importable
+module for spawned workers to see them.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..errors import ExperimentError
+from ..workflow.catalog import Workflow, intelligent_assistant, video_analytics
+
+__all__ = ["SCENARIO_WORKFLOWS", "register_workflow", "scenario_workflow"]
+
+WorkflowFactory = _t.Callable[[], Workflow]
+
+
+def _media() -> Workflow:
+    # Imported lazily: experiments.extension_dag pulls in profiling/cluster
+    # machinery that plain chain sweeps never need.
+    from ..experiments.extension_dag import diamond_workflow
+
+    return diamond_workflow()
+
+
+#: Named workflow topologies a scenario can reference.
+SCENARIO_WORKFLOWS: dict[str, WorkflowFactory] = {
+    "IA": intelligent_assistant,
+    "VA": video_analytics,
+    "media": _media,
+}
+
+
+#: Registration epoch per name: bumped on re-registration so the runner's
+#: per-process profile cache (keyed by name + epoch) cannot serve a new
+#: factory the old factory's profiling campaign. Other names' cached
+#: campaigns stay valid.
+_EPOCHS: dict[str, int] = {}
+
+
+def workflow_epoch(name: str) -> int:
+    """Current registration epoch of ``name`` (0 for never re-registered)."""
+    return _EPOCHS.get(name, 0)
+
+
+def register_workflow(name: str, factory: WorkflowFactory) -> WorkflowFactory:
+    """Register a workflow factory under ``name`` (usable as a decorator)."""
+    if name in SCENARIO_WORKFLOWS:
+        _EPOCHS[name] = _EPOCHS.get(name, 0) + 1
+    SCENARIO_WORKFLOWS[name] = factory
+    return factory
+
+
+def scenario_workflow(name: str) -> Workflow:
+    """Build the workflow registered under ``name``."""
+    try:
+        factory = SCENARIO_WORKFLOWS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scenario workflow {name!r}; "
+            f"known: {sorted(SCENARIO_WORKFLOWS)}"
+        )
+    return factory()

@@ -1,0 +1,221 @@
+"""Scenario execution: one cell through the Session pipeline, or a whole
+matrix on a process pool.
+
+Determinism contract: every random stream a scenario consumes derives from
+labels hashed off the matrix seed (:func:`repro.rng.child_seed`), and
+per-process caches (profiles, DP tables, hints) only memoise pure
+functions of those seeds. A pooled sweep therefore produces bit-identical
+results to a serial one — the property ``tests/test_scenarios.py`` pins
+across actual process boundaries.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import functools
+import os
+import time
+import typing as _t
+
+from ..api.session import Session
+from ..errors import ExperimentError
+from ..profiling.profiler import profile_workflow
+from ..profiling.profiles import ProfileSet
+from ..rng import child_seed
+from ..synthesis.budget import BudgetRange
+from ..traces.workload import WorkloadConfig, generate_requests
+from ..workflow.catalog import Workflow
+from ..workflow.request import WorkflowRequest
+from .matrix import Scenario, ScenarioMatrix
+from .registry import scenario_workflow, workflow_epoch
+from .report import ScenarioResult, SweepReport
+
+__all__ = [
+    "SweepRunner",
+    "run_scenario",
+    "scenario_requests",
+    "merge_tenant_streams",
+]
+
+
+@functools.lru_cache(maxsize=16)
+def _profiles_for(
+    workflow: str, samples: int, profile_seed: int, epoch: int = 0
+) -> ProfileSet:
+    """One profiling campaign per (workflow, samples, seed), per process.
+
+    ``epoch`` is the registry's re-registration counter for the name, so a
+    swapped factory gets a fresh campaign without evicting other entries.
+    """
+    return profile_workflow(
+        scenario_workflow(workflow), seed=profile_seed, samples=samples
+    )
+
+
+def merge_tenant_streams(
+    streams: _t.Sequence[_t.Sequence[WorkflowRequest]],
+) -> list[WorkflowRequest]:
+    """Interleave per-tenant request streams into one arrival-ordered stream.
+
+    The sort key is ``(arrival_ms, tenant index, request id)`` — total and
+    deterministic even when streams share timestamps (constant arrivals).
+    Requests are re-numbered in merged order.
+    """
+    tagged = [
+        (req.arrival_ms, tenant, req.request_id, req)
+        for tenant, stream in enumerate(streams)
+        for req in stream
+    ]
+    tagged.sort(key=lambda item: item[:3])
+    return [
+        dataclasses.replace(req, request_id=i)
+        for i, (_, _, _, req) in enumerate(tagged)
+    ]
+
+
+def scenario_requests(
+    workflow: Workflow, scenario: Scenario, slo_ms: float
+) -> list[WorkflowRequest]:
+    """The scenario's request stream: per-tenant streams, arrival-merged.
+
+    Each tenant draws from its own RNG stream derived off the scenario
+    seed, so tenant counts change the mix without perturbing other cells.
+    """
+    streams = [
+        generate_requests(
+            workflow,
+            WorkloadConfig(
+                n_requests=scenario.n_requests,
+                arrival=scenario.arrival,
+                slo_ms=slo_ms,
+            ),
+            seed=child_seed(scenario.seed, "tenant", str(tenant)),
+        )
+        for tenant in range(scenario.tenants)
+    ]
+    return streams[0] if scenario.tenants == 1 else merge_tenant_streams(streams)
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult | None:
+    """Evaluate one scenario cell end to end via :meth:`Session.compare`.
+
+    Returns ``None`` when no requested policy can be built for this cell
+    (the sweep runner then reports the whole cell as skipped).
+    """
+    workflow = scenario_workflow(scenario.workflow)
+    # Microsecond rounding so scale factors derived from absolute SLOs
+    # round-trip exactly (3000 * (3130/3000) = 3129.9999999999995 would
+    # otherwise shift the SLO by an epsilon and truncate the budget tmax
+    # by a whole millisecond).
+    slo_ms = round(float(workflow.slo_ms) * scenario.slo_scale, 6)
+    budget = None
+    if scenario.budget_ms is not None:
+        tmin, tmax = scenario.budget_ms
+        # Pinned (paper) range; a looser SLO extends tmax so the DP can
+        # explore up to the deadline — ia_setup/va_setup semantics.
+        budget = BudgetRange(int(tmin), max(int(tmax), int(slo_ms)))
+    session = Session(
+        workflow,
+        slo_ms=slo_ms,
+        budget=budget,
+        samples=scenario.samples,
+        seed=scenario.profile_seed,
+        profiles=_profiles_for(
+            scenario.workflow, scenario.samples, scenario.profile_seed,
+            workflow_epoch(scenario.workflow),
+        ),
+    )
+    # Dead-cell detection is scoped to suite assembly only: a cell dies
+    # when no requested policy is buildable here (chain-only suite on a
+    # DAG topology) or the pinned baseline is infeasible. Everything else
+    # — serving, report construction — propagates, so genuine errors are
+    # never misreported as "skipped". Scenario.__post_init__ already
+    # rejected unknown policy/baseline names, so a dead cell is never a
+    # typo.
+    try:
+        suite = session.suite(list(scenario.policies))
+    except ExperimentError:
+        return None
+    if scenario.baseline is not None and scenario.baseline not in suite:
+        return None
+    requests = scenario_requests(session.workflow, scenario, slo_ms)
+    report = session.compare(
+        requests=requests,
+        baseline=scenario.baseline,
+        suite=suite,
+    )
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        workflow=scenario.workflow,
+        arrival=scenario.arrival.label,
+        slo_scale=scenario.slo_scale,
+        tenants=scenario.tenants,
+        slo_ms=slo_ms,
+        seed=scenario.seed,
+        baseline=report.baseline,
+        executor=report.executor,
+        table=report.table,
+    )
+
+
+class SweepRunner:
+    """Executes a :class:`ScenarioMatrix` serially or on a process pool.
+
+    ``max_workers`` <= 1 runs in-process; anything larger fans cells out to
+    a ``concurrent.futures.ProcessPoolExecutor`` (capped at the cell
+    count). ``mp_context`` selects the multiprocessing start method —
+    results are identical either way, only wall time changes.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        mp_context: _t.Any = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        self.max_workers = max(1, int(max_workers))
+        self.mp_context = mp_context
+
+    def run(self, matrix: ScenarioMatrix) -> SweepReport:
+        """Evaluate every cell and aggregate one :class:`SweepReport`.
+
+        Cell order (and thus the report) is the matrix expansion order
+        regardless of which worker finishes first.
+        """
+        scenarios = matrix.expand()
+        workers = min(self.max_workers, len(scenarios))
+        start = time.perf_counter()
+        if workers <= 1:
+            raw = [run_scenario(s) for s in scenarios]
+        else:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=self.mp_context
+            ) as pool:
+                raw = list(pool.map(run_scenario, scenarios))
+        wall = time.perf_counter() - start
+        results: list[ScenarioResult] = []
+        skipped: dict[str, list[str]] = {}
+        for scenario, result in zip(scenarios, raw):
+            if result is None:
+                # Dead cell: every requested policy was infeasible or
+                # unsupported there.
+                skipped[scenario.scenario_id] = list(scenario.policies)
+                continue
+            results.append(result)
+            missing = [p for p in scenario.policies if p not in result.table]
+            if missing:
+                skipped[scenario.scenario_id] = missing
+        if not results:
+            raise ExperimentError(
+                f"no scenario cell could build any of {list(matrix.policies)} "
+                f"— every cell was skipped: {sorted(skipped)}"
+            )
+        return SweepReport(
+            results=results,
+            seed=matrix.seed,
+            wall_seconds=wall,
+            max_workers=workers,
+            skipped=skipped,
+        )

@@ -5,6 +5,13 @@ the bottleneck"): the run loop is a plain binary-heap pop loop with no
 per-event allocation beyond the heap entry tuple; a monotonically increasing
 sequence number breaks ties deterministically, which makes every simulation
 bit-reproducible for a given seed.
+
+The run loops bind ``heapq.heappop`` and the heap list to locals and pop
+events inline rather than calling :meth:`step` per event — attribute lookups
+and the defensive time check are hoisted out of the hot loop (the heap
+invariant already guarantees non-decreasing pop times, because every push
+happens at ``now + delay`` with ``delay >= 0``). :meth:`step` keeps the
+checked, one-event-at-a-time semantics for debugging and tests.
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ __all__ = ["Simulator"]
 
 class Simulator:
     """Event-driven simulation engine with millisecond float time."""
+
+    __slots__ = ("_now", "_heap", "_seq", "_event_count")
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
@@ -94,18 +103,33 @@ class Simulator:
             An :class:`Event` runs until that event has been processed and
             returns its value (raising its exception if it failed).
         """
+        heap = self._heap
+        pop = heapq.heappop
+        count = 0
         if until is None:
-            while self._heap:
-                self.step()
+            try:
+                while heap:
+                    t, _, event = pop(heap)
+                    self._now = t
+                    count += 1
+                    event._process()
+            finally:
+                self._event_count += count
             return None
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._heap:
-                    raise SimulationError(
-                        "simulation ran out of events before target event fired"
-                    )
-                self.step()
+            try:
+                while not stop._processed:
+                    if not heap:
+                        raise SimulationError(
+                            "simulation ran out of events before target event fired"
+                        )
+                    t, _, event = pop(heap)
+                    self._now = t
+                    count += 1
+                    event._process()
+            finally:
+                self._event_count += count
             if not stop.ok:
                 raise stop.value
             return stop.value
@@ -114,7 +138,13 @@ class Simulator:
             raise SimulationError(
                 f"run deadline {deadline} is before current time {self._now}"
             )
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        try:
+            while heap and heap[0][0] <= deadline:
+                t, _, event = pop(heap)
+                self._now = t
+                count += 1
+                event._process()
+        finally:
+            self._event_count += count
         self._now = deadline
         return None

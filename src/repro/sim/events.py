@@ -4,6 +4,12 @@ The kernel follows the classic event-list design (as used by SimPy and most
 HPC network/cluster simulators): an :class:`Event` is a one-shot triggerable
 object carrying a value; callbacks registered on an event run when the
 simulator pops it off the event heap.
+
+Hot-path notes: every simulated request churns through many short-lived
+events, so the per-event footprint matters. The callback list is allocated
+lazily (most events carry zero or one listener), and the composite events
+dispatch through bound methods plus an index table instead of allocating one
+closure per child event.
 """
 
 from __future__ import annotations
@@ -28,8 +34,12 @@ class Event:
     __slots__ = ("sim", "callbacks", "_value", "_triggered", "_processed", "_ok")
 
     def __init__(self, sim: "Simulator") -> None:
+        # NOTE: these field initialisations are mirrored (inlined) in
+        # Timeout.__init__ — a new field or invariant here must be added
+        # there too, or every Timeout is born with a missing slot.
         self.sim = sim
-        self.callbacks: list[_t.Callable[["Event"], None]] = []
+        #: Listener callables, or ``None`` while no listener registered.
+        self.callbacks: list[_t.Callable[["Event"], None]] | None = None
         self._value: _t.Any = None
         self._triggered = False
         self._processed = False
@@ -81,9 +91,11 @@ class Event:
     def _process(self) -> None:
         """Run callbacks; invoked by the simulator only."""
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        callbacks = self.callbacks
+        if callbacks is not None:
+            self.callbacks = None
+            for cb in callbacks:
+                cb(self)
 
     def add_callback(self, cb: _t.Callable[["Event"], None]) -> None:
         """Register ``cb`` to run when the event is processed.
@@ -93,6 +105,8 @@ class Event:
         """
         if self._processed:
             cb(self)
+        elif self.callbacks is None:
+            self.callbacks = [cb]
         else:
             self.callbacks.append(cb)
 
@@ -105,15 +119,23 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: _t.Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"timeout delay must be >= 0, got {delay}")
-        super().__init__(sim)
-        self.delay = float(delay)
-        self.succeed(value=value, delay=delay)
+        # Timeouts are born triggered; the fields are assigned inline instead
+        # of going through Event.__init__ + succeed (one call frame per
+        # timeout each — the single hottest allocation path in cluster runs).
+        self.sim = sim
+        self.callbacks = None
+        self._value = value
+        self._triggered = True
+        self._processed = False
+        self._ok = True
+        self.delay = delay = float(delay)
+        sim._schedule(self, delay)
 
 
 class AllOf(Event):
     """Composite event that triggers when all child events have processed."""
 
-    __slots__ = ("_pending",)
+    __slots__ = ("_pending", "_results", "_slots", "_children")
 
     def __init__(self, sim: "Simulator", events: _t.Sequence[Event]) -> None:
         super().__init__(sim)
@@ -122,19 +144,23 @@ class AllOf(Event):
         if self._pending == 0:
             self.succeed(value=[])
             return
-        results: list[_t.Any] = [None] * len(events)
-
-        def _make(idx: int) -> _t.Callable[[Event], None]:
-            def _cb(ev: Event) -> None:
-                results[idx] = ev.value
-                self._pending -= 1
-                if self._pending == 0 and not self.triggered:
-                    self.succeed(value=results)
-
-            return _cb
-
+        self._results: list[_t.Any] = [None] * len(events)
+        # Result slot per child, keyed by identity; a child passed twice
+        # holds a stack of slots, one popped per completion. Keeping the
+        # children referenced pins their ids for the composite's lifetime.
+        self._children = events
+        slots: dict[int, list[int]] = {}
         for i, ev in enumerate(events):
-            ev.add_callback(_make(i))
+            slots.setdefault(id(ev), []).append(i)
+        self._slots = slots
+        for ev in events:
+            ev.add_callback(self._child_done)
+
+    def _child_done(self, ev: Event) -> None:
+        self._results[self._slots[id(ev)].pop()] = ev.value
+        self._pending -= 1
+        if self._pending == 0 and not self._triggered:
+            self.succeed(value=self._results)
 
 
 class AnyOf(Event):
@@ -147,10 +173,9 @@ class AnyOf(Event):
         events = list(events)
         if not events:
             raise SimulationError("AnyOf requires at least one event")
-
-        def _cb(ev: Event) -> None:
-            if not self.triggered:
-                self.succeed(value=ev.value)
-
         for ev in events:
-            ev.add_callback(_cb)
+            ev.add_callback(self._child_done)
+
+    def _child_done(self, ev: Event) -> None:
+        if not self._triggered:
+            self.succeed(value=ev.value)

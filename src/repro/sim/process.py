@@ -23,7 +23,7 @@ __all__ = ["Process"]
 class Process(Event):
     """An event wrapping a running generator coroutine."""
 
-    __slots__ = ("_generator",)
+    __slots__ = ("_generator", "_resume_cb")
 
     def __init__(
         self, sim: "Simulator", generator: _t.Generator[Event, _t.Any, _t.Any]
@@ -34,9 +34,12 @@ class Process(Event):
                 f"process requires a generator, got {type(generator).__name__}"
             )
         self._generator = generator
+        # One bound method reused for every resume — accessing self._resume
+        # afresh would allocate a new bound-method object per yielded event.
+        self._resume_cb = self._resume
         # Kick off at the current simulation time via an immediate event.
         start = Event(sim)
-        start.add_callback(self._resume)
+        start.add_callback(self._resume_cb)
         start.succeed()
 
     @property
@@ -66,7 +69,7 @@ class Process(Event):
                 )
             )
             return
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_cb)
 
     def interrupt(self, cause: _t.Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""

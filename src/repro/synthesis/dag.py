@@ -145,7 +145,7 @@ def synthesize_dag_hints(
                 enforce_resilience=enforce_resilience,
             ),
         )
-        dp = ChainDP(chain_profiles, chain_budget.tmax_ms, concurrency)
+        dp = ChainDP.cached(chain_profiles, chain_budget.tmax_ms, concurrency)
         raw = synth.synthesize_suffix(0, dp, chain_budget, concurrency)
         table = condense(raw, workflow.limits.kmax)
         # Re-key the table by head function (suffix index is meaningless in

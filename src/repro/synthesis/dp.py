@@ -26,6 +26,7 @@ microseconds-per-budget instead of the naive exhaustive search.
 
 from __future__ import annotations
 
+import collections
 import typing as _t
 
 import numpy as np
@@ -33,13 +34,54 @@ import numpy as np
 from ..errors import SynthesisError
 from ..profiling.profiles import LatencyProfile
 
-__all__ = ["ChainDP"]
+__all__ = ["ChainDP", "clear_dp_cache"]
 
 _INF = np.inf
+
+#: Process-wide memo of solved DP tables, keyed by
+#: ``(per-profile content digests, tmax_ms, concurrency)``. Profiles are
+#: frozen and digests cover every input the solve reads, so a hit is exact;
+#: the map is LRU-bounded because sweeps touch many (budget, workflow)
+#: combinations. Synthesis re-runs with shared profiles (SLO sweeps, the
+#: scenario matrix, repeated Session calls) skip the whole suffix solve.
+_DP_CACHE: "collections.OrderedDict[tuple, ChainDP]" = collections.OrderedDict()
+_DP_CACHE_MAX = 128
+
+
+def clear_dp_cache() -> None:
+    """Drop all memoised DP tables (mainly for tests and benchmarks)."""
+    _DP_CACHE.clear()
 
 
 class ChainDP:
     """Suffix allocation tables for one chain at one concurrency level."""
+
+    @classmethod
+    def cached(
+        cls,
+        profiles: _t.Sequence[LatencyProfile],
+        tmax_ms: int,
+        concurrency: int = 1,
+    ) -> "ChainDP":
+        """A solved DP for ``(profiles, tmax, concurrency)``, memoised.
+
+        The returned instance is shared — callers must treat its arrays as
+        read-only, which the query API already requires.
+        """
+        key = (
+            tuple(p.digest() for p in profiles),
+            int(tmax_ms),
+            int(concurrency),
+        )
+        dp = _DP_CACHE.get(key)
+        if dp is None:
+            dp = cls(profiles, tmax_ms, concurrency)
+            _DP_CACHE[key] = dp
+            if len(_DP_CACHE) > _DP_CACHE_MAX:
+                _DP_CACHE.popitem(last=False)
+        else:
+            _DP_CACHE.move_to_end(key)
+        return dp
 
     def __init__(
         self,

@@ -25,6 +25,7 @@ complexity argument). Exploration modes:
 
 from __future__ import annotations
 
+import collections as _collections
 import enum
 import math
 import time
@@ -40,7 +41,13 @@ from .condenser import condense
 from .dp import ChainDP
 from .hints import RawHints, WorkflowHints
 
-__all__ = ["HeadExploration", "SynthesisConfig", "HintSynthesizer", "synthesize_hints"]
+__all__ = [
+    "HeadExploration",
+    "SynthesisConfig",
+    "HintSynthesizer",
+    "synthesize_hints",
+    "clear_hints_cache",
+]
 
 _EPS = 1e-9
 
@@ -96,7 +103,7 @@ class HintSynthesizer:
         start = time.perf_counter()
         if budget is None:
             budget = budget_range_for_chain(self._chain_profiles, concurrency)
-        dp = ChainDP(self._chain_profiles, budget.tmax_ms, concurrency)
+        dp = ChainDP.cached(self._chain_profiles, budget.tmax_ms, concurrency)
         tables = []
         raw_total = 0
         condensed_total = 0
@@ -377,6 +384,22 @@ class HintSynthesizer:
         )
 
 
+#: Process-wide memo of synthesized hint tables, keyed by every input the
+#: synthesis reads: per-function profile digests, chain, budget, concurrency
+#: and the SynthesisConfig knobs. Hints are deployed read-only, so the memo
+#: returns the shared object; SLO sweeps and scenario matrices that revisit
+#: a configuration skip both the DP solve and the percentile sweep.
+_HINTS_CACHE: "_collections.OrderedDict[tuple, WorkflowHints]" = (
+    _collections.OrderedDict()
+)
+_HINTS_CACHE_MAX = 64
+
+
+def clear_hints_cache() -> None:
+    """Drop all memoised hint tables (mainly for tests and benchmarks)."""
+    _HINTS_CACHE.clear()
+
+
 def synthesize_hints(
     profiles: ProfileSet,
     chain: _t.Sequence[str],
@@ -387,14 +410,38 @@ def synthesize_hints(
     enforce_resilience: bool = True,
     workflow_name: str = "",
 ) -> WorkflowHints:
-    """Convenience one-call synthesis (profile set -> condensed tables)."""
-    synth = HintSynthesizer(
-        profiles,
-        chain,
-        SynthesisConfig(
-            weight=weight,
-            exploration=exploration,
-            enforce_resilience=enforce_resilience,
-        ),
+    """Convenience one-call synthesis (profile set -> condensed tables).
+
+    Results are memoised process-wide on the full input key (profile
+    digests + knobs); a repeated call returns the same
+    :class:`WorkflowHints` object, whose ``synthesis_seconds`` still reports
+    the original live run.
+    """
+    key = (
+        tuple(profiles[name].digest() for name in chain),
+        tuple(chain),
+        None if budget is None else (budget.tmin_ms, budget.tmax_ms, budget.step_ms),
+        int(concurrency),
+        float(weight),
+        exploration.value,
+        bool(enforce_resilience),
+        workflow_name,
     )
-    return synth.synthesize(budget, concurrency, workflow_name)
+    hints = _HINTS_CACHE.get(key)
+    if hints is None:
+        synth = HintSynthesizer(
+            profiles,
+            chain,
+            SynthesisConfig(
+                weight=weight,
+                exploration=exploration,
+                enforce_resilience=enforce_resilience,
+            ),
+        )
+        hints = synth.synthesize(budget, concurrency, workflow_name)
+        _HINTS_CACHE[key] = hints
+        if len(_HINTS_CACHE) > _HINTS_CACHE_MAX:
+            _HINTS_CACHE.popitem(last=False)
+    else:
+        _HINTS_CACHE.move_to_end(key)
+    return hints

@@ -1,14 +1,26 @@
 """Workloads and traces: arrival processes, request streams, and the
 synthetic Azure-like invocation trace used by the Fig. 1a analysis."""
 
-from .arrivals import burst_arrivals, constant_arrivals, poisson_arrivals
+from .arrivals import (
+    azure_like_arrivals,
+    burst_arrivals,
+    constant_arrivals,
+    poisson_arrivals,
+)
 from .azure import AzureLikeTrace, SlackAnalysis, generate_trace, slack_analysis
-from .workload import WorkloadConfig, generate_requests, shifted_workload
+from .workload import (
+    ArrivalSpec,
+    WorkloadConfig,
+    generate_requests,
+    shifted_workload,
+)
 
 __all__ = [
     "poisson_arrivals",
     "constant_arrivals",
     "burst_arrivals",
+    "azure_like_arrivals",
+    "ArrivalSpec",
     "AzureLikeTrace",
     "SlackAnalysis",
     "generate_trace",

@@ -8,6 +8,7 @@ evaluation likewise serves the same 1000 requests to every system.
 from __future__ import annotations
 
 import typing as _t
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -16,11 +17,112 @@ from ..rng import RngFactory
 from ..types import Milliseconds
 from ..workflow.catalog import Workflow
 from ..workflow.request import WorkflowRequest
-from .arrivals import constant_arrivals, poisson_arrivals
+from .arrivals import (
+    azure_like_arrivals,
+    burst_arrivals,
+    constant_arrivals,
+    poisson_arrivals,
+)
 
-__all__ = ["WorkloadConfig", "generate_requests", "shifted_workload"]
+__all__ = [
+    "ArrivalSpec",
+    "WorkloadConfig",
+    "generate_requests",
+    "shifted_workload",
+]
 
 InterferenceDraw = _t.Callable[[np.random.Generator], float]
+
+#: Arrival processes an :class:`ArrivalSpec` can name.
+ARRIVAL_KINDS = ("constant", "poisson", "burst", "azure")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Declarative arrival process — picklable, hashable, seed-free.
+
+    The spec carries only the process *shape*; randomness comes from the
+    generator passed to :meth:`timestamps`, so the same spec replays
+    identically under a derived per-scenario RNG (the contract the sweep
+    engine's bit-reproducibility rests on).
+
+    ``kind`` is one of ``constant`` (fixed ``interval_ms`` spacing),
+    ``poisson`` (exponential gaps at ``rate_per_s``), ``burst`` (two-phase
+    Poisson mixing ``rate_per_s`` with ``burst_rate_per_s`` at
+    ``burst_fraction``), or ``azure`` (heavy-tailed lognormal gaps with
+    log-std ``sigma`` replaying the Azure-trace shape).
+    """
+
+    kind: str = "constant"
+    rate_per_s: float = 10.0
+    interval_ms: float = 0.0
+    burst_rate_per_s: float | None = None
+    burst_fraction: float = 0.1
+    sigma: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise TraceError(
+                f"unknown arrival kind {self.kind!r}; known: {ARRIVAL_KINDS}"
+            )
+        # Shape parameters are validated here — not first at draw time — so
+        # a bad spec fails when the matrix is built, not mid-sweep inside a
+        # pool worker after the profiling campaign already ran. Only the
+        # fields the kind actually consumes are checked.
+        if self.kind == "constant":
+            if self.interval_ms < 0:
+                raise TraceError(
+                    f"interval must be >= 0, got {self.interval_ms}"
+                )
+        elif self.rate_per_s <= 0:
+            raise TraceError(f"rate must be > 0, got {self.rate_per_s}")
+        if self.kind == "burst":
+            if self.burst_rate_per_s is not None and self.burst_rate_per_s <= 0:
+                raise TraceError(
+                    f"burst rate must be > 0, got {self.burst_rate_per_s}"
+                )
+            if not 0.0 <= self.burst_fraction <= 1.0:
+                raise TraceError(
+                    f"burst fraction must be in [0, 1]: {self.burst_fraction}"
+                )
+        if self.kind == "azure" and self.sigma < 0:
+            raise TraceError(f"sigma must be >= 0, got {self.sigma}")
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable identifier (also used for seed derivation)."""
+        if self.kind == "constant":
+            return f"constant@{self.interval_ms:g}ms"
+        if self.kind == "poisson":
+            return f"poisson@{self.rate_per_s:g}/s"
+        if self.kind == "burst":
+            burst_rate = (
+                self.burst_rate_per_s
+                if self.burst_rate_per_s is not None
+                else 10.0 * self.rate_per_s
+            )
+            return (
+                f"burst@{self.rate_per_s:g}/s+{burst_rate:g}/s"
+                f"@{self.burst_fraction:g}"
+            )
+        return f"azure@{self.rate_per_s:g}/s~{self.sigma:g}"
+
+    def timestamps(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` arrival timestamps (ms) drawn from this process."""
+        if self.kind == "constant":
+            return constant_arrivals(self.interval_ms, n)
+        if self.kind == "poisson":
+            return poisson_arrivals(self.rate_per_s, n, rng)
+        if self.kind == "burst":
+            burst_rate = (
+                self.burst_rate_per_s
+                if self.burst_rate_per_s is not None
+                else 10.0 * self.rate_per_s
+            )
+            return burst_arrivals(
+                self.rate_per_s, burst_rate, self.burst_fraction, n, rng
+            )
+        return azure_like_arrivals(self.rate_per_s, n, rng, sigma=self.sigma)
 
 
 class WorkloadConfig:
@@ -42,17 +144,32 @@ class WorkloadConfig:
         workset_scale: float = 1.0,
         slo_ms: Milliseconds | None = None,
         concurrency: int | None = None,
+        arrival: ArrivalSpec | None = None,
     ) -> None:
         if n_requests <= 0:
             raise TraceError(f"n_requests must be > 0, got {n_requests}")
         if workset_scale <= 0:
             raise TraceError(f"workset_scale must be > 0, got {workset_scale}")
+        if arrival is not None and arrival_rate_per_s is not None:
+            raise TraceError(
+                "pass either an ArrivalSpec or the legacy arrival_rate_per_s, "
+                "not both"
+            )
         self.n_requests = int(n_requests)
         self.arrival_rate_per_s = arrival_rate_per_s
         self.interference = interference
         self.workset_scale = float(workset_scale)
         self.slo_ms = slo_ms
         self.concurrency = concurrency
+        self.arrival = arrival
+
+    def arrival_spec(self) -> ArrivalSpec:
+        """The effective arrival process (legacy rate maps to Poisson)."""
+        if self.arrival is not None:
+            return self.arrival
+        if self.arrival_rate_per_s is not None:
+            return ArrivalSpec(kind="poisson", rate_per_s=self.arrival_rate_per_s)
+        return ArrivalSpec(kind="constant", interval_ms=0.0)
 
 
 def generate_requests(
@@ -64,12 +181,7 @@ def generate_requests(
     cfg = config or WorkloadConfig()
     factory = RngFactory(seed).fork("workload", workflow.name)
     arrival_rng = factory.stream("arrivals")
-    if cfg.arrival_rate_per_s is None:
-        arrivals = constant_arrivals(0.0, cfg.n_requests)
-    else:
-        arrivals = poisson_arrivals(
-            cfg.arrival_rate_per_s, cfg.n_requests, arrival_rng
-        )
+    arrivals = cfg.arrival_spec().timestamps(cfg.n_requests, arrival_rng)
     slo = float(cfg.slo_ms if cfg.slo_ms is not None else workflow.slo_ms)
     concurrency = int(
         cfg.concurrency if cfg.concurrency is not None else workflow.max_concurrency

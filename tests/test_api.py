@@ -517,6 +517,20 @@ class TestBackwardCompatibility:
         assert "Session" in namespace
         assert "DagAnalyticExecutor" not in namespace
 
+    def test_alias_access_raises_under_suite_warning_policy(self):
+        # pyproject escalates the package's own DeprecationWarnings to
+        # errors suite-wide: plain alias access must raise, not warn.
+        with pytest.raises(DeprecationWarning, match="deprecated"):
+            repro.DagJanusPolicy
+
+    def test_deprecated_aliases_fixture_restores_warning(self, deprecated_aliases):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            assert repro.DagJanusPolicy is not None
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
     def test_registry_exploration_override_rejected(
         self, small_workflow, small_profiles
     ):

@@ -40,3 +40,41 @@ class TestMain:
     def test_run_with_seed(self, capsys):
         assert main(["run", "fig1a", "--seed", "3"]) == 0
         assert "slack" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.workflows == "IA,VA"
+        assert args.jobs is None
+
+    def test_parser_knobs(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workflows", "IA", "--arrivals", "poisson@4",
+             "--slo-scales", "1.0,1.5", "--tenants", "1",
+             "--requests", "25", "--samples", "300", "--jobs", "2"]
+        )
+        assert args.arrivals == "poisson@4"
+        assert args.requests == 25 and args.jobs == 2
+
+    def test_small_sweep_end_to_end(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        json_path = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--workflows", "IA",
+             "--arrivals", "constant,poisson@8",
+             "--slo-scales", "1.0", "--tenants", "1",
+             "--policies", "Optimal,Janus",
+             "--requests", "20", "--samples", "300", "--seed", "9",
+             "--jobs", "1",
+             "--csv", str(csv_path), "--json", str(json_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweeping 2 scenario cells" in out
+        assert "Scenario sweep" in out and "Janus" in out
+        assert csv_path.exists() and json_path.exists()
+        import json as json_mod
+
+        payload = json_mod.loads(json_path.read_text())
+        assert payload["num_cells"] == 2

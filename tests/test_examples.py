@@ -51,6 +51,12 @@ class TestExampleScripts:
         assert "critical path: Ingest -> Vision -> Publish" in out
         assert "Janus-DAG" in out
 
+    def test_scenario_sweep(self):
+        out = run_example("scenario_sweep.py")
+        assert "Scenario sweep: 16 cells" in out
+        assert "bit-identical to serial: True" in out
+        assert "SLO attainment" in out
+
 
 class TestClusterExampleHelpers:
     def test_platform_aware_profiling_helper(self):

@@ -1,0 +1,119 @@
+"""Golden regression tests: seed-pinned end-to-end ComparisonReport numbers.
+
+These pin *exact* floats for one chain and one DAG evaluation, so any
+refactor of the serving hot path (executors, sim kernel, synthesis, RNG
+derivation) that changes behaviour — even in the last bit — fails loudly.
+Qualitative assertions live elsewhere; this file is deliberately brittle.
+
+If a change is *meant* to alter results (new policy logic, different
+seeding), regenerate the tables with the expressions in each test and
+justify the diff in the PR.
+"""
+
+import pytest
+
+from repro.api.session import Session
+from repro.scenarios.registry import scenario_workflow
+
+#: Session.evaluate(scenario_workflow("IA"), slo_ms=3000, requests=40,
+#: samples=400, seed=123, include=(...)) — exact table, pinned.
+GOLDEN_CHAIN = {
+    "Optimal": {
+        "mean_allocated_millicores": 3097.5,
+        "mean_slack": 0.09613557223752793,
+        "normalized_cpu": 1.0,
+        "p50_e2e_ms": 2721.9329144667754,
+        "p99_e2e_ms": 2997.0040407996003,
+        "violation_rate": 0.0,
+    },
+    "ORION": {
+        "mean_allocated_millicores": 4200.0,
+        "mean_slack": 0.2907602465133176,
+        "normalized_cpu": 1.3559322033898304,
+        "p50_e2e_ms": 2068.8147458011344,
+        "p99_e2e_ms": 2806.899661461441,
+        "violation_rate": 0.0,
+    },
+    "GrandSLAM": {
+        "mean_allocated_millicores": 4500.0,
+        "mean_slack": 0.3289349223126473,
+        "normalized_cpu": 1.4527845036319613,
+        "p50_e2e_ms": 1966.7358873773414,
+        "p99_e2e_ms": 2662.897958637832,
+        "violation_rate": 0.0,
+    },
+    "Janus": {
+        "mean_allocated_millicores": 3567.5,
+        "mean_slack": 0.18354688412095962,
+        "normalized_cpu": 1.1517352703793382,
+        "p50_e2e_ms": 2436.8589629093385,
+        "p99_e2e_ms": 2881.921690730921,
+        "violation_rate": 0.0,
+    },
+}
+
+#: Session.evaluate(scenario_workflow("media"), requests=30, samples=400,
+#: seed=123, include=("GrandSLAM", "Janus")) — exact table, pinned.
+GOLDEN_DAG = {
+    "GrandSLAM": {
+        "mean_allocated_millicores": 4400.0,
+        "mean_slack": 0.41304665367778653,
+        "normalized_cpu": 1.0,
+        "p50_e2e_ms": 1368.3147852294676,
+        "p99_e2e_ms": 2002.987391257307,
+        "violation_rate": 0.0,
+    },
+    "Janus": {
+        "mean_allocated_millicores": 4000.0,
+        "mean_slack": 0.36459916546562543,
+        "normalized_cpu": 0.9090909090909091,
+        "p50_e2e_ms": 1481.0532377746454,
+        "p99_e2e_ms": 2168.7621027488844,
+        "violation_rate": 0.0,
+    },
+}
+
+
+def _assert_exact(actual: dict, golden: dict) -> None:
+    assert list(actual) == list(golden), "policy set or order drifted"
+    for policy, golden_row in golden.items():
+        row = actual[policy]
+        assert set(row) == set(golden_row), policy
+        for metric, value in golden_row.items():
+            assert row[metric] == value, (
+                f"{policy}.{metric}: got {row[metric]!r}, pinned {value!r}"
+            )
+
+
+class TestGoldenChain:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return Session.evaluate(
+            scenario_workflow("IA"), slo_ms=3000.0, requests=40,
+            samples=400, seed=123,
+            include=("Optimal", "ORION", "GrandSLAM", "Janus"),
+        )
+
+    def test_exact_table(self, report):
+        _assert_exact(report.table, GOLDEN_CHAIN)
+
+    def test_metadata(self, report):
+        assert report.topology == "chain"
+        assert report.baseline == "Optimal"
+        assert report.executor == "AnalyticExecutor"
+
+
+class TestGoldenDag:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return Session.evaluate(
+            scenario_workflow("media"), requests=30, samples=400, seed=123,
+            include=("GrandSLAM", "Janus"),
+        )
+
+    def test_exact_table(self, report):
+        _assert_exact(report.table, GOLDEN_DAG)
+
+    def test_metadata(self, report):
+        assert report.topology == "dag"
+        assert report.executor == "DagAnalyticExecutor"

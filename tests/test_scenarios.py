@@ -1,0 +1,381 @@
+"""Scenario matrix, sweep runner, and the cross-process determinism claim."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.scenarios import (
+    SCENARIO_WORKFLOWS,
+    ScenarioMatrix,
+    SweepRunner,
+    parse_arrival,
+    register_workflow,
+    run_scenario,
+)
+from repro.scenarios.runner import merge_tenant_streams
+from repro.traces.workload import ArrivalSpec, WorkloadConfig, generate_requests
+
+#: One small, fast matrix shared by the runner tests (profiles are cached
+#: per process, so repeated runs only pay the serving cost).
+SMALL_MATRIX = ScenarioMatrix(
+    workflows=("IA",),
+    arrivals=(ArrivalSpec("constant"), ArrivalSpec("poisson", rate_per_s=8.0)),
+    slo_scales=(1.0, 1.2),
+    tenant_counts=(1, 2),
+    policies=("Optimal", "GrandSLAM", "Janus"),
+    n_requests=30,
+    samples=300,
+    seed=17,
+)
+
+
+class TestMatrix:
+    def test_len_is_product_of_axes(self):
+        assert len(SMALL_MATRIX) == 1 * 2 * 2 * 2
+
+    def test_expand_covers_every_cell_once(self):
+        cells = SMALL_MATRIX.expand()
+        assert len(cells) == len(SMALL_MATRIX)
+        assert len({c.scenario_id for c in cells}) == len(cells)
+
+    def test_seeds_differ_per_cell_but_profile_seed_shared(self):
+        cells = SMALL_MATRIX.expand()
+        assert len({c.seed for c in cells}) == len(cells)
+        assert len({c.profile_seed for c in cells}) == 1  # one workflow
+
+    def test_seed_stability_under_axis_growth(self):
+        # Adding an axis value must not shift existing cells' seeds.
+        import dataclasses
+
+        grown = dataclasses.replace(
+            SMALL_MATRIX, slo_scales=(1.0, 1.2, 1.5)
+        )
+        base = {c.scenario_id: c.seed for c in SMALL_MATRIX.expand()}
+        grown_seeds = {c.scenario_id: c.seed for c in grown.expand()}
+        for sid, seed in base.items():
+            assert grown_seeds[sid] == seed
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExperimentError, match="axis"):
+            ScenarioMatrix(workflows=())
+
+    def test_unknown_workflow_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown workflows"):
+            ScenarioMatrix(workflows=("NOPE",))
+
+    def test_unknown_policy_rejected_at_construction(self):
+        with pytest.raises(ExperimentError, match="unknown policies"):
+            ScenarioMatrix(policies=("Janus", "Jannus"))
+
+    def test_baseline_outside_suite_rejected_at_construction(self):
+        with pytest.raises(ExperimentError, match="baseline"):
+            ScenarioMatrix(policies=("Janus", "GrandSLAM"), baseline="Optimal")
+
+    def test_bare_scenario_rejects_policy_typo(self):
+        # Scenarios built without a matrix validate too, so run_scenario's
+        # dead-cell handling can never mask a misspelt name.
+        import dataclasses
+
+        cell = SMALL_MATRIX.expand()[0]
+        with pytest.raises(ExperimentError, match="unknown policies"):
+            dataclasses.replace(cell, policies=("Jannus",))
+
+    def test_budgets_attached_per_workflow(self):
+        import dataclasses
+
+        matrix = dataclasses.replace(
+            SMALL_MATRIX, budgets={"IA": (2000, 7000)}
+        )
+        for cell in matrix.expand():
+            assert cell.budget_ms == (2000, 7000)
+        assert SMALL_MATRIX.expand()[0].budget_ms is None
+
+    def test_invalid_budget_range_rejected(self):
+        import dataclasses
+
+        with pytest.raises(ExperimentError, match="invalid budget range"):
+            dataclasses.replace(SMALL_MATRIX, budgets={"IA": (7000, 2000)})
+
+    def test_registry_extension(self):
+        from repro.workflow.catalog import intelligent_assistant
+
+        register_workflow("IA-copy", intelligent_assistant)
+        try:
+            matrix = ScenarioMatrix(workflows=("IA-copy",))
+            assert matrix.expand()[0].workflow == "IA-copy"
+        finally:
+            SCENARIO_WORKFLOWS.pop("IA-copy")
+
+    def test_with_scale(self):
+        scaled = SMALL_MATRIX.with_scale(n_requests=5, samples=100)
+        assert scaled.n_requests == 5 and scaled.samples == 100
+        assert scaled.seed == SMALL_MATRIX.seed
+
+
+class TestParseArrival:
+    @pytest.mark.parametrize(
+        "token,kind,rate",
+        [
+            ("constant", "constant", None),
+            ("poisson@8", "poisson", 8.0),
+            ("burst@5", "burst", 5.0),
+            ("azure@2.5", "azure", 2.5),
+        ],
+    )
+    def test_tokens(self, token, kind, rate):
+        spec = parse_arrival(token)
+        assert spec.kind == kind
+        if rate is not None:
+            assert spec.rate_per_s == rate
+
+    def test_constant_interval(self):
+        assert parse_arrival("constant@50").interval_ms == 50.0
+
+    def test_bad_kind(self):
+        with pytest.raises(ExperimentError, match="unknown arrival kind"):
+            parse_arrival("weibull@3")
+
+    def test_bad_rate(self):
+        with pytest.raises(ExperimentError, match="invalid arrival rate"):
+            parse_arrival("poisson@fast")
+
+    def test_zero_rate_rejected_at_parse_time(self):
+        from repro.errors import TraceError
+
+        # Spec construction validates shape parameters, so a bad token
+        # fails before any cell (or profiling campaign) runs.
+        with pytest.raises(TraceError, match="rate must be > 0"):
+            parse_arrival("poisson@0")
+
+    def test_invalid_spec_values_rejected(self):
+        from repro.errors import TraceError
+
+        with pytest.raises(TraceError, match="interval"):
+            ArrivalSpec(kind="constant", interval_ms=-5.0)
+        with pytest.raises(TraceError, match="burst fraction"):
+            ArrivalSpec(kind="burst", rate_per_s=5.0, burst_fraction=1.5)
+        with pytest.raises(TraceError, match="sigma"):
+            ArrivalSpec(kind="azure", rate_per_s=5.0, sigma=-0.1)
+
+
+class TestTenantMerge:
+    def test_merge_orders_by_arrival_and_renumbers(self, small_workflow):
+        streams = [
+            generate_requests(
+                small_workflow,
+                WorkloadConfig(n_requests=10, arrival_rate_per_s=20.0),
+                seed=s,
+            )
+            for s in (1, 2)
+        ]
+        merged = merge_tenant_streams(streams)
+        assert len(merged) == 20
+        arrivals = [r.arrival_ms for r in merged]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in merged] == list(range(20))
+
+    def test_merge_is_stable_for_tied_arrivals(self, small_workflow):
+        streams = [
+            generate_requests(
+                small_workflow, WorkloadConfig(n_requests=3), seed=s
+            )
+            for s in (1, 2)
+        ]
+        merged = merge_tenant_streams(streams)
+        # Constant back-to-back arrivals all tie at 0 ms; tenant order and
+        # in-stream order must break the tie deterministically.
+        assert [r.stage_dynamics for r in merged] == [
+            r.stage_dynamics for r in streams[0] + streams[1]
+        ]
+
+
+class TestSweepRunner:
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return SweepRunner(max_workers=1).run(SMALL_MATRIX)
+
+    def test_all_cells_evaluated(self, serial_report):
+        assert serial_report.num_cells == len(SMALL_MATRIX)
+        assert serial_report.skipped == {}
+
+    def test_janus_beats_grandslam_on_aggregate(self, serial_report):
+        assert serial_report.mean_normalized_cpu(
+            "Janus"
+        ) < serial_report.mean_normalized_cpu("GrandSLAM")
+        assert serial_report.attainment("Janus") >= 0.95
+
+    def test_rerun_is_bit_identical(self, serial_report):
+        again = SweepRunner(max_workers=1).run(SMALL_MATRIX)
+        assert again.to_json() == serial_report.to_json()
+
+    def test_pooled_run_bit_identical_to_serial(self, serial_report):
+        # The documented bit-reproducibility claim, asserted across real
+        # process boundaries: two workers, same master seed.
+        pooled = SweepRunner(max_workers=2).run(SMALL_MATRIX)
+        assert pooled.max_workers == 2
+        assert pooled.to_json() == serial_report.to_json()
+
+    def test_tenant_axis_changes_results(self, serial_report):
+        by_id = {r.scenario_id: r for r in serial_report.results}
+        single = [r for r in serial_report.results if r.tenants == 1]
+        for res in single:
+            twin_id = res.scenario_id.replace("tenants 1", "tenants 2")
+            assert by_id[twin_id].table != res.table
+
+    def test_json_round_trip(self, serial_report):
+        payload = json.loads(serial_report.to_json())
+        assert payload["num_cells"] == serial_report.num_cells
+        assert len(payload["results"]) == serial_report.num_cells
+
+    def test_csv_has_row_per_cell_policy(self, serial_report):
+        lines = serial_report.to_csv().strip().splitlines()
+        expected = sum(len(r.table) for r in serial_report.results)
+        assert len(lines) == expected + 1  # + header
+        assert lines[0].startswith("scenario_id,workflow,arrival")
+
+    def test_render_mentions_cells_and_policies(self, serial_report):
+        text = serial_report.render()
+        assert f"{serial_report.num_cells} cells" in text
+        assert "Janus" in text and "SLO att." in text
+
+
+class TestScenarioExecution:
+    def test_dag_cells_skip_chain_only_policies(self):
+        matrix = ScenarioMatrix(
+            workflows=("media",),
+            arrivals=(ArrivalSpec("constant"),),
+            policies=("Optimal", "ORION", "Janus", "GrandSLAM"),
+            n_requests=20,
+            samples=300,
+            seed=3,
+        )
+        report = SweepRunner(max_workers=1).run(matrix)
+        sid = report.results[0].scenario_id
+        assert set(report.skipped[sid]) == {"Optimal", "ORION"}
+        assert set(report.results[0].table) == {"Janus", "GrandSLAM"}
+
+    def test_dead_cells_skipped_not_fatal(self):
+        # A cell where *no* requested policy is buildable (chain-only suite
+        # on a DAG topology) must not abort the sweep: the IA cell survives
+        # and the media cell lands fully in `skipped`.
+        matrix = ScenarioMatrix(
+            workflows=("IA", "media"),
+            arrivals=(ArrivalSpec("constant"),),
+            policies=("Optimal", "ORION"),
+            n_requests=20,
+            samples=300,
+            seed=3,
+        )
+        report = SweepRunner(max_workers=1).run(matrix)
+        assert report.num_cells == 1
+        assert report.results[0].workflow == "IA"
+        [(sid, missing)] = report.skipped.items()
+        assert sid.startswith("media/") and missing == ["Optimal", "ORION"]
+
+    def test_infeasible_pinned_baseline_kills_cell_not_sweep(self):
+        # Janus/GrandSLAM build fine on the DAG, but the pinned baseline
+        # cannot: the cell must die (no silent renormalisation) while the
+        # chain cell survives.
+        matrix = ScenarioMatrix(
+            workflows=("IA", "media"),
+            arrivals=(ArrivalSpec("constant"),),
+            policies=("Optimal", "Janus", "GrandSLAM"),
+            baseline="Optimal",
+            n_requests=20,
+            samples=300,
+            seed=3,
+        )
+        report = SweepRunner(max_workers=1).run(matrix)
+        assert [r.workflow for r in report.results] == ["IA"]
+        assert report.results[0].baseline == "Optimal"
+        [(sid, _)] = report.skipped.items()
+        assert sid.startswith("media/")
+
+    def test_reregistration_gets_fresh_profiles(self):
+        from repro.scenarios.registry import workflow_epoch
+        from repro.workflow.catalog import intelligent_assistant, video_analytics
+
+        register_workflow("swap", intelligent_assistant)
+        try:
+            epoch0 = workflow_epoch("swap")
+            register_workflow("swap", video_analytics)
+            assert workflow_epoch("swap") == epoch0 + 1
+            # The epoch feeds the profile-cache key, so the swapped factory
+            # cannot be served the old factory's campaign.
+            from repro.scenarios.runner import _profiles_for
+
+            profiles = _profiles_for(
+                "swap", 200, 1, workflow_epoch("swap")
+            )
+            assert set(profiles.functions()) == {"FE", "ICL", "ICO"}  # VA
+        finally:
+            SCENARIO_WORKFLOWS.pop("swap")
+
+    def test_all_cells_dead_raises_with_context(self):
+        matrix = ScenarioMatrix(
+            workflows=("media",),
+            arrivals=(ArrivalSpec("constant"),),
+            policies=("Optimal", "ORION"),
+            n_requests=20,
+            samples=300,
+            seed=3,
+        )
+        with pytest.raises(ExperimentError, match="every cell was skipped"):
+            SweepRunner(max_workers=1).run(matrix)
+
+    def test_run_scenario_result_shape(self):
+        scenario = SMALL_MATRIX.expand()[0]
+        result = run_scenario(scenario)
+        assert result.workflow == "IA"
+        assert result.slo_ms == pytest.approx(3000.0)
+        assert set(result.table) == set(scenario.policies)
+        for row in result.table.values():
+            assert {"normalized_cpu", "violation_rate"} <= set(row)
+
+    def test_slo_scale_round_trips_absolute_slos(self):
+        import dataclasses
+
+        # 3130/3000 does not round-trip in floating point; the runner must
+        # still evaluate at exactly 3130 ms (and feed the DP the intended
+        # budget grid), or fig9-style sweeps drift by an epsilon.
+        cell = dataclasses.replace(
+            SMALL_MATRIX.expand()[0], slo_scale=3130.0 / 3000.0,
+            n_requests=5,
+        )
+        result = run_scenario(cell)
+        assert result.slo_ms == 3130.0
+
+    def test_mixed_baselines_flagged_in_render(self):
+        matrix = ScenarioMatrix(
+            workflows=("IA", "media"),
+            arrivals=(ArrivalSpec("constant"),),
+            policies=("Optimal", "Janus", "GrandSLAM"),
+            n_requests=20,
+            samples=300,
+            seed=3,
+        )
+        report = SweepRunner(max_workers=1).run(matrix)
+        # IA normalises by Optimal, the DAG cell falls back to the first
+        # built policy — the aggregate must say so instead of silently
+        # averaging incompatible ratios.
+        assert len(report.baselines()) == 2
+        assert "mixes per-cell baselines" in report.render()
+        assert ",baseline,policy," in report.to_csv().splitlines()[0].replace(
+            "slo_ms,", ""
+        )
+
+    def test_baseline_override(self):
+        import dataclasses
+
+        matrix = dataclasses.replace(
+            SMALL_MATRIX,
+            slo_scales=(1.0,),
+            tenant_counts=(1,),
+            arrivals=(ArrivalSpec("constant"),),
+            baseline="GrandSLAM",
+        )
+        report = SweepRunner(max_workers=1).run(matrix)
+        res = report.results[0]
+        assert res.baseline == "GrandSLAM"
+        assert res.metric("GrandSLAM", "normalized_cpu") == pytest.approx(1.0)

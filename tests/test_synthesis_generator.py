@@ -160,11 +160,21 @@ class TestWorkflowHintsSynthesis:
         assert w3.condensed_hint_count <= w1.condensed_hint_count
 
     def test_janus_plus_more_expensive(self, small_profiles_module, chain, budget):
-        # Fig. 6b: joint exploration costs much more synthesis time.
+        from repro.synthesis.dp import clear_dp_cache
+        from repro.synthesis.generator import clear_hints_cache
+
+        # Fig. 6b: joint exploration costs much more synthesis time. Both
+        # builds must run the cold path — the process-wide memos would
+        # otherwise let the second reuse the first's DP tables (or return
+        # stale timings on a re-run within one process).
+        clear_dp_cache()
+        clear_hints_cache()
         j = synthesize_hints(
             small_profiles_module, chain, budget,
             exploration=HeadExploration.HEAD_ONLY,
         )
+        clear_dp_cache()
+        clear_hints_cache()
         jp = synthesize_hints(
             small_profiles_module, chain, budget,
             exploration=HeadExploration.HEAD_PLUS_NEXT,
