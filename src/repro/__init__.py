@@ -26,8 +26,9 @@ True
 New systems plug into the shared registries instead of spawning parallel
 API families: policies by name through :data:`POLICIES`
 (``POLICIES.register("MyPolicy")(builder)``) and execution backends through
-:func:`register_executor` (``analytic``, ``dag``, and ``batching`` ship
-built in; the right one is auto-selected from :attr:`Workflow.topology`).
+:func:`register_executor` (``analytic``, ``dag``, ``batching`` and the DES
+``cluster`` platform ship built in; the analytic pair is auto-selected
+from :attr:`Workflow.topology`).
 
 The package splits along the paper's developer/provider boundary:
 

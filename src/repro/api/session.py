@@ -78,6 +78,16 @@ class Session:
     executor:
         Default backend name for :meth:`run`/:meth:`evaluate`; auto-selected
         from :attr:`Workflow.topology` when ``None``.
+    executor_kwargs:
+        Construction options for the session's *default* backend — e.g.
+        cluster knobs for ``executor="cluster"`` (``{"n_vms": 2,
+        "autoscale": False}`` or a full ``{"config": ClusterConfig(...)}``).
+        They apply when :meth:`run`/:meth:`compare` resolve that default
+        (executor argument omitted or equal to it) and are deliberately
+        *not* carried onto a different backend named at a call site —
+        pass options for such overrides at the call site itself
+        (``session.executor("cluster", n_vms=2)``). Ignored for prebuilt
+        executor instances.
     """
 
     def __init__(
@@ -91,6 +101,7 @@ class Session:
         profiles: ProfileSet | None = None,
         registry: PolicyRegistry | None = None,
         executor: str | None = None,
+        executor_kwargs: _t.Mapping[str, _t.Any] | None = None,
     ) -> None:
         if slo_ms is not None:
             workflow = workflow.with_slo(slo_ms)
@@ -100,6 +111,7 @@ class Session:
         self.seed = int(seed)
         self.registry = registry if registry is not None else POLICIES
         self.executor_name = executor
+        self.executor_kwargs = dict(executor_kwargs or {})
         self._profiles = profiles
         #: Synthesized tables memoised per (weight, exploration) — the two
         #: knobs that change table contents for a fixed session budget.
@@ -203,12 +215,18 @@ class Session:
     ) -> Executor:
         """Resolve an execution backend (session default / auto when ``None``).
 
-        A prebuilt executor passes through unchanged.
+        The session's ``executor_kwargs`` are merged under any call-site
+        ``kwargs`` — but only when resolving the session's *own* default
+        backend (``name`` omitted or equal to it): overriding the backend
+        per call must not drag backend-specific session options (cluster
+        knobs, say) onto an executor that cannot take them. A prebuilt
+        executor passes through unchanged (and takes no options, per
+        :func:`resolve_executor`).
         """
-        return resolve_executor(
-            self.workflow, name if name is not None else self.executor_name,
-            **kwargs,
-        )
+        if name is None or name == self.executor_name:
+            kwargs = {**self.executor_kwargs, **kwargs}
+        target = name if name is not None else self.executor_name
+        return resolve_executor(self.workflow, target, **kwargs)
 
     def requests(self, spec: RequestSpec = None) -> list[WorkflowRequest]:
         """Materialise a request stream from ``spec``.
@@ -304,17 +322,22 @@ class Session:
         profiles: ProfileSet | None = None,
         registry: PolicyRegistry | None = None,
         executor: str | None = None,
+        executor_kwargs: _t.Mapping[str, _t.Any] | None = None,
         baseline: str | None = None,
     ) -> "ComparisonReport":
         """Profile, synthesize, serve, and compare — in one call.
 
         ``Session.evaluate(intelligent_assistant(), slo_ms=3000)`` runs the
         full pipeline on the IA chain; pass a branching workflow and the
-        same code path drives the DAG backend instead.
+        same code path drives the DAG backend instead — or name the
+        ``"cluster"`` backend (with ``executor_kwargs`` cluster knobs) to
+        measure cold starts, co-location and autoscaling on the DES
+        platform.
         """
         session = cls(
             workflow, slo_ms=slo_ms, budget=budget, samples=samples,
             seed=seed, profiles=profiles, registry=registry, executor=executor,
+            executor_kwargs=executor_kwargs,
         )
         return session.compare(
             include=include, requests=requests, baseline=baseline

@@ -104,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--baseline", default=None,
                          help="normalisation baseline policy (default: "
                               "Optimal when present)")
+    sweep_p.add_argument(
+        "--executor", default=None,
+        help="comma-separated backend axis, e.g. 'cluster' or "
+             "'analytic,cluster' ('auto' selects from the workflow "
+             "topology, the default)")
+    sweep_p.add_argument(
+        "--cluster-config", default=None, dest="cluster_config",
+        help="cluster knobs for 'cluster' cells as field=value pairs, "
+             "e.g. 'n_vms=2,warm_pool_size=4,autoscale=false,"
+             "keepalive_ms=500'")
     sweep_p.add_argument("--csv", default=None, help="write per-cell CSV here")
     sweep_p.add_argument("--json", default=None,
                          help="write the full JSON report here")
@@ -180,7 +190,12 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .scenarios import ScenarioMatrix, SweepRunner, parse_arrival
+    from .scenarios import (
+        ScenarioMatrix,
+        SweepRunner,
+        parse_arrival,
+        parse_cluster_config,
+    )
 
     def _split(text: str) -> list[str]:
         return [part.strip() for part in text.split(",") if part.strip()]
@@ -194,6 +209,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     }
     if args.policies:
         matrix_kwargs["policies"] = tuple(_split(args.policies))
+    if args.executor:
+        matrix_kwargs["executors"] = tuple(
+            None if name == "auto" else name
+            for name in _split(args.executor)
+        )
+    if args.cluster_config is not None:
+        matrix_kwargs["cluster"] = parse_cluster_config(args.cluster_config)
     # Same knob-introspection contract as `run`: a scale flag reaches the
     # matrix only if its constructor takes the parameter.
     for knob, param in _KNOB_PARAMS.items():

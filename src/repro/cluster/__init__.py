@@ -5,7 +5,7 @@ from .accounting import ClusterAccounting
 from .autoscaler import HorizontalAutoscaler
 from .interference import DEFAULT_COEFFICIENTS, InterferenceModel
 from .multi import MultiTenantPlatform, TenantJob
-from .platform import ClusterConfig, ServerlessPlatform
+from .platform import ClusterConfig, ServerlessPlatform, cluster_executor
 from .pod import Pod, PodState
 from .pool import PoolManager
 from .vm import VirtualMachine
@@ -23,4 +23,5 @@ __all__ = [
     "MultiTenantPlatform",
     "TenantJob",
     "ServerlessPlatform",
+    "cluster_executor",
 ]

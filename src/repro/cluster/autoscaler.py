@@ -32,6 +32,7 @@ class HorizontalAutoscaler:
         interval_ms: float = 1000.0,
         headroom: float = 2.0,
         ewma_alpha: float = 0.5,
+        min_warm: int = 1,
     ) -> None:
         if interval_ms <= 0:
             raise ClusterError(f"interval must be > 0, got {interval_ms}")
@@ -39,11 +40,14 @@ class HorizontalAutoscaler:
             raise ClusterError(f"headroom must be >= 1, got {headroom}")
         if not 0.0 < ewma_alpha <= 1.0:
             raise ClusterError(f"alpha must be in (0, 1], got {ewma_alpha}")
+        if min_warm < 0:
+            raise ClusterError(f"min_warm must be >= 0, got {min_warm}")
         self.sim = sim
         self.pool = pool
         self.interval_ms = float(interval_ms)
         self.headroom = float(headroom)
         self.ewma_alpha = float(ewma_alpha)
+        self.min_warm = int(min_warm)
         self._demand_ewma: dict[str, float] = {}
         self._in_flight: dict[str, int] = {}
         self.adjustments = 0
@@ -79,16 +83,29 @@ class HorizontalAutoscaler:
             self._rescale()
 
     def _rescale(self) -> None:
+        # One shared floor (``min_warm``) everywhere: per-function targets
+        # and the empty-pool fallback. A higher floor on the per-function
+        # branch would pin the warm target above the floor even at zero
+        # demand, so idle functions could never scale down and keep-alive
+        # sweeps would under-report idle cost.
         targets = []
         for function in self.pool.functions:
             observed = float(self._in_flight.get(function, 0))
             prev = self._demand_ewma.get(function, observed)
             smoothed = self.ewma_alpha * observed + (1 - self.ewma_alpha) * prev
+            if smoothed < 1e-6:
+                # The geometric decay never reaches exact zero, and ceil()
+                # of any positive residue is 1 — snap negligible demand to
+                # zero so min_warm=0 (scale to zero) is actually reachable
+                # after a function has served traffic.
+                smoothed = 0.0
             self._demand_ewma[function] = smoothed
-            targets.append(max(2, int(np.ceil(smoothed * self.headroom))))
+            targets.append(
+                max(self.min_warm, int(np.ceil(smoothed * self.headroom)))
+            )
         # PoolManager keeps one shared per-function warm target; use the max
         # demand across functions of this pool.
-        new_target = max(targets) if targets else 1
+        new_target = max(targets) if targets else self.min_warm
         if new_target != self.pool.warm_pool_size:
             self.pool.warm_pool_size = new_target
             self.adjustments += 1

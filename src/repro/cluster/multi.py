@@ -7,25 +7,30 @@ workflows on one set of VMs. Function identities are namespaced per tenant
 tenant-local — commercial platforms pack instances of the *same* tenant
 together (§II-B), which is exactly what the pool's affinity placement then
 reproduces.
+
+Per-request serving is *not* re-implemented here: each tenant's requests go
+through the registered ``"cluster"`` executor's serving core
+(:class:`~repro.cluster.platform._ServingPlatform`), with the pool keys
+namespaced per tenant — so chain and full-DAG workflows behave identically
+on the shared cluster and on a dedicated one, every run starts on fresh
+simulator/pool/autoscaler/accounting state, and ``ClusterConfig.autoscale``
+drives one shared horizontal autoscaler whose demand signal is fed per
+tenant-namespaced function.
 """
 
 from __future__ import annotations
 
 import typing as _t
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from ..errors import ClusterError
-from ..functions.model import FunctionModel, InvocationDynamics
+from ..functions.model import FunctionModel
 from ..policies.base import SizingPolicy
 from ..runtime.results import RunResult
-from ..sim.engine import Simulator
 from ..workflow.catalog import Workflow
-from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
-from .accounting import ClusterAccounting
+from ..workflow.request import RequestOutcome, WorkflowRequest
 from .interference import InterferenceModel
-from .platform import ClusterConfig
-from .pool import PoolManager
-from .vm import VirtualMachine
+from .platform import ClusterConfig, _ServingPlatform
 
 __all__ = ["TenantJob", "MultiTenantPlatform"]
 
@@ -43,7 +48,7 @@ class TenantJob:
             raise ClusterError(f"tenant {self.tenant!r} has no requests")
 
 
-class MultiTenantPlatform:
+class MultiTenantPlatform(_ServingPlatform):
     """Shared-cluster execution of several tenants' workflows."""
 
     def __init__(
@@ -56,26 +61,16 @@ class MultiTenantPlatform:
             raise ClusterError("at least one tenant workflow required")
         self.workflows = dict(workflows)
         self.config = config or ClusterConfig()
-        self.sim = Simulator()
-        self.vms = [
-            VirtualMachine(i, self.config.vm_capacity_millicores)
-            for i in range(self.config.n_vms)
-        ]
-        namespaced: dict[str, FunctionModel] = {}
+        self.interference = interference or InterferenceModel()
+        self._namespaced: dict[str, FunctionModel] = {}
         for tenant, workflow in self.workflows.items():
             for name, model in workflow.functions.items():
-                namespaced[self._key(tenant, name)] = model
-        self.pool = PoolManager(
-            self.sim,
-            self.vms,
-            namespaced,
-            warm_pool_size=self.config.warm_pool_size,
-            colocate_same_function=self.config.colocate_same_function,
-            keepalive_ms=self.config.keepalive_ms,
-        )
-        self.interference = interference or InterferenceModel()
-        self.accounting = ClusterAccounting(self.sim, self.vms)
+                self._namespaced[self._key(tenant, name)] = model
         self._outcomes: dict[str, list[RequestOutcome]] = {}
+        self._reset()
+
+    def _reset(self) -> None:
+        self._build_substrate(self._namespaced)
 
     @staticmethod
     def _key(tenant: str, function: str) -> str:
@@ -83,56 +78,12 @@ class MultiTenantPlatform:
 
     # ------------------------------------------------------------------
     def _serve(self, tenant: str, policy: SizingPolicy, request: WorkflowRequest):
-        workflow = self.workflows[tenant]
-        chain = workflow.chain
-        limits = workflow.limits
-        policy.bind(workflow)
-        policy.begin_request(request)
-        start_time = self.sim.now
-        stages: list[StageRecord] = []
-        for fname in chain:
-            elapsed = self.sim.now - start_time
-            size = limits.clamp(policy.size_for_node(fname, request, elapsed))
-            model = workflow.model(fname)
-            key = self._key(tenant, fname)
-            stage_start = self.sim.now
-            pod = yield from self.pool.acquire(key, size)
-            cold_ms = self.sim.now - stage_start
-            pod.start_invocation()
-            self.accounting.snapshot()
-            n_colo = max(1, pod.vm.colocated_count(key, busy_only=True))
-            slowdown = self.interference.slowdown(model.dominant_resource, n_colo)
-            dyn = request.dynamics_for(fname)
-            dyn_q: InvocationDynamics = replace(
-                dyn, interference=dyn.interference * slowdown
-            )
-            exec_ms = model.execution_time(size, dyn_q, request.concurrency)
-            yield self.sim.timeout(exec_ms)
-            pod.finish_invocation()
-            self.pool.release(pod)
-            self.accounting.snapshot()
-            stages.append(
-                StageRecord(
-                    function=fname, size=size,
-                    start_ms=stage_start, end_ms=self.sim.now,
-                    cold_start_ms=cold_ms,
-                )
-            )
-        policy.end_request(request)
-        outcome = RequestOutcome(
-            request_id=request.request_id,
-            arrival_ms=start_time,
-            slo_ms=request.slo_ms,
-            stages=stages,
+        """Process: one tenant request through the shared serving core."""
+        outcome = yield from self._serve_request(
+            self.workflows[tenant], policy, request,
+            pool_key=lambda fname: self._key(tenant, fname),
         )
         self._outcomes[tenant].append(outcome)
-        return outcome
-
-    def _submit_at(self, tenant: str, policy: SizingPolicy, request):
-        delay = request.arrival_ms - self.sim.now
-        if delay > 0:
-            yield self.sim.timeout(delay)
-        outcome = yield self.sim.process(self._serve(tenant, policy, request))
         return outcome
 
     # -- public API -------------------------------------------------------
@@ -146,19 +97,20 @@ class MultiTenantPlatform:
         unknown = [t for t in tenants if t not in self.workflows]
         if unknown:
             raise ClusterError(f"tenants without deployed workflows: {unknown}")
+        self._reset()
         self._outcomes = {job.tenant: [] for job in jobs}
         procs = []
         for job in jobs:
             for request in job.requests:
                 procs.append(
                     self.sim.process(
-                        self._submit_at(job.tenant, job.policy, request)
+                        self._hold_until_arrival(
+                            request, self._serve(job.tenant, job.policy, request)
+                        )
                     )
                 )
-        self.sim.run(until=self.sim.all_of(procs))
-        for proc in procs:
-            if proc.processed and not proc.ok:
-                raise proc.value
+        self._drain(procs)
+        platform_extras = self._platform_extras()
         results: dict[str, RunResult] = {}
         for job in jobs:
             outcomes = sorted(
@@ -167,10 +119,6 @@ class MultiTenantPlatform:
             results[job.tenant] = RunResult(
                 policy_name=job.policy.name,
                 outcomes=outcomes,
-                extras={
-                    "tenant": job.tenant,
-                    "cold_start_rate": self.pool.cold_start_rate,
-                    "mean_cluster_allocated": self.accounting.mean_allocated(),
-                },
+                extras={**platform_extras, "tenant": job.tenant},
             )
         return results

@@ -6,18 +6,31 @@ simulation processes. Unlike the analytic backend, interference here emerges
 from *actual co-location*: concurrently busy instances of the same function
 on one VM slow each other down per the calibrated model, so open-loop load
 and batching effects are captured.
+
+The platform is a first-class execution backend: it satisfies the
+:class:`~repro.runtime.registry.Executor` protocol and registers itself as
+``"cluster"``, so :class:`~repro.api.Session`, :func:`run_policies` and the
+scenario sweep engine can serve any matrix cell on the DES cluster by name.
+Run-lifecycle semantics match the analytic executors: every
+:meth:`ServerlessPlatform.run` call serves on fresh simulator/pool/
+autoscaler/accounting state (requests start at t = 0, counters at zero),
+and branching workflows execute *every* DAG node as concurrent simulation
+processes joined per node — not just the critical-path chain.
 """
 
 from __future__ import annotations
 
+import numbers as _numbers
 import typing as _t
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields as _dc_fields, replace
 
 from ..errors import ClusterError
 from ..functions.model import InvocationDynamics
 from ..policies.base import SizingPolicy
-from ..runtime.results import RunResult
+from ..runtime.registry import register_executor
+from ..runtime.results import RunResult, collect_policy_extras
 from ..sim.engine import Simulator
+from ..sim.process import Process
 from ..types import Millicores
 from ..workflow.catalog import Workflow
 from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
@@ -27,7 +40,7 @@ from .interference import InterferenceModel
 from .pool import PoolManager
 from .vm import VirtualMachine
 
-__all__ = ["ClusterConfig", "ServerlessPlatform"]
+__all__ = ["ClusterConfig", "ServerlessPlatform", "cluster_executor"]
 
 
 @dataclass(frozen=True)
@@ -45,17 +58,268 @@ class ClusterConfig:
     keepalive_ms: float | None = None
     autoscale: bool = True
     autoscaler_interval_ms: float = 1000.0
+    #: Warm-target floor the autoscaler may decay to (0 = scale to zero).
+    min_warm: int = 1
     colocate_same_function: bool = True
 
     def __post_init__(self) -> None:
+        # Count-like fields must be genuine integers at construction: a
+        # float n_vms crashes `range()` deep inside a pool worker and a
+        # float warm_pool_size silently truncates — fail here instead.
+        # numbers.Integral keeps integer-like types (numpy ints) working.
+        for fname in ("n_vms", "vm_capacity_millicores", "warm_pool_size",
+                      "min_warm"):
+            value = getattr(self, fname)
+            if not isinstance(value, _numbers.Integral) or isinstance(
+                value, bool
+            ):
+                raise ClusterError(
+                    f"{fname} must be an integer, got {value!r}"
+                )
         if self.n_vms <= 0:
             raise ClusterError(f"n_vms must be > 0, got {self.n_vms}")
         if self.vm_capacity_millicores <= 0:
             raise ClusterError("vm capacity must be > 0")
+        if self.min_warm < 0:
+            raise ClusterError(f"min_warm must be >= 0, got {self.min_warm}")
+
+    def with_overrides(self, **overrides: _t.Any) -> "ClusterConfig":
+        """Copy with field overrides; unknown field names raise.
+
+        Fields come from ``self``, so subclasses adding knobs stay
+        overridable.
+        """
+        known = {f.name for f in _dc_fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ClusterError(
+                f"unknown {type(self).__name__} fields {unknown}; "
+                f"known: {sorted(known)}"
+            )
+        return replace(self, **overrides)
 
 
-class ServerlessPlatform:
-    """DES execution backend for serverless workflows."""
+class _ServingPlatform:
+    """Shared DES serving core for single- and multi-tenant platforms.
+
+    Subclasses carry a :class:`ClusterConfig` and call
+    :meth:`_build_substrate` per run to get fresh simulator / VM / pool /
+    accounting / autoscaler state. The core serves one
+    :class:`WorkflowRequest` end to end: sequentially along a chain, or —
+    for branching workflows — as one simulation process per DAG node, each
+    waiting on all its predecessors, so sibling branches genuinely overlap
+    on the cluster and contend for pods.
+    """
+
+    config: ClusterConfig
+    sim: Simulator
+    pool: PoolManager
+    interference: InterferenceModel
+    accounting: ClusterAccounting
+    autoscaler: HorizontalAutoscaler
+
+    def _build_substrate(
+        self, functions: _t.Mapping[str, _t.Any]
+    ) -> None:
+        """Fresh simulator/VMs/pool/accounting/autoscaler from the config.
+
+        Called per ``run()`` so back-to-back runs are independent: each
+        starts at t = 0 with zeroed cold-start/idle/throttle counters and
+        a cold autoscaler EWMA, instead of seeing the previous run's clock
+        and cumulative statistics.
+        """
+        self.sim = Simulator()
+        self.vms = [
+            VirtualMachine(i, self.config.vm_capacity_millicores)
+            for i in range(self.config.n_vms)
+        ]
+        self.pool = PoolManager(
+            self.sim,
+            self.vms,
+            functions,
+            warm_pool_size=self.config.warm_pool_size,
+            colocate_same_function=self.config.colocate_same_function,
+            keepalive_ms=self.config.keepalive_ms,
+        )
+        self.accounting = ClusterAccounting(self.sim, self.vms)
+        self.autoscaler = HorizontalAutoscaler(
+            self.sim, self.pool,
+            interval_ms=self.config.autoscaler_interval_ms,
+            min_warm=self.config.min_warm,
+        )
+        if self.config.autoscale:
+            self.autoscaler.start()
+
+    # -- autoscaler demand signal -------------------------------------------
+    def _invocation_started(self, pool_key: str) -> None:
+        self.autoscaler.invocation_started(pool_key)
+
+    def _invocation_finished(self, pool_key: str) -> None:
+        self.autoscaler.invocation_finished(pool_key)
+
+    # -- one node ------------------------------------------------------------
+    def _node(
+        self,
+        workflow: Workflow,
+        policy: SizingPolicy,
+        request: WorkflowRequest,
+        fname: str,
+        pool_key: str,
+        start_time: float,
+    ):
+        """Process body executing one workflow node on the cluster.
+
+        Sizes at the node's start time with the request's elapsed
+        wall-clock — the same information a provider-side adapter has —
+        then acquires a pod (paying any cold start), executes under the
+        realised co-location slowdown, and releases.
+        """
+        elapsed = self.sim.now - start_time
+        size = workflow.limits.clamp(
+            policy.size_for_node(fname, request, elapsed)
+        )
+        model = workflow.model(fname)
+        stage_start = self.sim.now
+        pod = yield from self.pool.acquire(pool_key, size)
+        cold_ms = self.sim.now - stage_start
+        pod.start_invocation()
+        self._invocation_started(pool_key)
+        self.accounting.snapshot()
+        # Interference from busy same-function neighbours on this VM.
+        n_colo = max(1, pod.vm.colocated_count(pool_key, busy_only=True))
+        slowdown = self.interference.slowdown(model.dominant_resource, n_colo)
+        dyn = request.dynamics_for(fname)
+        dyn_q: InvocationDynamics = replace(
+            dyn, interference=dyn.interference * slowdown
+        )
+        exec_ms = model.execution_time(size, dyn_q, request.concurrency)
+        yield self.sim.timeout(exec_ms)
+        pod.finish_invocation()
+        self._invocation_finished(pool_key)
+        self.pool.release(pod)
+        self.accounting.snapshot()
+        return StageRecord(
+            function=fname,
+            size=size,
+            start_ms=stage_start,
+            end_ms=self.sim.now,
+            cold_start_ms=cold_ms,
+        )
+
+    def _dag_node(
+        self,
+        workflow: Workflow,
+        policy: SizingPolicy,
+        request: WorkflowRequest,
+        fname: str,
+        pool_key: str,
+        start_time: float,
+        predecessors: _t.Sequence[Process],
+        stages: list[StageRecord],
+    ):
+        """Process: wait for every predecessor node, then execute one node."""
+        if predecessors:
+            yield self.sim.all_of(list(predecessors))
+        record = yield from self._node(
+            workflow, policy, request, fname, pool_key, start_time
+        )
+        stages.append(record)
+
+    # -- one request ---------------------------------------------------------
+    def _serve_request(
+        self,
+        workflow: Workflow,
+        policy: SizingPolicy,
+        request: WorkflowRequest,
+        pool_key: _t.Callable[[str], str] = lambda fname: fname,
+    ):
+        """Simulation process serving one request through the workflow.
+
+        Chains run node after node; DAGs spawn one child process per node
+        joined on its predecessors, and the request completes when every
+        node (in particular every sink) has finished.
+        """
+        policy.bind(workflow)
+        policy.begin_request(request)
+        start_time = self.sim.now
+        stages: list[StageRecord] = []
+        if workflow.topology == "chain":
+            for fname in workflow.chain:
+                record = yield from self._node(
+                    workflow, policy, request, fname, pool_key(fname),
+                    start_time,
+                )
+                stages.append(record)
+        else:
+            # dag.nodes is topological, so predecessors' processes exist by
+            # the time a node is spawned; a node's process event doubles as
+            # its completion signal.
+            node_procs: dict[str, Process] = {}
+            for fname in workflow.dag.nodes:
+                preds = [
+                    node_procs[p] for p in workflow.dag.predecessors(fname)
+                ]
+                node_procs[fname] = self.sim.process(
+                    self._dag_node(
+                        workflow, policy, request, fname, pool_key(fname),
+                        start_time, preds, stages,
+                    )
+                )
+            yield self.sim.all_of(list(node_procs.values()))
+            # AllOf treats failed children as completed; surface the first
+            # node failure instead of recording a partial outcome.
+            for proc in node_procs.values():
+                if not proc.ok:
+                    raise proc.value
+            stages.sort(key=lambda s: (s.end_ms, s.function))
+        policy.end_request(request)
+        return RequestOutcome(
+            request_id=request.request_id,
+            arrival_ms=start_time,
+            slo_ms=request.slo_ms,
+            stages=stages,
+        )
+
+    # -- stream plumbing -----------------------------------------------------
+    def _hold_until_arrival(self, request: WorkflowRequest, serve_gen):
+        """Process: wait for the arrival time, then serve."""
+        delay = request.arrival_ms - self.sim.now
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        outcome = yield self.sim.process(serve_gen)
+        return outcome
+
+    def _drain(self, procs: _t.Sequence[Process]) -> None:
+        """Run until every request completed, surfacing the first failure.
+
+        Runs to the joined event (not heap exhaustion: an autoscaler's
+        periodic control loop never terminates on its own). AllOf treats
+        failed child processes as completed, so failures are re-raised here
+        instead of silently dropping their requests.
+        """
+        self.sim.run(until=self.sim.all_of(list(procs)))
+        for proc in procs:
+            if proc.processed and not proc.ok:
+                raise proc.value
+
+    def _platform_extras(self) -> dict[str, _t.Any]:
+        """Cluster-level diagnostics attached to every result."""
+        return {
+            "cold_start_rate": self.pool.cold_start_rate,
+            "mean_cluster_allocated": self.accounting.mean_allocated(),
+            "idle_millicore_ms": self.pool.idle_millicore_ms,
+            "throttled": self.pool.throttled,
+            "events_processed": self.sim.processed_events,
+            "autoscaler_adjustments": self.autoscaler.adjustments,
+        }
+
+
+class ServerlessPlatform(_ServingPlatform):
+    """DES execution backend for serverless workflows.
+
+    Satisfies the :class:`~repro.runtime.registry.Executor` protocol;
+    registered as ``"cluster"`` (see :func:`cluster_executor`).
+    """
 
     def __init__(
         self,
@@ -65,85 +329,18 @@ class ServerlessPlatform:
     ) -> None:
         self.workflow = workflow
         self.config = config or ClusterConfig()
-        self.sim = Simulator()
-        self.vms = [
-            VirtualMachine(i, self.config.vm_capacity_millicores)
-            for i in range(self.config.n_vms)
-        ]
-        self.pool = PoolManager(
-            self.sim,
-            self.vms,
-            workflow.functions,
-            warm_pool_size=self.config.warm_pool_size,
-            colocate_same_function=self.config.colocate_same_function,
-            keepalive_ms=self.config.keepalive_ms,
-        )
         self.interference = interference or InterferenceModel()
-        self.accounting = ClusterAccounting(self.sim, self.vms)
-        self.autoscaler = HorizontalAutoscaler(
-            self.sim, self.pool, interval_ms=self.config.autoscaler_interval_ms
-        )
-        if self.config.autoscale:
-            self.autoscaler.start()
         self._outcomes: list[RequestOutcome] = []
+        self._reset()
+
+    def _reset(self) -> None:
+        self._build_substrate(self.workflow.functions)
 
     # ------------------------------------------------------------------
     def _serve(self, policy: SizingPolicy, request: WorkflowRequest):
-        """Simulation process serving one request through the chain."""
-        chain = self.workflow.chain
-        limits = self.workflow.limits
-        policy.bind(self.workflow)
-        policy.begin_request(request)
-        start_time = self.sim.now
-        stages: list[StageRecord] = []
-        for fname in chain:
-            elapsed = self.sim.now - start_time
-            size = limits.clamp(policy.size_for_node(fname, request, elapsed))
-            model = self.workflow.model(fname)
-            stage_start = self.sim.now
-            pod = yield from self.pool.acquire(fname, size)
-            cold_ms = self.sim.now - stage_start
-            pod.start_invocation()
-            self.autoscaler.invocation_started(fname)
-            self.accounting.snapshot()
-            # Interference from busy same-function neighbours on this VM.
-            n_colo = max(1, pod.vm.colocated_count(fname, busy_only=True))
-            slowdown = self.interference.slowdown(model.dominant_resource, n_colo)
-            dyn = request.dynamics_for(fname)
-            dyn_q: InvocationDynamics = replace(
-                dyn, interference=dyn.interference * slowdown
-            )
-            exec_ms = model.execution_time(size, dyn_q, request.concurrency)
-            yield self.sim.timeout(exec_ms)
-            pod.finish_invocation()
-            self.autoscaler.invocation_finished(fname)
-            self.pool.release(pod)
-            self.accounting.snapshot()
-            stages.append(
-                StageRecord(
-                    function=fname,
-                    size=size,
-                    start_ms=stage_start,
-                    end_ms=self.sim.now,
-                    cold_start_ms=cold_ms,
-                )
-            )
-        policy.end_request(request)
-        outcome = RequestOutcome(
-            request_id=request.request_id,
-            arrival_ms=start_time,
-            slo_ms=request.slo_ms,
-            stages=stages,
-        )
+        """Simulation process serving one request (chain or full DAG)."""
+        outcome = yield from self._serve_request(self.workflow, policy, request)
         self._outcomes.append(outcome)
-        return outcome
-
-    def _submit_at(self, policy: SizingPolicy, request: WorkflowRequest):
-        """Process: wait for the arrival time, then serve."""
-        delay = request.arrival_ms - self.sim.now
-        if delay > 0:
-            yield self.sim.timeout(delay)
-        outcome = yield self.sim.process(self._serve(policy, request))
         return outcome
 
     # -- public API -------------------------------------------------------
@@ -152,32 +349,30 @@ class ServerlessPlatform:
         policy: SizingPolicy,
         requests: _t.Sequence[WorkflowRequest],
     ) -> RunResult:
-        """Serve a request stream to completion and collect outcomes."""
+        """Serve a request stream to completion and collect outcomes.
+
+        Every call serves on fresh platform state, so identical
+        ``run(policy, requests)`` calls return identical outcomes and
+        extras regardless of what ran before.
+        """
         if not requests:
             raise ClusterError("request stream is empty")
+        self._reset()
         self._outcomes = []
         procs = [
-            self.sim.process(self._submit_at(policy, request))
+            self.sim.process(
+                self._hold_until_arrival(request, self._serve(policy, request))
+            )
             for request in requests
         ]
-        # Run until every request completed (not until heap exhaustion: the
-        # autoscaler's periodic control loop never terminates on its own).
-        self.sim.run(until=self.sim.all_of(procs))
-        # AllOf treats failed child processes as completed; surface the
-        # first failure instead of silently dropping its request.
-        for proc in procs:
-            if proc.processed and not proc.ok:
-                raise proc.value
+        self._drain(procs)
         outcomes = sorted(self._outcomes, key=lambda o: o.request_id)
+        extras = self._platform_extras()
+        extras.update(collect_policy_extras(policy))
         return RunResult(
             policy_name=policy.name,
             outcomes=outcomes,
-            extras={
-                "cold_start_rate": self.pool.cold_start_rate,
-                "mean_cluster_allocated": self.accounting.mean_allocated(),
-                "idle_millicore_ms": self.pool.idle_millicore_ms,
-                "events_processed": self.sim.processed_events,
-            },
+            extras=extras,
         )
 
     def colocation_experiment(
@@ -204,3 +399,25 @@ class ServerlessPlatform:
             dyn = model.sample_dynamics(rng, interference=slowdown)
             times.append(model.execution_time(size, dyn))
         return times
+
+
+@register_executor("cluster")
+def cluster_executor(
+    workflow: Workflow,
+    *,
+    config: ClusterConfig | None = None,
+    interference: InterferenceModel | None = None,
+    **overrides: _t.Any,
+) -> ServerlessPlatform:
+    """The ``"cluster"`` executor factory: a DES platform for ``workflow``.
+
+    Accepts a full :class:`ClusterConfig` and/or individual config fields
+    as keyword overrides, so callers can write
+    ``get_executor("cluster", wf, n_vms=2, autoscale=False)`` or pass
+    ``executor_kwargs={"config": ClusterConfig(...)}`` through a
+    :class:`~repro.api.Session`.
+    """
+    if overrides:
+        base = config or ClusterConfig()
+        config = base.with_overrides(**overrides)
+    return ServerlessPlatform(workflow, config=config, interference=interference)

@@ -14,9 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cluster.platform import ClusterConfig, ServerlessPlatform
 from ..metrics.report import format_table
 from ..policies.janus import janus
+from ..runtime.registry import get_executor
 from ..traces.workload import WorkloadConfig, generate_requests
 from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup
 
@@ -54,12 +54,12 @@ def run(
     )
     rows = []
     for ttl in ttls_ms:
-        platform = ServerlessPlatform(
-            wf,
-            ClusterConfig(
-                n_vms=4, vm_capacity_millicores=13_000,
-                warm_pool_size=4, autoscale=False, keepalive_ms=ttl,
-            ),
+        # The serving loop is the registered "cluster" executor — the same
+        # backend `janus-repro sweep --executor cluster` and Session use.
+        platform = get_executor(
+            "cluster", wf,
+            n_vms=4, vm_capacity_millicores=13_000,
+            warm_pool_size=4, autoscale=False, keepalive_ms=ttl,
         )
         policy = janus(wf, profiles, budget=budget)
         result = platform.run(policy, requests)

@@ -80,9 +80,12 @@ def run(
 
     The tenant workloads are one :class:`ScenarioMatrix` cell per tenant
     (Poisson arrivals at the shared rate), so the streams carry the sweep
-    engine's derived seeding; this experiment is the *cluster-backend*
-    interpretation of that matrix — co-location, cold starts and
-    interference the analytic scenario runner deliberately excludes.
+    engine's derived seeding; single-backend cluster cells are available
+    directly from the sweep engine via ``executors=("cluster",)``. What
+    this experiment adds is *sharing*: both tenants contend on one set of
+    VMs, served concurrently by :class:`MultiTenantPlatform`, whose
+    per-request serving loop is the registered ``"cluster"`` executor's
+    core with tenant-namespaced pool keys.
     """
     ia_wf, _, ia_budget = ia_setup(slo_ms=4000.0, samples=samples, seed=seed)
     va_wf, _, va_budget = va_setup(slo_ms=2500.0, samples=samples, seed=seed)

@@ -7,12 +7,15 @@ The built-ins register themselves on import:
 
 * ``"analytic"`` — sequential trace-driven replay (chains),
 * ``"dag"`` — branch-parallel replay (general DAGs),
-* ``"batching"`` — size-or-timeout batching front end over the chain.
+* ``"batching"`` — size-or-timeout batching front end over the chain,
+* ``"cluster"`` — the DES serverless platform (cold starts, co-location
+  interference, pending-pod throttling, autoscaling; chains and DAGs).
 
-New backends (DES cluster drivers, multi-tenant frontends, ...) plug in via
+New backends (multi-tenant frontends, remote drivers, ...) plug in via
 :func:`register_executor` and become addressable from
 :func:`~repro.runtime.driver.run_policies`, the :class:`~repro.api.Session`
-facade, and experiments without another parallel API family.
+facade, the scenario sweep engine, and experiments without another
+parallel API family.
 
 :func:`resolve_executor` auto-selects by :attr:`Workflow.topology` when no
 name is given — the one place the chain/DAG split is decided.
@@ -20,6 +23,7 @@ name is given — the one place the chain/DAG split is decided.
 
 from __future__ import annotations
 
+import inspect
 import typing as _t
 
 from ..errors import ExperimentError
@@ -32,6 +36,7 @@ __all__ = [
     "Executor",
     "register_executor",
     "executor_names",
+    "executor_accepts_option",
     "get_executor",
     "resolve_executor",
 ]
@@ -73,6 +78,32 @@ def executor_names() -> list[str]:
     return sorted(_EXECUTORS)
 
 
+def executor_accepts_option(name: str, param: str) -> bool:
+    """True when the factory registered under ``name`` takes ``param``.
+
+    The capability probe callers use instead of hard-coding backend names
+    — e.g. the sweep engine asks ``executor_accepts_option(name,
+    "config")`` to decide which backends a :class:`ClusterConfig` may
+    reach. A ``**kwargs`` factory counts as accepting everything.
+    """
+    try:
+        factory = _EXECUTORS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown executor {name!r}; known: {executor_names()}"
+        )
+    sig = inspect.signature(factory)
+    if param in sig.parameters:
+        kind = sig.parameters[param].kind
+        return kind not in (
+            inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.VAR_POSITIONAL
+        )
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in sig.parameters.values()
+    )
+
+
 def get_executor(name: str, workflow: Workflow, **kwargs: _t.Any) -> Executor:
     """Instantiate the executor registered under ``name``."""
     try:
@@ -81,7 +112,19 @@ def get_executor(name: str, workflow: Workflow, **kwargs: _t.Any) -> Executor:
         raise ExperimentError(
             f"unknown executor {name!r}; known: {executor_names()}"
         )
-    return factory(workflow, **kwargs)
+    try:
+        return factory(workflow, **kwargs)
+    except TypeError as exc:
+        # A backend/options mismatch (cluster knobs reaching an analytic
+        # factory, say) must name the executor and the offending options,
+        # not surface as a bare TypeError from deep inside a constructor.
+        # Without options there is nothing to mismatch — let a factory's
+        # own TypeError propagate untouched rather than misattribute it.
+        if not kwargs:
+            raise
+        raise ExperimentError(
+            f"executor {name!r} rejected options {sorted(kwargs)}: {exc}"
+        ) from exc
 
 
 def resolve_executor(

@@ -29,7 +29,12 @@ Quickstart::
     >>> print(report.render())
 """
 
-from .matrix import Scenario, ScenarioMatrix, parse_arrival
+from .matrix import (
+    Scenario,
+    ScenarioMatrix,
+    parse_arrival,
+    parse_cluster_config,
+)
 from .registry import SCENARIO_WORKFLOWS, register_workflow, scenario_workflow
 from .report import ScenarioResult, SweepReport
 from .runner import SweepRunner, run_scenario, scenario_requests
@@ -41,6 +46,7 @@ __all__ = [
     "SweepReport",
     "SweepRunner",
     "parse_arrival",
+    "parse_cluster_config",
     "run_scenario",
     "scenario_requests",
     "register_workflow",

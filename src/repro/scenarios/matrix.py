@@ -6,12 +6,18 @@ import itertools
 import typing as _t
 from dataclasses import dataclass, field, replace
 
+from ..cluster.platform import ClusterConfig
 from ..errors import ExperimentError
 from ..rng import child_seed
 from ..traces.workload import ArrivalSpec
 from .registry import SCENARIO_WORKFLOWS
 
-__all__ = ["Scenario", "ScenarioMatrix", "parse_arrival"]
+__all__ = [
+    "Scenario",
+    "ScenarioMatrix",
+    "parse_arrival",
+    "parse_cluster_config",
+]
 
 #: Default policy suite for sweeps: the paper's headline systems.
 DEFAULT_SWEEP_POLICIES = ("Optimal", "ORION", "GrandSLAM", "Janus")
@@ -33,6 +39,29 @@ def _validate_suite(
             f"baseline {baseline!r} is not in the policy suite "
             f"{list(policies)}"
         )
+
+
+def _validate_executor(executor: str | None) -> None:
+    """Reject unregistered executor names before any cell runs."""
+    from ..runtime.registry import executor_names
+
+    if executor is not None and executor not in executor_names():
+        raise ExperimentError(
+            f"unknown executor {executor!r}; known: {executor_names()} "
+            f"(None auto-selects from the workflow topology)"
+        )
+
+
+def _takes_cluster_config(executor: str | None) -> bool:
+    """Whether a backend's factory accepts a ``config`` option.
+
+    A registry capability probe, not a name check, so custom cluster-like
+    backends (a multi-tenant wrapper, say) receive the matrix's
+    :class:`ClusterConfig` without touching the sweep engine.
+    """
+    from ..runtime.registry import executor_accepts_option
+
+    return executor is not None and executor_accepts_option(executor, "config")
 
 
 @dataclass(frozen=True)
@@ -62,6 +91,15 @@ class Scenario:
     #: the profiles. ``tmax`` is extended to the cell's SLO when the SLO
     #: exceeds it (matching ``experiments.common.ia_setup``).
     budget_ms: tuple[int, int] | None = None
+    #: Execution backend name (``None`` auto-selects from the topology;
+    #: ``"cluster"`` serves the cell on the DES platform). The request
+    #: stream's seed is executor-independent, so cells differing only in
+    #: backend replay the *same* workload — the apples-to-apples backend
+    #: comparison.
+    executor: str | None = None
+    #: Cluster dimensions for executors that accept a ``config`` (the
+    #: ``"cluster"`` backend); requires a non-``None`` ``executor``.
+    cluster: ClusterConfig | None = None
 
     def __post_init__(self) -> None:
         if self.slo_scale <= 0:
@@ -78,14 +116,35 @@ class Scenario:
         # name typos must fail here — run_scenario treats every remaining
         # ExperimentError as a legitimately dead cell.
         _validate_suite(self.policies, self.baseline)
+        _validate_executor(self.executor)
+        if self.cluster is not None and not _takes_cluster_config(self.executor):
+            # Must fail at construction: the analytic backends take no
+            # config kwarg, so this would otherwise surface as an error
+            # from a pool worker mid-sweep.
+            raise ExperimentError(
+                f"a cluster config requires an executor whose factory "
+                f"accepts a 'config' option (e.g. 'cluster'), got "
+                f"executor={self.executor!r}"
+            )
 
     @property
     def scenario_id(self) -> str:
-        """Stable identifier, also the label path for seed derivation."""
-        return (
+        """Stable identifier for reports and skip notes.
+
+        *Not* the seed-derivation label path: :meth:`ScenarioMatrix.expand`
+        hashes the workload axes explicitly and deliberately excludes the
+        executor, so cells differing only in backend replay the same
+        request stream. The executor suffix appears only for explicitly
+        named backends, keeping pre-existing auto-selected identifiers
+        unchanged.
+        """
+        base = (
             f"{self.workflow}/{self.arrival.label}/"
             f"slo x{self.slo_scale:g}/tenants {self.tenants}"
         )
+        if self.executor is not None:
+            base += f"/exec {self.executor}"
+        return base
 
 
 @dataclass(frozen=True)
@@ -95,7 +154,9 @@ class ScenarioMatrix:
     Axes: ``workflows`` (names in the scenario workflow registry) x
     ``arrivals`` (:class:`ArrivalSpec` shapes) x ``slo_scales``
     (multipliers on each workflow's default SLO) x ``tenant_counts``
-    (independent request streams merged by arrival time). Every cell is
+    (independent request streams merged by arrival time) x ``executors``
+    (execution backends — ``None`` auto-selects the analytic backend for
+    the topology, ``"cluster"`` serves on the DES platform). Every cell is
     served with every policy in ``policies`` on a common request stream.
     """
 
@@ -112,6 +173,16 @@ class ScenarioMatrix:
     #: ``{workflow: (tmin_ms, tmax_ms)}`` — workflows absent from the map
     #: derive their range from the profiles (Eq. 3).
     budgets: _t.Mapping[str, tuple[int, int]] | None = None
+    #: Backend axis. Request-stream seeds are executor-independent, so the
+    #: same workload replays on every backend of a cell family. Note that
+    #: explicitly forcing a chain backend (``"analytic"``/``"batching"``)
+    #: onto DAG workflows serves only the critical-path chain — the
+    #: documented chain approximation, deliberate when requested by name;
+    #: use ``None`` (auto) or ``"cluster"`` for full-DAG serving.
+    executors: tuple[str | None, ...] = (None,)
+    #: Cluster dimensions applied to the ``"cluster"`` cells of the
+    #: ``executors`` axis (``None`` = the :class:`ClusterConfig` defaults).
+    cluster: ClusterConfig | None = None
 
     def __post_init__(self) -> None:
         for axis, values in (
@@ -120,6 +191,7 @@ class ScenarioMatrix:
             ("slo_scales", self.slo_scales),
             ("tenant_counts", self.tenant_counts),
             ("policies", self.policies),
+            ("executors", self.executors),
         ):
             if not values:
                 raise ExperimentError(f"matrix axis {axis!r} may not be empty")
@@ -132,6 +204,16 @@ class ScenarioMatrix:
         # Config typos must fail at construction, not hours into a pooled
         # run.
         _validate_suite(self.policies, self.baseline)
+        for name in self.executors:
+            _validate_executor(name)
+        if self.cluster is not None and not any(
+            _takes_cluster_config(name) for name in self.executors
+        ):
+            raise ExperimentError(
+                "a cluster config was given but no executor on the axis "
+                f"{list(self.executors)} accepts one — the knobs would be "
+                "silently ignored; add executors=(..., 'cluster')"
+            )
         if self.budgets is not None:
             for wf, pair in self.budgets.items():
                 tmin, tmax = pair
@@ -146,17 +228,24 @@ class ScenarioMatrix:
             * len(self.arrivals)
             * len(self.slo_scales)
             * len(self.tenant_counts)
+            * len(self.executors)
         )
 
     def expand(self) -> list[Scenario]:
         """All cells in deterministic axis order, each with derived seeds.
 
         Seeds hash the cell's identifying labels, so adding or removing
-        axis values never shifts the randomness of unrelated cells.
+        axis values never shifts the randomness of unrelated cells. The
+        executor is deliberately absent from the seed labels: cells that
+        differ only in backend serve the *same* request stream.
         """
+        config_takers = {
+            name for name in self.executors if _takes_cluster_config(name)
+        }
         cells = []
-        for wf, arrival, scale, tenants in itertools.product(
-            self.workflows, self.arrivals, self.slo_scales, self.tenant_counts
+        for wf, arrival, scale, tenants, executor in itertools.product(
+            self.workflows, self.arrivals, self.slo_scales,
+            self.tenant_counts, self.executors,
         ):
             cells.append(
                 Scenario(
@@ -178,6 +267,8 @@ class ScenarioMatrix:
                         if self.budgets is not None and wf in self.budgets
                         else None
                     ),
+                    executor=executor,
+                    cluster=self.cluster if executor in config_takers else None,
                 )
             )
         return cells
@@ -223,3 +314,43 @@ def parse_arrival(text: str) -> ArrivalSpec:
         f"unknown arrival kind {kind!r} in {text!r}; "
         "known: constant, poisson, burst, azure"
     )
+
+
+def parse_cluster_config(text: str) -> ClusterConfig:
+    """Parse CLI cluster knobs into a :class:`ClusterConfig`.
+
+    Grammar: comma-separated ``field=value`` pairs over the config's
+    fields, e.g. ``n_vms=2,warm_pool_size=4,autoscale=false,
+    keepalive_ms=500``. Values parse as ``none``/booleans/ints/floats;
+    unknown field names raise.
+    """
+    overrides: dict[str, _t.Any] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, raw = part.partition("=")
+        key, raw = key.strip(), raw.strip().lower()
+        if not sep or not key or not raw:
+            raise ExperimentError(
+                f"invalid cluster knob {part!r}; expected field=value"
+            )
+        value: _t.Any
+        if raw in ("none", "null"):
+            value = None
+        elif raw in ("true", "yes", "on"):
+            value = True
+        elif raw in ("false", "no", "off"):
+            value = False
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    raise ExperimentError(
+                        f"invalid value {raw!r} for cluster knob {key!r}"
+                    )
+        overrides[key] = value
+    return ClusterConfig().with_overrides(**overrides)

@@ -34,6 +34,23 @@ CELL_METRICS = (
     "mean_slack",
 )
 
+#: Platform extras promoted to CSV columns (blank on analytic cells).
+EXTRA_METRICS = (
+    "cold_start_rate",
+    "mean_cluster_allocated",
+    "throttled",
+)
+
+#: Deterministic per-policy extras the runner carries from
+#: :class:`~repro.runtime.results.RunResult` into each cell. Anything not
+#: listed here (e.g. wall-clock diagnostics such as ``synthesis_seconds``)
+#: stays out of the payload so sweep JSON remains byte-stable.
+CARRIED_EXTRAS = EXTRA_METRICS + (
+    "idle_millicore_ms",
+    "autoscaler_adjustments",
+    "hit_rate",
+)
+
 
 @dataclass(frozen=True)
 class ScenarioResult:
@@ -49,6 +66,11 @@ class ScenarioResult:
     baseline: str
     executor: str
     table: dict[str, dict[str, float]]
+    #: Per-policy extras: platform stats (cold-start rate, mean allocated
+    #: cluster millicores, throttle count, ...) on cluster-backend cells,
+    #: plus policy diagnostics (``hit_rate``) wherever the policy reports
+    #: them — analytic cells carry only the latter.
+    extras: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.table:
@@ -63,6 +85,11 @@ class ScenarioResult:
                 f"{self.scenario_id}: no {name!r} for policy {policy!r} "
                 f"(have {sorted(self.table)})"
             )
+
+    def extra(self, policy: str, name: str) -> float | None:
+        """One extra for one policy, or ``None`` when the cell's backend
+        did not report it (e.g. platform stats on an analytic cell)."""
+        return self.extras.get(policy, {}).get(name)
 
     def attainment(self, policy: str) -> float:
         """SLO attainment (1 - violation rate) of one policy."""
@@ -134,6 +161,25 @@ class SweepReport:
         """
         return self.mean_metric(policy, "normalized_cpu")
 
+    def mean_extra(self, policy: str, name: str) -> float:
+        """Mean of one extra over the cells that report it.
+
+        Platform stats (cold-start rate, mean allocated cluster
+        millicores, throttle count) exist only on cluster-backend cells,
+        so their mean is cluster-only; policy diagnostics like
+        ``hit_rate`` are reported by every backend and average across all
+        of them. Raises when no cell reports ``name``.
+        """
+        values = [
+            v for r in self.results
+            if (v := r.extra(policy, name)) is not None
+        ]
+        if not values:
+            raise ExperimentError(
+                f"no cell reports extra {name!r} for policy {policy!r}"
+            )
+        return sum(values) / len(values)
+
     def summary(self) -> dict[str, dict[str, float]]:
         """Per-policy aggregate rows (the :meth:`render` table)."""
         out: dict[str, dict[str, float]] = {}
@@ -170,20 +216,30 @@ class SweepReport:
             fh.write(self.to_json(indent=2))
 
     def to_csv(self) -> str:
-        """One CSV row per (cell, policy) with every cell metric."""
+        """One CSV row per (cell, policy) with every cell metric.
+
+        Platform extras (:data:`EXTRA_METRICS`) trail the metric columns;
+        they are blank for cells whose backend reports none.
+        """
         buf = io.StringIO()
         writer = csv.writer(buf, lineterminator="\n")
         writer.writerow(
             ["scenario_id", "workflow", "arrival", "slo_scale", "tenants",
-             "slo_ms", "baseline", "policy", "slo_attainment", *CELL_METRICS]
+             "slo_ms", "baseline", "executor", "policy", "slo_attainment",
+             *CELL_METRICS, *EXTRA_METRICS]
         )
         for res in self.results:
             for policy, row in res.table.items():
+                extra_cols = [
+                    v if (v := res.extra(policy, m)) is not None else ""
+                    for m in EXTRA_METRICS
+                ]
                 writer.writerow(
                     [res.scenario_id, res.workflow, res.arrival,
                      res.slo_scale, res.tenants, res.slo_ms, res.baseline,
-                     policy, 1.0 - row["violation_rate"]]
+                     res.executor, policy, 1.0 - row["violation_rate"]]
                     + [row[m] for m in CELL_METRICS]
+                    + extra_cols
                 )
         return buf.getvalue()
 

@@ -29,7 +29,7 @@ from ..workflow.catalog import Workflow
 from ..workflow.request import WorkflowRequest
 from .matrix import Scenario, ScenarioMatrix
 from .registry import scenario_workflow, workflow_epoch
-from .report import ScenarioResult, SweepReport
+from .report import CARRIED_EXTRAS, ScenarioResult, SweepReport
 
 __all__ = [
     "SweepRunner",
@@ -115,6 +115,9 @@ def run_scenario(scenario: Scenario) -> ScenarioResult | None:
         # Pinned (paper) range; a looser SLO extends tmax so the DP can
         # explore up to the deadline — ia_setup/va_setup semantics.
         budget = BudgetRange(int(tmin), max(int(tmax), int(slo_ms)))
+    executor_kwargs: dict[str, _t.Any] = {}
+    if scenario.cluster is not None:
+        executor_kwargs["config"] = scenario.cluster
     session = Session(
         workflow,
         slo_ms=slo_ms,
@@ -125,6 +128,8 @@ def run_scenario(scenario: Scenario) -> ScenarioResult | None:
             scenario.workflow, scenario.samples, scenario.profile_seed,
             workflow_epoch(scenario.workflow),
         ),
+        executor=scenario.executor,
+        executor_kwargs=executor_kwargs,
     )
     # Dead-cell detection is scoped to suite assembly only: a cell dies
     # when no requested policy is buildable here (chain-only suite on a
@@ -145,6 +150,17 @@ def run_scenario(scenario: Scenario) -> ScenarioResult | None:
         baseline=scenario.baseline,
         suite=suite,
     )
+    # Per-policy platform/policy extras — only the deterministic keys, so
+    # the serial-vs-pool bit-identity of the JSON payload survives
+    # (timing diagnostics like synthesis_seconds stay out).
+    extras = {
+        name: {
+            key: float(res.extras[key])
+            for key in CARRIED_EXTRAS
+            if key in res.extras
+        }
+        for name, res in report.results.items()
+    }
     return ScenarioResult(
         scenario_id=scenario.scenario_id,
         workflow=scenario.workflow,
@@ -156,6 +172,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult | None:
         baseline=report.baseline,
         executor=report.executor,
         table=report.table,
+        extras={name: vals for name, vals in extras.items() if vals},
     )
 
 

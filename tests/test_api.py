@@ -53,7 +53,9 @@ class TestWorkflowTopology:
 
 class TestExecutorRegistry:
     def test_builtins_registered(self):
-        assert {"analytic", "dag", "batching"} <= set(executor_names())
+        assert {"analytic", "dag", "batching", "cluster"} <= set(
+            executor_names()
+        )
 
     def test_get_by_name(self, small_workflow):
         assert isinstance(
@@ -81,6 +83,62 @@ class TestExecutorRegistry:
             resolve_executor(
                 small_workflow, AnalyticExecutor(small_workflow), clamp_sizes=False
             )
+
+    def test_backend_option_mismatch_raises_named_error(self, small_workflow):
+        # Cluster knobs on a session with an auto-selected analytic default
+        # must fail with an error naming the backend and options, not an
+        # opaque TypeError from inside the factory.
+        session = Session(small_workflow, executor_kwargs={"n_vms": 2})
+        with pytest.raises(
+            ExperimentError, match=r"'analytic' rejected options \['n_vms'\]"
+        ):
+            session.executor()
+
+    def test_cluster_backend_resolves_with_kwargs(self, small_workflow):
+        from repro.cluster.platform import ServerlessPlatform
+
+        backend = get_executor(
+            "cluster", small_workflow, n_vms=2, autoscale=False
+        )
+        assert isinstance(backend, ServerlessPlatform)
+        assert backend.config.n_vms == 2
+
+    def test_session_executor_kwargs_reach_named_backend(self, small_workflow):
+        session = Session(
+            small_workflow,
+            executor="cluster",
+            executor_kwargs={"n_vms": 2, "autoscale": False},
+        )
+        backend = session.executor()
+        assert backend.config.n_vms == 2 and backend.config.autoscale is False
+        # Call-site kwargs override the session defaults.
+        assert session.executor(n_vms=3).config.n_vms == 3
+        # Overriding the backend per call must NOT drag the session's
+        # cluster knobs onto an executor that cannot take them.
+        assert isinstance(session.executor("analytic"), AnalyticExecutor)
+        # A prebuilt executor still passes through untouched.
+        prebuilt = AnalyticExecutor(small_workflow)
+        assert session.executor(prebuilt) is prebuilt
+
+    def test_session_serves_on_cluster_backend(
+        self, small_workflow, small_profiles
+    ):
+        session = Session(
+            small_workflow,
+            slo_ms=8000.0,
+            profiles=small_profiles,
+            executor="cluster",
+            executor_kwargs={"n_vms": 2, "vm_capacity_millicores": 20_000,
+                             "autoscale": False},
+        )
+        result = session.run("GrandSLAM", 10)
+        assert result.extras["cold_start_rate"] > 0
+        assert any(
+            s.cold_start_ms > 0 for o in result.outcomes for s in o.stages
+        )
+        report = session.compare(include=("GrandSLAM", "Janus"), requests=10)
+        assert report.executor == "ServerlessPlatform"
+        assert set(report.table) == {"GrandSLAM", "Janus"}
 
 
 class TestPolicyRegistry:

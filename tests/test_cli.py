@@ -78,3 +78,31 @@ class TestSweep:
 
         payload = json_mod.loads(json_path.read_text())
         assert payload["num_cells"] == 2
+
+    def test_parser_cluster_knobs(self):
+        args = build_parser().parse_args(
+            ["sweep", "--executor", "auto,cluster",
+             "--cluster-config", "n_vms=2,autoscale=false"]
+        )
+        assert args.executor == "auto,cluster"
+        assert args.cluster_config == "n_vms=2,autoscale=false"
+
+    def test_cluster_sweep_end_to_end(self, capsys, tmp_path):
+        csv_path = tmp_path / "cluster.csv"
+        assert main(
+            ["sweep", "--workflows", "IA",
+             "--arrivals", "poisson@4",
+             "--slo-scales", "2.0", "--tenants", "1",
+             "--policies", "GrandSLAM,Janus",
+             "--executor", "cluster",
+             "--cluster-config", "n_vms=2,warm_pool_size=2,autoscale=false",
+             "--requests", "10", "--samples", "300", "--seed", "3",
+             "--jobs", "1", "--csv", str(csv_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweeping 1 scenario cells" in out
+        lines = csv_path.read_text().splitlines()
+        header = lines[0].split(",")
+        cold = lines[1].split(",")[header.index("cold_start_rate")]
+        assert cold != "" and 0.0 < float(cold) <= 1.0
+        assert "exec cluster" in lines[1]

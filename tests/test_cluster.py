@@ -6,16 +6,52 @@ import pytest
 from repro.cluster.accounting import ClusterAccounting
 from repro.cluster.autoscaler import HorizontalAutoscaler
 from repro.cluster.interference import DEFAULT_COEFFICIENTS, InterferenceModel
-from repro.cluster.platform import ClusterConfig, ServerlessPlatform
+from repro.cluster.platform import (
+    ClusterConfig,
+    ServerlessPlatform,
+    cluster_executor,
+)
 from repro.cluster.pod import Pod, PodState
 from repro.cluster.pool import PoolManager
 from repro.cluster.vm import VirtualMachine
 from repro.errors import ClusterError
 from repro.functions.model import Resource
+from repro.policies.base import SizingPolicy
 from repro.policies.early_binding import FixedPlanPolicy
 from repro.sim import Simulator
 from repro.traces.workload import WorkloadConfig, generate_requests
-from tests.conftest import make_chain_workflow, make_function
+from repro.workflow.catalog import Workflow
+from repro.workflow.dag import WorkflowDAG
+from tests.conftest import make_chain_workflow, make_function, small_limits
+
+
+class UniformNodePolicy(SizingPolicy):
+    """Node-keyed fixed size — covers every DAG node, not just the chain."""
+
+    def __init__(self, size=2000, name="uniform-node"):
+        self.name = name
+        self.size = size
+
+    def size_for_node(self, node, request, elapsed_ms):
+        return self.size
+
+
+def make_diamond_workflow(slo_ms: float = 8000.0) -> Workflow:
+    """A -> (B heavy | C light) -> D; critical path is A, B, D."""
+    models = {
+        "A": make_function("A", serial=40, parallel=200, sigma=0.0),
+        "B": make_function("B", serial=80, parallel=600, sigma=0.0),
+        "C": make_function("C", serial=30, parallel=120, sigma=0.0),
+        "D": make_function("D", serial=40, parallel=200, sigma=0.0),
+    }
+    dag = WorkflowDAG(
+        ["A", "B", "C", "D"],
+        [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+    )
+    return Workflow(
+        name="diamond", dag=dag, functions=models, slo_ms=slo_ms,
+        limits=small_limits(),
+    )
 
 
 class TestVM:
@@ -281,6 +317,228 @@ class TestPlatform:
         assert t6 > t1
 
 
+class TestRunLifecycle:
+    """Regression: each run() serves on fresh simulator/pool/autoscaler
+    state — previously the clock, counters and EWMA leaked across calls."""
+
+    def _platform(self):
+        wf = make_chain_workflow(slo_ms=5000.0)
+        platform = ServerlessPlatform(
+            wf, ClusterConfig(n_vms=2, vm_capacity_millicores=20_000)
+        )
+        requests = generate_requests(
+            wf, WorkloadConfig(n_requests=20, arrival_rate_per_s=5.0), seed=9
+        )
+        return platform, FixedPlanPolicy("fixed", [2000, 2000, 2000]), requests
+
+    def test_repeated_run_is_identical(self):
+        platform, policy, requests = self._platform()
+        first = platform.run(policy, requests)
+        second = platform.run(policy, requests)
+        assert [o.e2e_ms for o in first.outcomes] == [
+            o.e2e_ms for o in second.outcomes
+        ]
+        assert [s.cold_start_ms for o in first.outcomes for s in o.stages] == [
+            s.cold_start_ms for o in second.outcomes for s in o.stages
+        ]
+        assert first.extras == second.extras
+
+    def test_second_run_starts_at_time_zero(self):
+        platform, policy, requests = self._platform()
+        platform.run(policy, requests)
+        t_end_first = platform.sim.now
+        second = platform.run(policy, requests)
+        # Fresh clock: the first outcome of the second run is served at its
+        # arrival time, not appended after the first run's horizon.
+        assert second.outcomes[0].arrival_ms == requests[0].arrival_ms
+        assert platform.sim.now <= t_end_first + 1e-9
+
+    def test_cold_start_rate_not_cumulative(self):
+        platform, policy, requests = self._platform()
+        first = platform.run(policy, requests)
+        second = platform.run(policy, requests)
+        # With leaked pool state the second run would report warm hits from
+        # the first run's parked pods (a lower cumulative rate).
+        assert second.extras["cold_start_rate"] == pytest.approx(
+            first.extras["cold_start_rate"]
+        )
+        assert platform.pool.cold_starts + platform.pool.warm_hits == len(
+            requests
+        ) * len(policy.plan)
+
+    def test_multi_tenant_autoscale_config_is_honoured(self):
+        # Regression: autoscale=True was silently ignored on the shared
+        # platform; the shared substrate now wires the same autoscaler as
+        # the single-tenant platform, fed per-namespaced-function.
+        from repro.cluster.multi import MultiTenantPlatform, TenantJob
+
+        wf = make_chain_workflow(slo_ms=30_000.0)
+        platform = MultiTenantPlatform(
+            {"a": wf},
+            ClusterConfig(n_vms=2, vm_capacity_millicores=40_000,
+                          warm_pool_size=1, autoscale=True,
+                          autoscaler_interval_ms=100.0),
+        )
+        jobs = [TenantJob(
+            tenant="a",
+            policy=FixedPlanPolicy("fa", [1000, 1000, 1000]),
+            requests=tuple(generate_requests(
+                wf, WorkloadConfig(n_requests=40, arrival_rate_per_s=100.0),
+                seed=8,
+            )),
+        )]
+        result = platform.run(jobs)["a"]
+        assert result.extras["autoscaler_adjustments"] > 0
+        assert platform.pool.warm_pool_size > 1  # scaled with the burst
+
+    def test_multi_tenant_run_reuse_is_identical(self):
+        from repro.cluster.multi import MultiTenantPlatform, TenantJob
+
+        wf = make_chain_workflow(slo_ms=8000.0)
+        platform = MultiTenantPlatform(
+            {"a": wf},
+            ClusterConfig(n_vms=2, vm_capacity_millicores=20_000,
+                          autoscale=False),
+        )
+        jobs = [TenantJob(
+            tenant="a",
+            policy=FixedPlanPolicy("fa", [1500, 1500, 1500]),
+            requests=tuple(generate_requests(
+                wf, WorkloadConfig(n_requests=15, arrival_rate_per_s=3.0),
+                seed=4,
+            )),
+        )]
+        first = platform.run(jobs)["a"]
+        second = platform.run(jobs)["a"]
+        assert [o.e2e_ms for o in first.outcomes] == [
+            o.e2e_ms for o in second.outcomes
+        ]
+        assert first.extras == second.extras
+
+
+class TestDagServing:
+    """Regression: branching workflows execute *every* DAG node as
+    concurrent sim processes — previously `_serve` walked `workflow.chain`,
+    silently dropping non-critical-path nodes."""
+
+    def _run_one(self, n_requests=5, rate=0.01, **config):
+        wf = make_diamond_workflow()
+        platform = ServerlessPlatform(
+            wf,
+            ClusterConfig(n_vms=2, vm_capacity_millicores=20_000,
+                          autoscale=False, **config),
+        )
+        requests = generate_requests(
+            wf, WorkloadConfig(n_requests=n_requests, arrival_rate_per_s=rate),
+            seed=6,
+        )
+        return wf, platform.run(UniformNodePolicy(), requests)
+
+    def test_stage_records_cover_every_dag_node(self):
+        wf, result = self._run_one()
+        assert wf.topology == "dag"
+        assert wf.chain == ["A", "B", "D"]  # what the old code served
+        for outcome in result.outcomes:
+            assert {s.function for s in outcome.stages} == {"A", "B", "C", "D"}
+
+    def test_sibling_branches_overlap_in_sim_time(self):
+        _, result = self._run_one(warm_pool_size=4)
+        for outcome in result.outcomes:
+            stages = outcome.stage_map()
+            b, c = stages["B"], stages["C"]
+            assert b.start_ms < c.end_ms and c.start_ms < b.end_ms
+            # The join waits for *all* predecessors.
+            assert stages["D"].start_ms >= max(b.end_ms, c.end_ms) - 1e-9
+            # Stage records are end-time ordered so e2e_ms sees the sink.
+            assert outcome.stages[-1].function == "D"
+            assert outcome.e2e_ms == stages["D"].end_ms - outcome.arrival_ms
+
+    def test_dag_e2e_is_critical_path_not_sum(self):
+        _, result = self._run_one(warm_pool_size=4)
+        for outcome in result.outcomes:
+            total = sum(s.execution_ms for s in outcome.stages)
+            assert outcome.e2e_ms < total  # C ran in B's shadow
+
+    def test_dag_node_failure_surfaces(self):
+        wf = make_diamond_workflow()
+        platform = ServerlessPlatform(
+            wf, ClusterConfig(n_vms=2, vm_capacity_millicores=20_000)
+        )
+
+        class ExplodeOffPath(UniformNodePolicy):
+            def size_for_node(self, node, request, elapsed_ms):
+                if node == "C":  # not on the critical path
+                    raise RuntimeError("off-path node exploded")
+                return self.size
+
+        requests = generate_requests(wf, WorkloadConfig(n_requests=2), seed=1)
+        with pytest.raises(RuntimeError, match="off-path node exploded"):
+            platform.run(ExplodeOffPath(), requests)
+
+    def test_dag_run_reuse_is_identical(self):
+        wf = make_diamond_workflow()
+        platform = ServerlessPlatform(
+            wf, ClusterConfig(n_vms=2, vm_capacity_millicores=20_000)
+        )
+        requests = generate_requests(
+            wf, WorkloadConfig(n_requests=8, arrival_rate_per_s=4.0), seed=2
+        )
+        policy = UniformNodePolicy()
+        first = platform.run(policy, requests)
+        second = platform.run(policy, requests)
+        assert [o.e2e_ms for o in first.outcomes] == [
+            o.e2e_ms for o in second.outcomes
+        ]
+        assert first.extras == second.extras
+
+
+class TestClusterExecutorRegistration:
+    def test_registered_under_cluster(self):
+        from repro.runtime.registry import executor_names, get_executor
+
+        assert "cluster" in executor_names()
+        wf = make_chain_workflow()
+        backend = get_executor("cluster", wf, n_vms=2, autoscale=False)
+        assert isinstance(backend, ServerlessPlatform)
+        assert backend.config.n_vms == 2 and backend.config.autoscale is False
+
+    def test_factory_merges_config_and_overrides(self):
+        wf = make_chain_workflow()
+        base = ClusterConfig(n_vms=3, warm_pool_size=5)
+        backend = cluster_executor(wf, config=base, keepalive_ms=250.0)
+        assert backend.config.n_vms == 3
+        assert backend.config.warm_pool_size == 5
+        assert backend.config.keepalive_ms == 250.0
+
+    def test_unknown_config_field_rejected(self):
+        wf = make_chain_workflow()
+        with pytest.raises(ClusterError, match="unknown ClusterConfig"):
+            cluster_executor(wf, n_vmz=2)
+
+    def test_count_fields_require_integers(self):
+        # Genuine-integer validation: floats fail fast (no mid-sweep range()
+        # crash, no silent warm_pool_size truncation), while integer-like
+        # numpy values keep working.
+        assert ClusterConfig(n_vms=np.int64(3)).n_vms == 3
+        for bad in (dict(n_vms=4.0), dict(warm_pool_size=2.5),
+                    dict(min_warm=1.5), dict(n_vms=True)):
+            with pytest.raises(ClusterError, match="must be an integer"):
+                ClusterConfig(**bad)
+
+    def test_min_warm_reaches_the_autoscaler(self):
+        wf = make_chain_workflow()
+        backend = cluster_executor(wf, min_warm=0)
+        assert backend.autoscaler.min_warm == 0
+        with pytest.raises(ClusterError, match="min_warm"):
+            cluster_executor(wf, min_warm=-1)
+
+    def test_satisfies_executor_protocol(self):
+        from repro.runtime.registry import Executor
+
+        platform = ServerlessPlatform(make_chain_workflow())
+        assert isinstance(platform, Executor)
+
+
 class TestAutoscaler:
     def test_scales_with_demand(self):
         sim = Simulator()
@@ -325,6 +583,72 @@ class TestAutoscaler:
             HorizontalAutoscaler(sim, pool, interval_ms=0)
         with pytest.raises(ClusterError):
             HorizontalAutoscaler(sim, pool, headroom=0.5)
+        with pytest.raises(ClusterError):
+            HorizontalAutoscaler(sim, pool, min_warm=-1)
+
+    def test_scales_down_to_floor_when_idle(self):
+        # Regression: the per-function target flooring at 2 (vs the empty
+        # fallback of 1) pinned warm targets at 2 forever; idle functions
+        # must decay to min_warm so keep-alive sweeps see true idle cost.
+        sim = Simulator()
+        pool = PoolManager(
+            sim, [VirtualMachine(0, 50_000)], {"F": make_function("F")},
+            warm_pool_size=1,
+        )
+        scaler = HorizontalAutoscaler(sim, pool, interval_ms=100.0)
+        scaler.start()
+        for _ in range(8):
+            scaler.invocation_started("F")
+        sim.run(until=500.0)
+        assert pool.warm_pool_size > 2
+        for _ in range(8):
+            scaler.invocation_finished("F")
+        sim.run(until=5000.0)  # EWMA decays over many idle intervals
+        assert pool.warm_pool_size == scaler.min_warm == 1
+
+    def test_min_warm_zero_allows_scale_to_zero(self):
+        sim = Simulator()
+        pool = PoolManager(
+            sim, [VirtualMachine(0, 50_000)], {"F": make_function("F")},
+            warm_pool_size=3,
+        )
+        scaler = HorizontalAutoscaler(sim, pool, interval_ms=100.0, min_warm=0)
+        scaler.start()
+        sim.run(until=300.0)  # zero demand from the start
+        assert pool.warm_pool_size == 0
+
+    def test_min_warm_zero_reachable_after_demand(self):
+        # The EWMA decays geometrically and never hits exact zero; without
+        # the negligible-demand snap, ceil() of the residue pins the target
+        # at 1 forever once a function has served traffic.
+        sim = Simulator()
+        pool = PoolManager(
+            sim, [VirtualMachine(0, 50_000)], {"F": make_function("F")},
+            warm_pool_size=1,
+        )
+        scaler = HorizontalAutoscaler(sim, pool, interval_ms=100.0, min_warm=0)
+        scaler.start()
+        for _ in range(8):
+            scaler.invocation_started("F")
+        sim.run(until=500.0)
+        assert pool.warm_pool_size > 1
+        for _ in range(8):
+            scaler.invocation_finished("F")
+        sim.run(until=10_000.0)
+        assert pool.warm_pool_size == 0
+
+    def test_floor_consistent_with_empty_pool_fallback(self):
+        # No registered functions: the fallback target equals min_warm, the
+        # same floor the per-function branch uses.
+        sim = Simulator()
+        pool = PoolManager(
+            sim, [VirtualMachine(0, 1000)], {"F": make_function("F")},
+            warm_pool_size=4,
+        )
+        scaler = HorizontalAutoscaler(sim, pool, min_warm=1)
+        pool.functions = {}
+        scaler._rescale()
+        assert pool.warm_pool_size == 1
 
 
 class TestAccounting:
@@ -381,6 +705,36 @@ class TestSaturation:
         b = sim.run(until=sim.process(fill_and_switch()))
         assert b.function == "B"
         assert pool.reclaimed >= 1  # parked A pods were evicted
+
+    def test_throttled_wait_reclaims_pod_parked_mid_wait(self):
+        # The pending-pod loop must re-run idle reclamation on every retry:
+        # a pod parked *after* the contender started waiting is reclaimed
+        # from inside the loop, releasing the capacity the contender needs.
+        sim = Simulator()
+        vms = [VirtualMachine(0, 3000)]
+        fns = {"A": make_function("A", sigma=0.0),
+               "B": make_function("B", sigma=0.0)}
+        pool = PoolManager(sim, vms, fns, warm_pool_size=2)
+
+        def holder():
+            pod = yield from pool.acquire("A", 2000)
+            pod.start_invocation()
+            yield sim.timeout(200.0)
+            pod.finish_invocation()
+            pool.release(pod)  # parks; the 2000 mc reservation persists
+
+        def contender():
+            yield from pool.acquire("B", 2000)
+            return sim.now
+
+        sim.process(holder())
+        contender_proc = sim.process(contender())
+        t_acquired = sim.run(until=contender_proc)
+        assert pool.throttled > 0  # had to poll while the VM was full
+        assert pool.reclaimed == 1  # parked A pod evicted mid-wait
+        # Acquired only after the holder released (500 ms cold start +
+        # 200 ms execution) plus B's own cold start.
+        assert t_acquired >= 700.0
 
     def test_failed_request_process_surfaces(self):
         # Platform.run must propagate process failures, not drop requests.

@@ -4,12 +4,14 @@ import json
 
 import pytest
 
-from repro.errors import ExperimentError
+from repro.cluster.platform import ClusterConfig
+from repro.errors import ClusterError, ExperimentError
 from repro.scenarios import (
     SCENARIO_WORKFLOWS,
     ScenarioMatrix,
     SweepRunner,
     parse_arrival,
+    parse_cluster_config,
     register_workflow,
     run_scenario,
 )
@@ -361,8 +363,9 @@ class TestScenarioExecution:
         # averaging incompatible ratios.
         assert len(report.baselines()) == 2
         assert "mixes per-cell baselines" in report.render()
-        assert ",baseline,policy," in report.to_csv().splitlines()[0].replace(
-            "slo_ms,", ""
+        assert (
+            ",baseline,executor,policy,"
+            in report.to_csv().splitlines()[0].replace("slo_ms,", "")
         )
 
     def test_baseline_override(self):
@@ -379,3 +382,225 @@ class TestScenarioExecution:
         res = report.results[0]
         assert res.baseline == "GrandSLAM"
         assert res.metric("GrandSLAM", "normalized_cpu") == pytest.approx(1.0)
+
+
+#: A matrix pairing analytic and cluster cells on one workload family.
+CLUSTER_MATRIX = ScenarioMatrix(
+    workflows=("IA",),
+    arrivals=(ArrivalSpec("poisson", rate_per_s=4.0),),
+    slo_scales=(2.0,),
+    policies=("GrandSLAM", "Janus"),
+    executors=(None, "cluster"),
+    cluster=ClusterConfig(n_vms=2, warm_pool_size=2, autoscale=False),
+    n_requests=12,
+    samples=300,
+    seed=23,
+)
+
+
+class TestExecutorAxis:
+    def test_len_includes_executor_axis(self):
+        assert len(CLUSTER_MATRIX) == 2
+
+    def test_cells_share_request_seed_across_backends(self):
+        analytic, cluster = CLUSTER_MATRIX.expand()
+        assert analytic.executor is None and cluster.executor == "cluster"
+        # The same workload replays on both backends...
+        assert analytic.seed == cluster.seed
+        # ...under distinct identifiers (only explicit backends get a
+        # suffix, so pre-existing cell ids and derived seeds are stable).
+        assert analytic.scenario_id + "/exec cluster" == cluster.scenario_id
+
+    def test_cluster_config_reaches_only_cluster_cells(self):
+        analytic, cluster = CLUSTER_MATRIX.expand()
+        assert analytic.cluster is None
+        assert cluster.cluster == CLUSTER_MATRIX.cluster
+
+    def test_unknown_executor_rejected_at_construction(self):
+        import dataclasses
+
+        with pytest.raises(ExperimentError, match="unknown executor"):
+            dataclasses.replace(CLUSTER_MATRIX, executors=("quantum",))
+
+    def test_empty_executor_axis_rejected(self):
+        import dataclasses
+
+        with pytest.raises(ExperimentError, match="axis"):
+            dataclasses.replace(CLUSTER_MATRIX, executors=())
+
+    def test_cluster_config_without_cluster_executor_rejected(self):
+        # A config that no cell would consume must fail loudly, not let the
+        # sweep run on the analytic backend with the knobs ignored.
+        import dataclasses
+
+        with pytest.raises(ExperimentError, match="silently ignored"):
+            dataclasses.replace(CLUSTER_MATRIX, executors=(None,))
+
+    def test_bare_scenario_rejects_cluster_on_non_cluster_executor(self):
+        # Analytic backends take no config kwarg — this must fail at
+        # construction, not as a TypeError from a pool worker mid-sweep.
+        import dataclasses
+
+        cell = CLUSTER_MATRIX.expand()[1]
+        for executor in (None, "analytic", "batching"):
+            with pytest.raises(
+                ExperimentError, match="cluster config requires"
+            ):
+                dataclasses.replace(cell, executor=executor)
+
+
+class TestClusterCells:
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return SweepRunner(max_workers=1).run(CLUSTER_MATRIX)
+
+    def test_cluster_cell_serves_on_the_platform(self, serial_report):
+        by_exec = {r.executor: r for r in serial_report.results}
+        assert set(by_exec) == {"AnalyticExecutor", "ServerlessPlatform"}
+
+    def test_cluster_cell_reports_platform_extras(self, serial_report):
+        cluster = next(
+            r for r in serial_report.results
+            if r.executor == "ServerlessPlatform"
+        )
+        analytic = next(
+            r for r in serial_report.results
+            if r.executor == "AnalyticExecutor"
+        )
+        for policy in ("GrandSLAM", "Janus"):
+            assert 0.0 < cluster.extra(policy, "cold_start_rate") <= 1.0
+            assert cluster.extra(policy, "mean_cluster_allocated") > 0
+            assert cluster.extra(policy, "throttled") >= 0
+            assert analytic.extra(policy, "cold_start_rate") is None
+        # Mean-over-cluster-cells aggregate ignores analytic cells.
+        assert serial_report.mean_extra(
+            "Janus", "cold_start_rate"
+        ) == cluster.extra("Janus", "cold_start_rate")
+        with pytest.raises(ExperimentError, match="no cell reports"):
+            serial_report.mean_extra("Janus", "nonexistent_extra")
+
+    def test_extras_exported_to_json_and_csv(self, serial_report):
+        payload = json.loads(serial_report.to_json())
+        cluster_rows = [
+            r for r in payload["results"]
+            if r["executor"] == "ServerlessPlatform"
+        ]
+        assert cluster_rows and all(
+            "cold_start_rate" in r["extras"]["Janus"] for r in cluster_rows
+        )
+        lines = serial_report.to_csv().splitlines()
+        header = lines[0].split(",")
+        for column in ("cold_start_rate", "mean_cluster_allocated",
+                       "throttled"):
+            assert column in header
+        idx = header.index("cold_start_rate")
+        cells = {line.split(",")[idx] for line in lines[1:]}
+        assert "" in cells  # analytic rows leave platform extras blank
+        assert any(c not in ("", "0.0") for c in cells)  # cluster rows don't
+
+    def test_cluster_cells_pooled_bit_identical_to_serial(self, serial_report):
+        # The sweep engine's headline determinism claim must hold for DES
+        # cluster cells exactly as for analytic ones, across real process
+        # boundaries.
+        pooled = SweepRunner(max_workers=2).run(CLUSTER_MATRIX)
+        assert pooled.to_json() == serial_report.to_json()
+
+    def test_cluster_dag_cell_serves_every_node(self):
+        matrix = ScenarioMatrix(
+            workflows=("media",),
+            arrivals=(ArrivalSpec("constant"),),
+            slo_scales=(3.0,),
+            policies=("Janus",),
+            executors=("cluster",),
+            cluster=ClusterConfig(n_vms=2, warm_pool_size=4, autoscale=False),
+            n_requests=6,
+            samples=300,
+            seed=5,
+        )
+        scenario = matrix.expand()[0]
+        result = run_scenario(scenario)
+        assert result.executor == "ServerlessPlatform"
+        # The diamond has 4 nodes but a 3-node critical path; a platform
+        # that served only workflow.chain would allocate 3 stages/request.
+        from repro.scenarios.registry import scenario_workflow
+
+        media = scenario_workflow("media")
+        assert media.dag.num_nodes == 4 and len(media.chain) == 3
+        mean_stages = result.metric("Janus", "mean_allocated_millicores")
+        # Every stage allocates >= kmin, so 4 served nodes put the mean
+        # strictly above the 3-node critical-path ceiling... conservatively:
+        kmin = media.limits.kmin
+        assert mean_stages >= 4 * kmin
+
+
+class TestParseClusterConfig:
+    def test_full_grammar(self):
+        config = parse_cluster_config(
+            "n_vms=2, warm_pool_size=4, autoscale=false, keepalive_ms=500"
+        )
+        assert config == ClusterConfig(
+            n_vms=2, warm_pool_size=4, autoscale=False, keepalive_ms=500
+        )
+
+    def test_none_and_bool_tokens(self):
+        config = parse_cluster_config(
+            "keepalive_ms=none,colocate_same_function=true"
+        )
+        assert config.keepalive_ms is None
+        assert config.colocate_same_function is True
+
+    def test_empty_text_gives_defaults(self):
+        assert parse_cluster_config("") == ClusterConfig()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ClusterError, match="unknown ClusterConfig"):
+            parse_cluster_config("n_vmz=2")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ExperimentError, match="field=value"):
+            parse_cluster_config("n_vms")
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ExperimentError, match="invalid value"):
+            parse_cluster_config("n_vms=lots")
+
+    def test_float_for_int_field_rejected_at_parse_time(self):
+        # 'n_vms=4.0' parses as a float; ClusterConfig must reject it here,
+        # not crash range() inside a pool worker (and 'warm_pool_size=2.5'
+        # must not silently truncate).
+        for knob in ("n_vms=4.0", "warm_pool_size=2.5", "min_warm=1.5"):
+            with pytest.raises(ClusterError, match="must be an integer"):
+                parse_cluster_config(knob)
+
+
+class TestExecutorConfigCapability:
+    def test_probe_matches_factories(self):
+        from repro.runtime.registry import executor_accepts_option
+
+        assert executor_accepts_option("cluster", "config") is True
+        assert executor_accepts_option("analytic", "config") is False
+        with pytest.raises(ExperimentError, match="unknown executor"):
+            executor_accepts_option("quantum", "config")
+
+    def test_custom_config_taking_executor_receives_cluster(self):
+        # The matrix asks the registry which backends take a config instead
+        # of hard-coding the name "cluster" — a custom cluster-like backend
+        # must receive the ClusterConfig through expand().
+        from repro.runtime.registry import _EXECUTORS, register_executor
+        from repro.cluster.platform import ServerlessPlatform
+
+        @register_executor("cluster-copy")
+        def _copy(workflow, *, config=None):
+            return ServerlessPlatform(workflow, config=config)
+
+        try:
+            matrix = ScenarioMatrix(
+                workflows=("IA",), policies=("Janus",),
+                executors=("cluster-copy",),
+                cluster=ClusterConfig(n_vms=2),
+                n_requests=5, samples=300,
+            )
+            cell = matrix.expand()[0]
+            assert cell.cluster == ClusterConfig(n_vms=2)
+        finally:
+            _EXECUTORS.pop("cluster-copy")
