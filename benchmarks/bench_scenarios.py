@@ -2,9 +2,11 @@
 
 Unlike the figure benchmarks (which regenerate paper artifacts), this
 module tracks the *engine*: sim-kernel event throughput, hint-synthesis
-memoisation, and end-to-end sweep wall time, serial vs process pool. The
-headline numbers are written to ``BENCH_scenarios.json`` (override the
-location with ``JANUS_BENCH_OUT``) so successive PRs can compare.
+memoisation, end-to-end sweep wall time serial vs process pool,
+work-stealing vs static scheduling on a deliberately heterogeneous
+matrix, and cold vs warm content-addressed cell caching. The headline
+numbers are written to ``BENCH_scenarios.json`` (override the location
+with ``JANUS_BENCH_OUT``) so successive PRs can compare.
 """
 
 from __future__ import annotations
@@ -146,5 +148,85 @@ def test_scenario_sweep(benchmark, bench_requests, bench_samples):
         "pooled_seconds": pooled_s,
         "pool_workers": workers,
         "bit_identical": True,
+    }
+    _write_results()
+
+
+def _heterogeneous_matrix(bench_requests: int, bench_samples: int) -> ScenarioMatrix:
+    """Cell costs spanning ~6x: mixed tenant counts over two workflows.
+
+    Expansion order interleaves cheap (1-tenant) and expensive (3-tenant)
+    cells, so a static in-order dispatch regularly strands a long cell on
+    a drained queue — the shape the work-stealing scheduler targets.
+    """
+    from repro.traces.workload import ArrivalSpec
+
+    return ScenarioMatrix(
+        workflows=("IA", "VA"),
+        arrivals=(
+            ArrivalSpec(kind="constant"),
+            ArrivalSpec(kind="poisson", rate_per_s=8.0),
+        ),
+        slo_scales=(1.0, 1.25),
+        tenant_counts=(1, 3),
+        n_requests=min(bench_requests, 120),
+        samples=min(bench_samples, 600),
+        seed=7,
+    )
+
+
+def test_workstealing_vs_static(benchmark, bench_requests, bench_samples):
+    """Wall time: cost-ordered work stealing vs the static pool map."""
+    matrix = _heterogeneous_matrix(bench_requests, bench_samples)
+    workers = max(2, min(4, os.cpu_count() or 1))
+    costs = sorted(c.cost_estimate() for c in matrix.expand())
+    stolen = run_once(
+        benchmark, SweepRunner(max_workers=workers, backend="workstealing").run,
+        matrix,
+    )
+    start = time.perf_counter()
+    static = SweepRunner(max_workers=workers, backend="pool").run(matrix)
+    static_s = time.perf_counter() - start
+    assert stolen.to_json() == static.to_json()
+    print(f"\nheterogeneous sweep ({len(matrix)} cells, "
+          f"cost spread {costs[-1] / costs[0]:.1f}x, {workers} workers): "
+          f"workstealing {stolen.wall_seconds:.2f} s, "
+          f"static pool {static_s:.2f} s")
+    _RESULTS["scheduler"] = {
+        "cells": len(matrix),
+        "cost_spread": costs[-1] / costs[0],
+        "pool_workers": workers,
+        "workstealing_seconds": stolen.wall_seconds,
+        "static_pool_seconds": static_s,
+        "bit_identical": True,
+    }
+    _write_results()
+
+
+def test_cell_cache_warm_vs_cold(benchmark, bench_requests, bench_samples, tmp_path):
+    """Cold sweep (populating the cache) vs fully warm replay."""
+    matrix = _heterogeneous_matrix(bench_requests, bench_samples)
+    cache_dir = tmp_path / "sweep-cache"
+    clear_dp_cache()
+    clear_hints_cache()
+
+    def cold_run():
+        return SweepRunner(max_workers=1, cache_dir=cache_dir).run(matrix)
+
+    cold = run_once(benchmark, cold_run)
+    start = time.perf_counter()
+    warm = SweepRunner(max_workers=1, cache_dir=cache_dir).run(matrix)
+    warm_s = time.perf_counter() - start
+    assert warm.cell_cache == {"hits": len(matrix), "misses": 0}
+    assert warm.to_json() == cold.to_json()
+    speedup = cold.wall_seconds / warm_s if warm_s > 0 else float("inf")
+    print(f"\ncell cache: cold {cold.wall_seconds:.2f} s, "
+          f"warm {warm_s * 1000:.0f} ms ({speedup:.0f}x)")
+    _RESULTS["cell_cache"] = {
+        "cells": len(matrix),
+        "cold_seconds": cold.wall_seconds,
+        "warm_seconds": warm_s,
+        "warm_hits": warm.cell_cache["hits"],
+        "byte_identical": True,
     }
     _write_results()

@@ -6,6 +6,7 @@ Usage::
     janus-repro run fig5 --requests 1000
     janus-repro run-all --requests 400 --samples 1000
     janus-repro sweep --workflows IA,VA --arrivals constant,poisson@8 --jobs 4
+    janus-repro sweep --backend workstealing --cache-dir .sweep-cache --progress
     janus-repro profile IA --out ia-profiles.json
     janus-repro synthesize ia-profiles.json --slo 3000 --out ia-hints.json
     janus-repro inspect ia-hints.json
@@ -16,6 +17,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
 import time
 import typing as _t
@@ -101,6 +103,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--jobs", type=int, default=None,
                          help="process-pool workers (1 = serial; "
                               "default: CPU count)")
+    sweep_p.add_argument(
+        "--backend", choices=["serial", "pool", "workstealing"], default=None,
+        help="execution backend: 'serial' (in-process), 'pool' (static "
+             "process-pool map), 'workstealing' (per-cell submission, "
+             "most expensive cells dispatched first). Default: serial "
+             "when --jobs 1, pool otherwise. Results are bit-identical "
+             "across backends")
+    sweep_p.add_argument(
+        "--cache-dir", default=os.environ.get("JANUS_SWEEP_CACHE"),
+        help="content-addressed cache directory: per-cell results plus "
+             "persistent DP/hints tables, so repeated or overlapping "
+             "sweeps skip already-computed work (default: "
+             "$JANUS_SWEEP_CACHE when set, else no caching)")
+    sweep_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the cell/DP/hints caches even when --cache-dir or "
+             "$JANUS_SWEEP_CACHE is set")
+    sweep_p.add_argument(
+        "--progress", action="store_true",
+        help="print one completion line per cell (id, wall time or "
+             "cache hit)")
     sweep_p.add_argument("--baseline", default=None,
                          help="normalisation baseline policy (default: "
                               "Optimal when present)")
@@ -225,7 +248,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     matrix = ScenarioMatrix(**matrix_kwargs)
     print(f"sweeping {len(matrix)} scenario cells "
           f"({len(matrix.policies)} policies each)...")
-    report = SweepRunner(max_workers=args.jobs).run(matrix)
+    runner = SweepRunner(
+        max_workers=args.jobs,
+        backend=args.backend,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=print if args.progress else None,
+    )
+    report = runner.run(matrix)
     print(report.render())
     if args.csv:
         report.write_csv(args.csv)

@@ -1,0 +1,56 @@
+"""Shared helpers for the content-addressed disk caches.
+
+Three modules persist derived artifacts under a cache directory — solved
+DP tables (:mod:`repro.synthesis.dp`), condensed hints
+(:mod:`repro.synthesis.generator`) and sweep cells
+(:mod:`repro.scenarios.cache`). They share two invariants, implemented
+once here:
+
+* filenames are version-salted content digests, so a package upgrade
+  invalidates every entry wholesale without any schema negotiation;
+* writes are temp-file + :func:`os.replace`, so concurrent pool workers
+  and interrupted runs can never leave a torn entry for a later reader.
+
+This module sits at the package root because both the synthesis and the
+scenarios layers need it and scenarios already imports synthesis (the
+reverse import would cycle).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+
+__all__ = ["version_salted_digest", "atomic_write_bytes"]
+
+
+def version_salted_digest(key: object) -> str:
+    """SHA-256 of ``repr(key)`` salted with ``repro.__version__``.
+
+    ``key`` must have a stable, content-complete ``repr`` (tuples of
+    digests, ints and strings do). The version salt makes solver or
+    synthesizer changes invalidate old entries by construction.
+    """
+    import repro  # lazy: this module is imported during package init
+
+    return hashlib.sha256(
+        repr((repro.__version__, key)).encode("utf-8")
+    ).hexdigest()
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` without ever exposing a torn file."""
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

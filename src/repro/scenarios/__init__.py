@@ -9,9 +9,13 @@ first-class object:
   into seeded, picklable :class:`Scenario` specs with per-scenario RNG
   streams derived from one master seed.
 * :class:`SweepRunner` — executes the matrix through
-  :meth:`repro.api.Session.compare`, serially or on a
-  ``concurrent.futures`` process pool, with bit-identical results either
-  way.
+  :meth:`repro.api.Session.compare` on a pluggable
+  :class:`ExecutionBackend` (``serial``, static ``pool``, or the
+  ``workstealing`` scheduler that dispatches expensive cells first), with
+  bit-identical results on every backend.
+* :class:`CellCache` — content-addressed per-cell result persistence
+  (plus disk layers behind the DP/hints memos) so repeated and
+  overlapping sweeps skip already-computed cells.
 * :class:`SweepReport` — per-policy SLO attainment / cost / latency across
   every cell, renderable and exportable to CSV/JSON.
 
@@ -29,6 +33,16 @@ Quickstart::
     >>> print(report.render())
 """
 
+from .backends import (
+    ExecutionBackend,
+    PoolBackend,
+    SerialBackend,
+    WorkStealingBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from .cache import CellCache, configure_persistent_caches, scenario_digest
 from .matrix import (
     Scenario,
     ScenarioMatrix,
@@ -37,7 +51,7 @@ from .matrix import (
 )
 from .registry import SCENARIO_WORKFLOWS, register_workflow, scenario_workflow
 from .report import ScenarioResult, SweepReport
-from .runner import SweepRunner, run_scenario, scenario_requests
+from .runner import SweepRunner, evaluate_cell, run_scenario, scenario_requests
 
 __all__ = [
     "Scenario",
@@ -45,8 +59,19 @@ __all__ = [
     "ScenarioResult",
     "SweepReport",
     "SweepRunner",
+    "ExecutionBackend",
+    "SerialBackend",
+    "PoolBackend",
+    "WorkStealingBackend",
+    "register_backend",
+    "backend_names",
+    "get_backend",
+    "CellCache",
+    "scenario_digest",
+    "configure_persistent_caches",
     "parse_arrival",
     "parse_cluster_config",
+    "evaluate_cell",
     "run_scenario",
     "scenario_requests",
     "register_workflow",

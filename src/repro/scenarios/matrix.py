@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 import itertools
 import typing as _t
 from dataclasses import dataclass, field, replace
@@ -62,6 +63,25 @@ def _takes_cluster_config(executor: str | None) -> bool:
     from ..runtime.registry import executor_accepts_option
 
     return executor is not None and executor_accepts_option(executor, "config")
+
+
+@functools.lru_cache(maxsize=64)
+def _workflow_node_count(name: str, epoch: int) -> int:
+    """DAG node count of a registered workflow (cached per registration).
+
+    ``epoch`` keys the cache on the registry's re-registration counter so
+    a swapped factory is re-measured without evicting other names.
+    """
+    from .registry import scenario_workflow
+
+    return scenario_workflow(name).dag.num_nodes
+
+
+#: Relative per-request weight of serving a cell on the DES cluster
+#: platform versus the closed-form analytic executors. Discrete-event
+#: serving simulates pods, queues and autoscaling per stage, which costs
+#: roughly an order of magnitude more wall time per request.
+_CLUSTER_COST_FACTOR = 8.0
 
 
 @dataclass(frozen=True)
@@ -126,6 +146,41 @@ class Scenario:
                 f"accepts a 'config' option (e.g. 'cluster'), got "
                 f"executor={self.executor!r}"
             )
+
+    def cost_estimate(self) -> float:
+        """Relative evaluation cost of this cell, for schedulers.
+
+        Serving work scales with the request count (``n_requests`` per
+        tenant, ``tenants`` merged streams), the number of workflow nodes
+        each request traverses, the policies served over the shared
+        stream, and the executor: DES cluster cells pay a large
+        discrete-event premium over the analytic backends. The estimate
+        is unitless and deterministic — the work-stealing backend only
+        *orders* dispatch by it, so a misestimate costs wall time, never
+        correctness.
+        """
+        from .registry import workflow_epoch
+
+        try:
+            nodes = _workflow_node_count(
+                self.workflow, workflow_epoch(self.workflow)
+            )
+        except Exception:
+            # A broken factory must fail inside the evaluated cell (with
+            # attribution), never in the scheduler's dispatch ordering.
+            nodes = 1
+        factor = (
+            _CLUSTER_COST_FACTOR
+            if self.cluster is not None or _takes_cluster_config(self.executor)
+            else 1.0
+        )
+        return (
+            float(self.n_requests)
+            * self.tenants
+            * nodes
+            * len(self.policies)
+            * factor
+        )
 
     @property
     def scenario_id(self) -> str:
@@ -272,6 +327,10 @@ class ScenarioMatrix:
                 )
             )
         return cells
+
+    def cost_estimate(self) -> float:
+        """Total relative cost of the matrix (sum over expanded cells)."""
+        return sum(cell.cost_estimate() for cell in self.expand())
 
     def with_scale(
         self, n_requests: int | None = None, samples: int | None = None

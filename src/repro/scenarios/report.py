@@ -105,6 +105,19 @@ class SweepReport:
     wall_seconds: float = 0.0
     max_workers: int = 1
     skipped: dict[str, list[str]] = field(default_factory=dict)
+    #: Execution backend that scheduled the cells (results are
+    #: backend-independent; this is provenance for the rendered summary).
+    backend: str = "serial"
+    #: Cell-cache lookup counters (``{"hits": .., "misses": ..}``; empty
+    #: when caching was off). Diagnostics only — like ``wall_seconds``,
+    #: deliberately excluded from :meth:`to_dict`, because counter values
+    #: depend on scheduling (which worker's cold memo served a cell), not
+    #: on the results.
+    cell_cache: dict[str, int] = field(default_factory=dict)
+    #: Synthesis memo counters summed over evaluated cells, per section
+    #: (``{"dp": {"memory_hits": .., "disk_hits": .., "solves": ..},
+    #: "hints": {...}}``). Diagnostics only, excluded from the JSON.
+    synthesis_cache: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.results:
@@ -269,9 +282,24 @@ class SweepReport:
             rows,
             title=(
                 f"Scenario sweep: {self.num_cells} cells, seed {self.seed}, "
-                f"{self.max_workers} worker(s), {self.wall_seconds:.1f} s"
+                f"{self.backend} backend, {self.max_workers} worker(s), "
+                f"{self.wall_seconds:.1f} s"
             ),
         )
+        if self.cell_cache:
+            table += (
+                f"\ncell cache: {self.cell_cache.get('hits', 0)} hit(s), "
+                f"{self.cell_cache.get('misses', 0)} miss(es)"
+            )
+        if self.synthesis_cache:
+            parts = []
+            for section in sorted(self.synthesis_cache):
+                counters = self.synthesis_cache[section]
+                inner = ", ".join(
+                    f"{name} {counters[name]}" for name in sorted(counters)
+                )
+                parts.append(f"{section}[{inner}]")
+            table += f"\nsynthesis caches: {'; '.join(parts)}"
         baselines = self.baselines()
         if len(baselines) > 1:
             table += (

@@ -1,17 +1,18 @@
 """Scenario execution: one cell through the Session pipeline, or a whole
-matrix on a process pool.
+matrix on a pluggable execution backend.
 
 Determinism contract: every random stream a scenario consumes derives from
 labels hashed off the matrix seed (:func:`repro.rng.child_seed`), and
 per-process caches (profiles, DP tables, hints) only memoise pure
-functions of those seeds. A pooled sweep therefore produces bit-identical
-results to a serial one — the property ``tests/test_scenarios.py`` pins
-across actual process boundaries.
+functions of those seeds. Every backend (serial, static pool,
+work-stealing) therefore produces bit-identical results — the property
+``tests/test_scenarios.py`` pins across actual process boundaries — and a
+:class:`~repro.scenarios.cache.CellCache` replay is byte-identical to a
+cold run.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
 import functools
 import os
@@ -27,16 +28,31 @@ from ..synthesis.budget import BudgetRange
 from ..traces.workload import WorkloadConfig, generate_requests
 from ..workflow.catalog import Workflow
 from ..workflow.request import WorkflowRequest
+from .backends import ExecutionBackend, resolve_backend
+from .cache import (
+    CellCache,
+    add_stats,
+    configure_persistent_caches,
+    restore_persistent_caches,
+    snapshot_persistent_caches,
+    synthesis_cache_stats,
+)
 from .matrix import Scenario, ScenarioMatrix
 from .registry import scenario_workflow, workflow_epoch
 from .report import CARRIED_EXTRAS, ScenarioResult, SweepReport
 
 __all__ = [
     "SweepRunner",
+    "CellOutcome",
+    "evaluate_cell",
     "run_scenario",
     "scenario_requests",
     "merge_tenant_streams",
 ]
+
+#: Per-cell progress sink: called with one human-readable line as each
+#: cell resolves (cache hit or completed evaluation).
+ProgressCallback = _t.Callable[[str], None]
 
 
 @functools.lru_cache(maxsize=16)
@@ -176,42 +192,177 @@ def run_scenario(scenario: Scenario) -> ScenarioResult | None:
     )
 
 
-class SweepRunner:
-    """Executes a :class:`ScenarioMatrix` serially or on a process pool.
+@dataclasses.dataclass(frozen=True)
+class CellOutcome:
+    """What one evaluated cell ships back across the process boundary.
 
-    ``max_workers`` <= 1 runs in-process; anything larger fans cells out to
-    a ``concurrent.futures.ProcessPoolExecutor`` (capped at the cell
-    count). ``mp_context`` selects the multiprocessing start method —
-    results are identical either way, only wall time changes.
+    ``result`` is the deterministic payload; everything else is
+    diagnostics (wall time, per-cell deltas of the synthesis memo
+    counters) that stays out of the byte-stable report JSON.
+    """
+
+    result: ScenarioResult | None
+    wall_seconds: float
+    cache_stats: dict[str, dict[str, int]]
+
+
+def evaluate_cell(scenario: Scenario) -> CellOutcome:
+    """Run one cell with error attribution and cache accounting.
+
+    Backends dispatch this (it is top-level, hence picklable). Any
+    exception escaping :func:`run_scenario` is re-raised as an
+    :class:`ExperimentError` naming the cell — a pooled sweep otherwise
+    reports a bare worker traceback with no hint of *which* of hundreds
+    of cells died. The original error type and message are embedded
+    because exception chains do not survive the process boundary intact.
+    """
+    before = synthesis_cache_stats()
+    start = time.perf_counter()
+    try:
+        result = run_scenario(scenario)
+    except Exception as exc:
+        raise ExperimentError(
+            f"scenario {scenario.scenario_id} failed "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    wall = time.perf_counter() - start
+    after = synthesis_cache_stats()
+    delta = {
+        section: {
+            name: after[section][name] - counters[name]
+            for name in counters
+        }
+        for section, counters in before.items()
+    }
+    return CellOutcome(result=result, wall_seconds=wall, cache_stats=delta)
+
+
+class SweepRunner:
+    """Executes a :class:`ScenarioMatrix` on a pluggable execution backend.
+
+    ``backend`` names the scheduling strategy (``"serial"``, ``"pool"``,
+    ``"workstealing"``, or any :func:`~repro.scenarios.backends.
+    register_backend` registration — an :class:`ExecutionBackend` instance
+    also works). ``None`` keeps the historical rule: serial when
+    ``max_workers`` <= 1, the static pool otherwise. Results are
+    bit-identical across backends and worker counts — only wall time
+    changes.
+
+    ``cache_dir`` enables content-addressed persistence: per-cell results
+    (skipping already-computed cells on re-runs and overlapping sweeps)
+    plus disk layers behind the DP/hints memos shared by every worker.
+    ``progress`` receives one line per resolved cell.
     """
 
     def __init__(
         self,
         max_workers: int | None = None,
         mp_context: _t.Any = None,
+        backend: "str | ExecutionBackend | None" = None,
+        cache_dir: str | os.PathLike[str] | None = None,
+        progress: ProgressCallback | None = None,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         self.max_workers = max(1, int(max_workers))
         self.mp_context = mp_context
+        self.backend = backend
+        self.cache_dir = None if cache_dir is None else os.fspath(cache_dir)
+        self.progress = progress
+
+    def _emit(
+        self,
+        scenario: Scenario,
+        index: int,
+        total: int,
+        wall: float,
+        cache_hit: bool,
+    ) -> None:
+        if self.progress is None:
+            return
+        source = "cache hit" if cache_hit else f"{wall:.2f} s"
+        self.progress(
+            f"[{index + 1}/{total}] {scenario.scenario_id}: {source}"
+        )
 
     def run(self, matrix: ScenarioMatrix) -> SweepReport:
         """Evaluate every cell and aggregate one :class:`SweepReport`.
 
         Cell order (and thus the report) is the matrix expansion order
-        regardless of which worker finishes first.
+        regardless of which worker finishes first. Cached cells are
+        resolved in the parent before anything is dispatched, so a fully
+        warm sweep performs zero evaluations.
         """
         scenarios = matrix.expand()
-        workers = min(self.max_workers, len(scenarios))
+        total = len(scenarios)
         start = time.perf_counter()
-        if workers <= 1:
-            raw = [run_scenario(s) for s in scenarios]
+        cache = CellCache(self.cache_dir) if self.cache_dir else None
+
+        raw: list[ScenarioResult | None] = [None] * total
+        pending: list[tuple[int, Scenario]] = []
+        resolved = 0
+        if cache is not None:
+            for i, scenario in enumerate(scenarios):
+                hit = cache.lookup(scenario)
+                if hit is not None:
+                    raw[i] = hit.result
+                    self._emit(scenario, resolved, total, 0.0, True)
+                    resolved += 1
+                else:
+                    pending.append((i, scenario))
         else:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers, mp_context=self.mp_context
-            ) as pool:
-                raw = list(pool.map(run_scenario, scenarios))
+            pending = list(enumerate(scenarios))
+
+        # Resolve against the *pending* cell count so the default rule
+        # keeps its historical shape: a one-cell dispatch (tiny matrix,
+        # nearly-warm cache) runs in-process instead of paying a pool
+        # spawn for zero parallelism. Explicitly named backends are
+        # honoured as given.
+        effective = min(self.max_workers, len(pending)) if pending else 1
+        backend = resolve_backend(
+            self.backend, max_workers=effective, mp_context=self.mp_context,
+        )
+        synth_stats: dict[str, dict[str, int]] = {}
+        if pending:
+            def _on_complete(pos: int, outcome: CellOutcome) -> None:
+                nonlocal resolved
+                _, scenario = pending[pos]
+                # Store as cells complete, not after the whole run: one
+                # failing cell must not discard the finished work of
+                # every other cell.
+                if cache is not None:
+                    cache.store(scenario, outcome.result)
+                self._emit(
+                    scenario, resolved, total, outcome.wall_seconds, False
+                )
+                resolved += 1
+
+            # The parent evaluates serial cells in-process, so it needs
+            # the disk layers too; pool workers attach via the
+            # initializer. Restore the caller's configuration afterwards
+            # — a sweep must not clobber dirs installed directly through
+            # set_dp_cache_dir/set_hints_cache_dir, nor leave the memos
+            # pointed at a dir the caller may delete.
+            saved = snapshot_persistent_caches()
+            if self.cache_dir:
+                configure_persistent_caches(self.cache_dir)
+            try:
+                outcomes = backend.run(
+                    [scenario for _, scenario in pending],
+                    evaluate_cell,
+                    on_complete=_on_complete,
+                    initializer=(
+                        configure_persistent_caches if self.cache_dir else None
+                    ),
+                    initargs=(self.cache_dir,),
+                )
+            finally:
+                restore_persistent_caches(saved)
+            for (i, scenario), outcome in zip(pending, outcomes):
+                raw[i] = outcome.result
+                add_stats(synth_stats, outcome.cache_stats)
         wall = time.perf_counter() - start
+
         results: list[ScenarioResult] = []
         skipped: dict[str, list[str]] = {}
         for scenario, result in zip(scenarios, raw):
@@ -233,6 +384,9 @@ class SweepRunner:
             results=results,
             seed=matrix.seed,
             wall_seconds=wall,
-            max_workers=workers,
+            max_workers=backend.workers_for(len(pending)),
             skipped=skipped,
+            backend=backend.name,
+            cell_cache=cache.stats() if cache is not None else {},
+            synthesis_cache=synth_stats,
         )

@@ -27,14 +27,23 @@ microseconds-per-budget instead of the naive exhaustive search.
 from __future__ import annotations
 
 import collections
+import io
+import os
 import typing as _t
 
 import numpy as np
 
 from ..errors import SynthesisError
+from ..persist import atomic_write_bytes, version_salted_digest
 from ..profiling.profiles import LatencyProfile
 
-__all__ = ["ChainDP", "clear_dp_cache"]
+__all__ = [
+    "ChainDP",
+    "clear_dp_cache",
+    "set_dp_cache_dir",
+    "dp_cache_dir",
+    "dp_cache_stats",
+]
 
 _INF = np.inf
 
@@ -47,10 +56,77 @@ _INF = np.inf
 _DP_CACHE: "collections.OrderedDict[tuple, ChainDP]" = collections.OrderedDict()
 _DP_CACHE_MAX = 128
 
+#: Optional disk layer behind the in-memory memo: one ``.npz`` of solved
+#: tables per key, shared across processes through the filesystem (sweep
+#: pool workers all point here via their initializer). ``None`` = memory
+#: only. The key already content-addresses every solve input (profile
+#: digests, tmax, concurrency), so entries never go stale — the package
+#: version is folded into the filename so a solver change invalidates them.
+_DP_DISK_DIR: str | None = None
+
+#: Memo observability: ``memory_hits`` / ``disk_hits`` / ``solves`` since
+#: process start. Sweep workers report per-cell deltas of these so
+#: :class:`~repro.scenarios.report.SweepReport` can surface hit rates.
+_DP_STATS = {"memory_hits": 0, "disk_hits": 0, "solves": 0}
+
+
+def set_dp_cache_dir(path: str | os.PathLike[str] | None) -> None:
+    """Attach (or detach, with ``None``) the DP memo's disk layer."""
+    global _DP_DISK_DIR
+    _DP_DISK_DIR = None if path is None else os.fspath(path)
+
+
+def dp_cache_dir() -> str | None:
+    """The currently attached disk-layer directory (``None`` = detached)."""
+    return _DP_DISK_DIR
+
+
+def dp_cache_stats() -> dict[str, int]:
+    """Copy of the process-wide DP memo counters."""
+    return dict(_DP_STATS)
+
 
 def clear_dp_cache() -> None:
-    """Drop all memoised DP tables (mainly for tests and benchmarks)."""
+    """Drop all memoised DP tables (mainly for tests and benchmarks).
+
+    Clears the in-memory memo only — a configured disk layer keeps its
+    files (delete the directory to cold-start it).
+    """
     _DP_CACHE.clear()
+
+
+def _disk_path(key: tuple) -> str:
+    assert _DP_DISK_DIR is not None
+    return os.path.join(_DP_DISK_DIR, f"{version_salted_digest(key)}.npz")
+
+
+def _load_disk(
+    key: tuple,
+    profiles: _t.Sequence[LatencyProfile],
+    tmax_ms: int,
+    concurrency: int,
+) -> "ChainDP | None":
+    if _DP_DISK_DIR is None:
+        return None
+    try:
+        with np.load(_disk_path(key)) as doc:
+            tables = (doc["cost"], doc["resil"], doc["head_ki"])
+    except (OSError, ValueError, KeyError):
+        return None
+    expected = (len(profiles), int(tmax_ms) + 1)
+    if any(t.shape != expected for t in tables):
+        return None  # stale layout — treat as a miss and re-solve
+    return ChainDP(profiles, tmax_ms, concurrency, _tables=tables)
+
+
+def _store_disk(key: tuple, dp: "ChainDP") -> None:
+    if _DP_DISK_DIR is None:
+        return
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf, cost=dp._cost, resil=dp._resil, head_ki=dp._head_ki
+    )
+    atomic_write_bytes(_disk_path(key), buf.getvalue())
 
 
 class ChainDP:
@@ -65,8 +141,11 @@ class ChainDP:
     ) -> "ChainDP":
         """A solved DP for ``(profiles, tmax, concurrency)``, memoised.
 
-        The returned instance is shared — callers must treat its arrays as
-        read-only, which the query API already requires.
+        Lookup order: in-memory memo, then the optional disk layer (see
+        :func:`set_dp_cache_dir`), then a live solve (which also populates
+        the disk layer). The returned instance is shared — callers must
+        treat its arrays as read-only, which the query API already
+        requires.
         """
         key = (
             tuple(p.digest() for p in profiles),
@@ -74,13 +153,27 @@ class ChainDP:
             int(concurrency),
         )
         dp = _DP_CACHE.get(key)
+        if dp is not None:
+            _DP_STATS["memory_hits"] += 1
+            _DP_CACHE.move_to_end(key)
+            # Write-through: a memo warmed before the disk layer was
+            # attached must still persist, or long-lived processes would
+            # never share their solved tables with pool workers.
+            if _DP_DISK_DIR is not None and not os.path.exists(
+                _disk_path(key)
+            ):
+                _store_disk(key, dp)
+            return dp
+        dp = _load_disk(key, profiles, tmax_ms, concurrency)
         if dp is None:
             dp = cls(profiles, tmax_ms, concurrency)
-            _DP_CACHE[key] = dp
-            if len(_DP_CACHE) > _DP_CACHE_MAX:
-                _DP_CACHE.popitem(last=False)
+            _DP_STATS["solves"] += 1
+            _store_disk(key, dp)
         else:
-            _DP_CACHE.move_to_end(key)
+            _DP_STATS["disk_hits"] += 1
+        _DP_CACHE[key] = dp
+        if len(_DP_CACHE) > _DP_CACHE_MAX:
+            _DP_CACHE.popitem(last=False)
         return dp
 
     def __init__(
@@ -88,6 +181,8 @@ class ChainDP:
         profiles: _t.Sequence[LatencyProfile],
         tmax_ms: int,
         concurrency: int = 1,
+        *,
+        _tables: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
     ) -> None:
         if not profiles:
             raise SynthesisError("chain must contain at least one function")
@@ -122,6 +217,16 @@ class ChainDP:
             ]
         )
 
+        if _tables is not None:
+            # Disk-layer restore: the solved tables are content-addressed
+            # by the same inputs validated above, so only the expensive
+            # `_solve` is skipped — every derived row is recomputed from
+            # the live profiles.
+            cost, resil, head_ki = _tables
+            self._cost = np.ascontiguousarray(cost, dtype=np.float64)
+            self._resil = np.ascontiguousarray(resil, dtype=np.float64)
+            self._head_ki = np.ascontiguousarray(head_ki, dtype=np.int32)
+            return
         self._cost = np.full((n, size), _INF, dtype=np.float64)
         self._resil = np.full((n, size), _INF, dtype=np.float64)
         self._head_ki = np.full((n, size), -1, dtype=np.int32)

@@ -28,6 +28,7 @@ from __future__ import annotations
 import collections as _collections
 import enum
 import math
+import os
 import time
 import typing as _t
 from dataclasses import dataclass
@@ -35,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SynthesisError
+from ..persist import atomic_write_bytes, version_salted_digest
 from ..profiling.profiles import ProfileSet
 from .budget import BudgetRange, budget_range_for_chain
 from .condenser import condense
@@ -47,6 +49,9 @@ __all__ = [
     "HintSynthesizer",
     "synthesize_hints",
     "clear_hints_cache",
+    "set_hints_cache_dir",
+    "hints_cache_dir",
+    "hints_cache_stats",
 ]
 
 _EPS = 1e-9
@@ -394,10 +399,66 @@ _HINTS_CACHE: "_collections.OrderedDict[tuple, WorkflowHints]" = (
 )
 _HINTS_CACHE_MAX = 64
 
+#: Optional disk layer behind the memo: one JSON file of condensed tables
+#: per key, shared across processes (sweep pool workers point here via
+#: their initializer). The key content-addresses every synthesis input —
+#: profile digests + all knobs — so entries never go stale; the package
+#: version is folded into the filename so a synthesizer change invalidates
+#: them wholesale.
+_HINTS_DISK_DIR: str | None = None
+
+#: Memo observability, mirrored on the DP cache: per-process counters the
+#: sweep runner samples around each cell to surface hit rates in
+#: :class:`~repro.scenarios.report.SweepReport`.
+_HINTS_STATS = {"memory_hits": 0, "disk_hits": 0, "syntheses": 0}
+
+
+def set_hints_cache_dir(path: str | os.PathLike[str] | None) -> None:
+    """Attach (or detach, with ``None``) the hints memo's disk layer."""
+    global _HINTS_DISK_DIR
+    _HINTS_DISK_DIR = None if path is None else os.fspath(path)
+
+
+def hints_cache_dir() -> str | None:
+    """The currently attached disk-layer directory (``None`` = detached)."""
+    return _HINTS_DISK_DIR
+
+
+def hints_cache_stats() -> dict[str, int]:
+    """Copy of the process-wide hints memo counters."""
+    return dict(_HINTS_STATS)
+
 
 def clear_hints_cache() -> None:
-    """Drop all memoised hint tables (mainly for tests and benchmarks)."""
+    """Drop all memoised hint tables (mainly for tests and benchmarks).
+
+    Clears the in-memory memo only — a configured disk layer keeps its
+    files (delete the directory to cold-start it).
+    """
     _HINTS_CACHE.clear()
+
+
+def _disk_path(key: tuple) -> str:
+    assert _HINTS_DISK_DIR is not None
+    return os.path.join(
+        _HINTS_DISK_DIR, f"{version_salted_digest(key)}.json"
+    )
+
+
+def _load_disk_hints(key: tuple) -> WorkflowHints | None:
+    if _HINTS_DISK_DIR is None:
+        return None
+    try:
+        with open(_disk_path(key), "r", encoding="utf-8") as fh:
+            return WorkflowHints.from_json(fh.read())
+    except (OSError, ValueError, KeyError, SynthesisError):
+        return None  # absent or torn entry — treat as a miss
+
+
+def _store_disk_hints(key: tuple, hints: WorkflowHints) -> None:
+    if _HINTS_DISK_DIR is None:
+        return
+    atomic_write_bytes(_disk_path(key), hints.to_json().encode("utf-8"))
 
 
 def synthesize_hints(
@@ -428,6 +489,18 @@ def synthesize_hints(
         workflow_name,
     )
     hints = _HINTS_CACHE.get(key)
+    if hints is not None:
+        _HINTS_STATS["memory_hits"] += 1
+        _HINTS_CACHE.move_to_end(key)
+        # Write-through: a memo warmed before the disk layer was attached
+        # must still persist, or long-lived processes would never share
+        # their tables with pool workers.
+        if _HINTS_DISK_DIR is not None and not os.path.exists(
+            _disk_path(key)
+        ):
+            _store_disk_hints(key, hints)
+        return hints
+    hints = _load_disk_hints(key)
     if hints is None:
         synth = HintSynthesizer(
             profiles,
@@ -439,9 +512,11 @@ def synthesize_hints(
             ),
         )
         hints = synth.synthesize(budget, concurrency, workflow_name)
-        _HINTS_CACHE[key] = hints
-        if len(_HINTS_CACHE) > _HINTS_CACHE_MAX:
-            _HINTS_CACHE.popitem(last=False)
+        _HINTS_STATS["syntheses"] += 1
+        _store_disk_hints(key, hints)
     else:
-        _HINTS_CACHE.move_to_end(key)
+        _HINTS_STATS["disk_hits"] += 1
+    _HINTS_CACHE[key] = hints
+    if len(_HINTS_CACHE) > _HINTS_CACHE_MAX:
+        _HINTS_CACHE.popitem(last=False)
     return hints

@@ -254,6 +254,7 @@ class WorkflowHints:
                 "raw_hint_count": self.raw_hint_count,
                 "condensed_hint_count": self.condensed_hint_count,
                 "synthesis_seconds": self.synthesis_seconds,
+                "metadata": self.metadata,
             }
         )
 
@@ -269,4 +270,5 @@ class WorkflowHints:
             raw_hint_count=doc.get("raw_hint_count", 0),
             condensed_hint_count=doc.get("condensed_hint_count", 0),
             synthesis_seconds=doc.get("synthesis_seconds", 0.0),
+            metadata=doc.get("metadata", {}),
         )

@@ -175,3 +175,96 @@ class TestAdapterService:
         assert set(svc.workflows()) == {("t", "a"), ("t", "b")}
         svc.unregister("t", "a")
         assert svc.workflows() == [("t", "b")]
+
+
+class TestSupervisorEdges:
+    """ROADMAP-named thin spot: the supervisor's boundary behaviour."""
+
+    def test_rate_exactly_at_threshold_does_not_trigger(self):
+        # should_regenerate uses a strict comparison: 1 miss in 10 at a
+        # 10% threshold is "within tolerance", not a regeneration.
+        sup = HitMissSupervisor(miss_threshold=0.1, min_samples=10)
+        for hit in [False] + [True] * 9:
+            sup.record(hit)
+        assert sup.miss_rate == pytest.approx(0.1)
+        assert not sup.should_regenerate
+        sup.record(False)  # 2/11 > 10% -> now over
+        assert sup.should_regenerate
+
+    def test_threshold_of_one_is_valid_but_unreachable(self):
+        sup = HitMissSupervisor(miss_threshold=1.0, min_samples=1)
+        for _ in range(50):
+            sup.record(False)
+        assert sup.miss_rate == 1.0
+        assert not sup.should_regenerate  # rate can never exceed 1.0
+
+    def test_multiple_callbacks_fire_in_registration_order(self):
+        sup = HitMissSupervisor(miss_threshold=0.01, min_samples=2)
+        fired: list[str] = []
+        sup.on_regenerate(lambda s: fired.append("first"))
+        sup.on_regenerate(lambda s: fired.append("second"))
+        sup.record(False)
+        sup.record(False)
+        assert fired == ["first", "second"]
+
+    def test_callback_registered_after_trigger_waits_for_reset(self):
+        sup = HitMissSupervisor(miss_threshold=0.01, min_samples=2)
+        sup.record(False)
+        sup.record(False)
+        late: list[int] = []
+        sup.on_regenerate(lambda s: late.append(1))
+        sup.record(False)  # already notified this cycle
+        assert late == []
+        sup.reset()
+        sup.record(False)
+        sup.record(False)
+        assert late == [1]
+
+    def test_hit_dominated_stream_never_triggers(self):
+        sup = HitMissSupervisor(miss_threshold=0.05, min_samples=10)
+        fired: list[int] = []
+        sup.on_regenerate(lambda s: fired.append(1))
+        for i in range(1000):
+            sup.record((i + 1) % 100 != 0)  # 1% misses, under the threshold
+        assert not fired and not sup.should_regenerate
+
+    def test_snapshot_tracks_miss_rate(self):
+        sup = HitMissSupervisor()
+        for hit in (True, False, False, True):
+            sup.record(hit)
+        assert sup.snapshot() == {
+            "hits": 2, "misses": 2, "miss_rate": pytest.approx(0.5)
+        }
+
+    def test_min_samples_of_one_triggers_immediately(self):
+        sup = HitMissSupervisor(miss_threshold=0.5, min_samples=1)
+        fired: list[int] = []
+        sup.on_regenerate(lambda s: fired.append(1))
+        sup.record(False)
+        assert fired == [1]
+
+
+class TestServiceSupervision:
+    def test_stats_reflect_per_workflow_counters(self):
+        service = AdapterService(miss_threshold=0.5, min_samples=5)
+        hints = make_hints()
+        service.register("acme", "IA", hints, slo_ms=3000)
+        service.register("globex", "IA", hints, slo_ms=3000)
+        service.decide("acme", "IA", 0, budget_ms=3000)
+        stats = service.stats()
+        assert set(stats) == {("acme", "IA"), ("globex", "IA")}
+        assert stats[("acme", "IA")]["hits"] + stats[("acme", "IA")][
+            "misses"
+        ] == 1
+        assert stats[("globex", "IA")] == {
+            "hits": 0, "misses": 0, "miss_rate": 0.0
+        }
+
+    def test_unregister_then_decide_rejected(self):
+        service = AdapterService()
+        service.register("acme", "IA", make_hints(), slo_ms=3000)
+        service.unregister("acme", "IA")
+        with pytest.raises(AdapterError, match="unknown workflow"):
+            service.decide("acme", "IA", 0, budget_ms=3000)
+        with pytest.raises(AdapterError, match="unknown workflow"):
+            service.unregister("acme", "IA")

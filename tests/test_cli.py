@@ -106,3 +106,58 @@ class TestSweep:
         cold = lines[1].split(",")[header.index("cold_start_rate")]
         assert cold != "" and 0.0 < float(cold) <= 1.0
         assert "exec cluster" in lines[1]
+
+
+class TestSweepBackendsAndCache:
+    def test_parser_backend_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--backend", "workstealing",
+             "--cache-dir", "/tmp/x", "--progress"]
+        )
+        assert args.backend == "workstealing"
+        assert args.cache_dir == "/tmp/x"
+        assert args.progress is True and args.no_cache is False
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--backend", "quantum"])
+
+    def test_cache_dir_env_default(self, monkeypatch):
+        monkeypatch.setenv("JANUS_SWEEP_CACHE", "/tmp/from-env")
+        args = build_parser().parse_args(["sweep"])
+        assert args.cache_dir == "/tmp/from-env"
+
+    def test_cold_then_warm_sweep_round_trip(self, capsys, tmp_path):
+        # The CI smoke in miniature: same cache dir, byte-identical JSON,
+        # second run fully served from cache with per-cell progress lines.
+        cache = tmp_path / "cache"
+        base = ["sweep", "--workflows", "IA", "--arrivals", "constant",
+                "--slo-scales", "1.0", "--tenants", "1,2",
+                "--policies", "Optimal,Janus",
+                "--requests", "15", "--samples", "300", "--seed", "11",
+                "--jobs", "2", "--cache-dir", str(cache), "--progress"]
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+        assert main(base + ["--backend", "workstealing",
+                            "--json", str(cold_json)]) == 0
+        cold_out = capsys.readouterr().out
+        assert "workstealing backend" in cold_out
+        assert "cell cache: 0 hit(s), 2 miss(es)" in cold_out
+        assert main(base + ["--json", str(warm_json)]) == 0
+        warm_out = capsys.readouterr().out
+        assert "cell cache: 2 hit(s), 0 miss(es)" in warm_out
+        assert warm_out.count("cache hit") == 2
+        assert cold_json.read_bytes() == warm_json.read_bytes()
+
+    def test_no_cache_disables_env_and_flag(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(
+            ["sweep", "--workflows", "IA", "--arrivals", "constant",
+             "--slo-scales", "1.0", "--tenants", "1",
+             "--policies", "Janus", "--requests", "10",
+             "--samples", "300", "--jobs", "1",
+             "--cache-dir", str(cache), "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cell cache" not in out
+        assert not cache.exists()

@@ -604,3 +604,450 @@ class TestExecutorConfigCapability:
             assert cell.cluster == ClusterConfig(n_vms=2)
         finally:
             _EXECUTORS.pop("cluster-copy")
+
+
+class TestBackends:
+    def test_registry_names(self):
+        from repro.scenarios import backend_names
+
+        assert {"serial", "pool", "workstealing"} <= set(backend_names())
+
+    def test_unknown_backend_rejected_with_known_names(self):
+        from repro.scenarios import get_backend
+
+        with pytest.raises(ExperimentError, match="unknown sweep backend"):
+            get_backend("quantum")
+        with pytest.raises(ExperimentError, match="workstealing"):
+            SweepRunner(backend="quantum").run(SMALL_MATRIX)
+
+    def test_resolve_default_keeps_historical_rule(self):
+        from repro.scenarios.backends import resolve_backend
+
+        assert resolve_backend(None, max_workers=1).name == "serial"
+        assert resolve_backend(None, max_workers=4).name == "pool"
+        assert resolve_backend("workstealing", max_workers=4).name == (
+            "workstealing"
+        )
+
+    def test_backend_instance_passes_through(self):
+        from repro.scenarios import SerialBackend
+        from repro.scenarios.backends import resolve_backend
+
+        instance = SerialBackend()
+        assert resolve_backend(instance, max_workers=8) is instance
+
+    def test_custom_backend_registration(self):
+        from repro.scenarios import SerialBackend, register_backend
+        from repro.scenarios.backends import _BACKENDS, get_backend
+
+        @register_backend("serial-copy")
+        class _Copy(SerialBackend):
+            name = "serial-copy"
+
+        try:
+            assert isinstance(get_backend("serial-copy"), _Copy)
+        finally:
+            _BACKENDS.pop("serial-copy")
+
+    def test_workstealing_dispatches_expensive_first(self):
+        # The dispatch order (not completion order) is descending cost,
+        # ties broken by position — observable through a single-worker
+        # workstealing run's completion callbacks.
+        import dataclasses
+
+        from repro.scenarios import WorkStealingBackend
+
+        cells = dataclasses.replace(
+            SMALL_MATRIX, tenant_counts=(1, 3), n_requests=4, samples=300
+        ).expand()
+        costs = [c.cost_estimate() for c in cells]
+        seen = []
+        WorkStealingBackend(max_workers=1).run(
+            cells, _cost_probe, on_complete=lambda pos, out: seen.append(pos)
+        )
+        expected = sorted(
+            range(len(cells)), key=lambda pos: (-costs[pos], pos)
+        )
+        assert seen == expected
+
+
+def _cost_probe(scenario):
+    """Top-level (picklable) no-op cell function for scheduling tests."""
+    return scenario.scenario_id
+
+
+class TestCostEstimate:
+    def test_scales_with_requests_and_tenants(self):
+        import dataclasses
+
+        cell = SMALL_MATRIX.expand()[0]
+        assert dataclasses.replace(
+            cell, n_requests=2 * cell.n_requests
+        ).cost_estimate() == pytest.approx(2 * cell.cost_estimate())
+        assert dataclasses.replace(
+            cell, tenants=3
+        ).cost_estimate() == pytest.approx(3 * cell.cost_estimate())
+
+    def test_cluster_cells_cost_more_than_analytic(self):
+        analytic, cluster = CLUSTER_MATRIX.expand()
+        assert cluster.cost_estimate() > 4 * analytic.cost_estimate()
+
+    def test_dag_workflow_counts_all_nodes(self):
+        # The media diamond has 4 nodes but a 3-node critical path; the
+        # estimate must weigh the full served DAG.
+        matrix = ScenarioMatrix(
+            workflows=("media",), policies=("Janus",), n_requests=10,
+        )
+        ia = ScenarioMatrix(
+            workflows=("IA",), policies=("Janus",), n_requests=10,
+        )
+        assert matrix.expand()[0].cost_estimate() > (
+            ia.expand()[0].cost_estimate()
+        )
+
+    def test_matrix_total_is_sum_of_cells(self):
+        total = sum(c.cost_estimate() for c in SMALL_MATRIX.expand())
+        assert SMALL_MATRIX.cost_estimate() == pytest.approx(total)
+
+
+class TestDeterminismAcrossBackends:
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return SweepRunner(max_workers=1).run(SMALL_MATRIX)
+
+    def test_workstealing_bit_identical_to_serial(self, serial_report):
+        # The third backend joins the documented claim, across real
+        # process boundaries: per-cell submission in cost order, results
+        # reassembled in expansion order.
+        stolen = SweepRunner(max_workers=2, backend="workstealing").run(
+            SMALL_MATRIX
+        )
+        assert stolen.backend == "workstealing"
+        assert stolen.max_workers == 2
+        assert stolen.to_json() == serial_report.to_json()
+
+    def test_explicit_pool_backend_bit_identical(self, serial_report):
+        pooled = SweepRunner(max_workers=2, backend="pool").run(SMALL_MATRIX)
+        assert pooled.backend == "pool"
+        assert pooled.to_json() == serial_report.to_json()
+
+    def test_explicit_serial_backend_matches_default(self, serial_report):
+        explicit = SweepRunner(max_workers=4, backend="serial").run(
+            SMALL_MATRIX
+        )
+        assert explicit.backend == "serial"
+        assert explicit.max_workers == 1
+        assert explicit.to_json() == serial_report.to_json()
+
+
+class TestScenarioDigest:
+    def test_digest_is_stable_and_field_sensitive(self):
+        import dataclasses
+
+        from repro.scenarios import scenario_digest
+
+        cell = SMALL_MATRIX.expand()[0]
+        assert scenario_digest(cell) == scenario_digest(cell)
+        for change in (
+            {"n_requests": cell.n_requests + 1},
+            {"samples": cell.samples + 1},
+            {"seed": cell.seed + 1},
+            {"slo_scale": cell.slo_scale * 2},
+            {"policies": cell.policies[:-1]},
+        ):
+            assert scenario_digest(
+                dataclasses.replace(cell, **change)
+            ) != scenario_digest(cell)
+
+    def test_version_and_epoch_invalidate(self, monkeypatch):
+        from repro.scenarios import scenario_digest
+        from repro.workflow.catalog import intelligent_assistant
+
+        register_workflow("digest-wf", intelligent_assistant)
+        try:
+            matrix = ScenarioMatrix(
+                workflows=("digest-wf",), policies=("Janus",), n_requests=5
+            )
+            cell = matrix.expand()[0]
+            base = scenario_digest(cell)
+            import repro
+
+            monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+            assert scenario_digest(cell) != base
+            monkeypatch.undo()
+            assert scenario_digest(cell) == base
+            # Re-registering the factory bumps the epoch -> new digest.
+            register_workflow("digest-wf", intelligent_assistant)
+            assert scenario_digest(cell) != base
+        finally:
+            SCENARIO_WORKFLOWS.pop("digest-wf")
+            from repro.scenarios.registry import _EPOCHS
+
+            _EPOCHS.pop("digest-wf", None)
+
+
+class TestCellCache:
+    @pytest.fixture()
+    def cached_run(self, tmp_path):
+        # Cold memory memos make the cold-run counter assertions
+        # deterministic regardless of which tests ran before.
+        from repro.synthesis.dp import clear_dp_cache
+        from repro.synthesis.generator import clear_hints_cache
+
+        clear_dp_cache()
+        clear_hints_cache()
+        cold = SweepRunner(max_workers=1, cache_dir=tmp_path).run(SMALL_MATRIX)
+        return tmp_path, cold
+
+    def test_cold_run_populates_and_counts_misses(self, cached_run):
+        cache_dir, cold = cached_run
+        assert cold.cell_cache == {
+            "hits": 0, "misses": len(SMALL_MATRIX)
+        }
+        assert len(list((cache_dir / "cells").iterdir())) == len(SMALL_MATRIX)
+        assert cold.synthesis_cache["dp"]["solves"] >= 1
+        assert cold.synthesis_cache["hints"]["syntheses"] >= 1
+
+    def test_warm_run_performs_zero_evaluations(self, cached_run, monkeypatch):
+        # The acceptance claim: a fully warm sweep never evaluates a cell.
+        import repro.scenarios.runner as runner_mod
+
+        cache_dir, cold = cached_run
+
+        def _forbidden(scenario):
+            raise AssertionError(
+                f"cell {scenario.scenario_id} was evaluated on a warm cache"
+            )
+
+        monkeypatch.setattr(runner_mod, "run_scenario", _forbidden)
+        warm = SweepRunner(max_workers=1, cache_dir=cache_dir).run(SMALL_MATRIX)
+        assert warm.cell_cache == {"hits": len(SMALL_MATRIX), "misses": 0}
+        assert warm.to_json() == cold.to_json()
+
+    def test_warm_run_byte_identical_on_every_backend(self, cached_run):
+        cache_dir, cold = cached_run
+        for backend in ("serial", "pool", "workstealing"):
+            warm = SweepRunner(
+                max_workers=2, backend=backend, cache_dir=cache_dir
+            ).run(SMALL_MATRIX)
+            assert warm.to_json() == cold.to_json()
+
+    def test_overlapping_sweep_reuses_shared_cells(self, cached_run):
+        # A grown matrix re-runs only the new cells.
+        import dataclasses
+
+        cache_dir, _ = cached_run
+        grown = dataclasses.replace(SMALL_MATRIX, slo_scales=(1.0, 1.2, 1.4))
+        report = SweepRunner(max_workers=1, cache_dir=cache_dir).run(grown)
+        assert report.cell_cache["hits"] == len(SMALL_MATRIX)
+        assert report.cell_cache["misses"] == len(grown) - len(SMALL_MATRIX)
+
+    def test_corrupt_entry_is_a_miss_and_heals(self, cached_run):
+        cache_dir, cold = cached_run
+        victim = sorted((cache_dir / "cells").iterdir())[0]
+        victim.write_text("{not json")
+        healed = SweepRunner(max_workers=1, cache_dir=cache_dir).run(
+            SMALL_MATRIX
+        )
+        assert healed.cell_cache == {
+            "hits": len(SMALL_MATRIX) - 1, "misses": 1
+        }
+        assert healed.to_json() == cold.to_json()
+
+    def test_dead_cells_are_cached_too(self, tmp_path, monkeypatch):
+        # A cell with no buildable policy is cached as skipped, so warm
+        # re-runs of mixed matrices still evaluate nothing.
+        import repro.scenarios.runner as runner_mod
+
+        matrix = ScenarioMatrix(
+            workflows=("IA", "media"),
+            arrivals=(ArrivalSpec("constant"),),
+            policies=("Optimal", "ORION"),
+            n_requests=20,
+            samples=300,
+            seed=3,
+        )
+        cold = SweepRunner(max_workers=1, cache_dir=tmp_path).run(matrix)
+        monkeypatch.setattr(
+            runner_mod, "run_scenario",
+            lambda s: (_ for _ in ()).throw(AssertionError("evaluated")),
+        )
+        warm = SweepRunner(max_workers=1, cache_dir=tmp_path).run(matrix)
+        assert warm.skipped == cold.skipped
+        assert warm.to_json() == cold.to_json()
+
+    def test_persistent_synthesis_caches_hit_across_cold_memos(self, cached_run):
+        # Drop the cells (forcing re-evaluation) and the in-memory memos:
+        # the DP/hints disk layers must serve the re-run.
+        import shutil
+
+        from repro.synthesis.dp import clear_dp_cache
+        from repro.synthesis.generator import clear_hints_cache
+
+        cache_dir, cold = cached_run
+        shutil.rmtree(cache_dir / "cells")
+        clear_dp_cache()
+        clear_hints_cache()
+        rerun = SweepRunner(max_workers=1, cache_dir=cache_dir).run(
+            SMALL_MATRIX
+        )
+        assert rerun.to_json() == cold.to_json()
+        synth = rerun.synthesis_cache
+        assert synth["hints"]["disk_hits"] >= 1
+        assert synth["hints"]["syntheses"] == 0
+
+    def test_no_cache_dir_reports_empty_counters(self):
+        report = SweepRunner(max_workers=1).run(SMALL_MATRIX)
+        assert report.cell_cache == {}
+
+
+class TestProgressAndAttribution:
+    def test_progress_lines_cover_every_cell(self, tmp_path):
+        lines: list[str] = []
+        SweepRunner(
+            max_workers=1, cache_dir=tmp_path, progress=lines.append
+        ).run(SMALL_MATRIX)
+        assert len(lines) == len(SMALL_MATRIX)
+        assert all(" s" in line for line in lines)
+        lines.clear()
+        SweepRunner(
+            max_workers=1, cache_dir=tmp_path, progress=lines.append
+        ).run(SMALL_MATRIX)
+        assert len(lines) == len(SMALL_MATRIX)
+        assert all("cache hit" in line for line in lines)
+        assert lines[0].startswith(f"[1/{len(SMALL_MATRIX)}] IA/")
+
+    def test_worker_error_names_the_cell_serial(self):
+        register_workflow("boom", _exploding_factory)
+        try:
+            matrix = ScenarioMatrix(
+                workflows=("boom",), policies=("Janus",), n_requests=5
+            )
+            with pytest.raises(
+                ExperimentError,
+                match=r"scenario boom/.* failed \(RuntimeError: kaboom",
+            ):
+                SweepRunner(max_workers=1).run(matrix)
+        finally:
+            SCENARIO_WORKFLOWS.pop("boom")
+
+    def test_worker_error_names_the_cell_across_processes(self):
+        # The same attribution must survive the pickle boundary of a
+        # pooled backend (chained causes do not; the message carries it).
+        register_workflow("boom", _exploding_factory)
+        try:
+            matrix = ScenarioMatrix(
+                workflows=("IA", "boom"), policies=("Janus",), n_requests=5,
+                samples=300,
+            )
+            with pytest.raises(
+                ExperimentError, match="scenario boom/.* failed"
+            ):
+                SweepRunner(max_workers=2, backend="workstealing").run(matrix)
+        finally:
+            SCENARIO_WORKFLOWS.pop("boom")
+
+
+def _exploding_factory():
+    """Top-level so fork/spawn pool workers can resolve the registration."""
+    raise RuntimeError("kaboom: flaky workflow factory")
+
+
+class TestReviewHardening:
+    """Regression pins for the post-review fixes."""
+
+    def test_warm_replay_reproduces_csv_and_render_verbatim(self, tmp_path):
+        # The cell store must not reorder per-policy tables: a warm
+        # replay's CSV and rendered table match the cold run's exactly
+        # (not just the key-sorted JSON). "Optimal" sorts before
+        # "GrandSLAM" alphabetically but is evaluated first, so a
+        # sort_keys store would flip the row order.
+        cold = SweepRunner(max_workers=1, cache_dir=tmp_path).run(SMALL_MATRIX)
+        warm = SweepRunner(max_workers=1, cache_dir=tmp_path).run(SMALL_MATRIX)
+        assert warm.to_csv() == cold.to_csv()
+        assert [list(r.table) for r in warm.results] == [
+            list(r.table) for r in cold.results
+        ]
+
+    def test_sweep_restores_caller_configured_disk_layers(self, tmp_path):
+        from repro.synthesis.dp import dp_cache_dir, set_dp_cache_dir
+        from repro.synthesis.generator import (
+            hints_cache_dir,
+            set_hints_cache_dir,
+        )
+
+        set_dp_cache_dir(tmp_path / "my-dp")
+        set_hints_cache_dir(tmp_path / "my-hints")
+        try:
+            # Without a cache_dir the sweep must leave the layers alone...
+            SweepRunner(max_workers=1).run(SMALL_MATRIX)
+            assert dp_cache_dir() == str(tmp_path / "my-dp")
+            # ...and with one it must restore them afterwards.
+            SweepRunner(max_workers=1, cache_dir=tmp_path / "sweep").run(
+                SMALL_MATRIX
+            )
+            assert dp_cache_dir() == str(tmp_path / "my-dp")
+            assert hints_cache_dir() == str(tmp_path / "my-hints")
+        finally:
+            set_dp_cache_dir(None)
+            set_hints_cache_dir(None)
+
+    def test_completed_cells_survive_a_failing_cell(self, tmp_path):
+        # One broken cell must not discard the finished cells' cache
+        # entries: stores happen per completion, not after the run.
+        register_workflow("boom2", _exploding_factory)
+        try:
+            matrix = ScenarioMatrix(
+                workflows=("IA", "boom2"), policies=("Janus",),
+                n_requests=5, samples=300,
+            )
+            with pytest.raises(ExperimentError, match="scenario boom2/"):
+                SweepRunner(max_workers=1, cache_dir=tmp_path).run(matrix)
+        finally:
+            SCENARIO_WORKFLOWS.pop("boom2")
+        stored = list((tmp_path / "cells").iterdir())
+        assert len(stored) == 1  # the IA cell completed before the crash
+
+    def test_single_pending_cell_resolves_serial_by_default(self):
+        # min(jobs, pending cells) drives the default rule, so a 1-cell
+        # dispatch never pays a process-pool spawn for zero parallelism.
+        matrix = ScenarioMatrix(
+            workflows=("IA",), policies=("Janus",), n_requests=5,
+            samples=300, seed=29,
+        )
+        report = SweepRunner(max_workers=8).run(matrix)
+        assert report.backend == "serial"
+        assert report.max_workers == 1
+
+    def test_plain_init_custom_backend_resolves(self):
+        # The documented register_backend idiom: a factory that declares
+        # no pool knobs still resolves (options are signature-filtered).
+        from repro.scenarios.backends import _BACKENDS, register_backend
+
+        @register_backend("inline")
+        class _Inline:
+            name = "inline"
+
+            def workers_for(self, n_tasks):
+                return 1
+
+            def run(self, scenarios, fn, on_complete=None,
+                    initializer=None, initargs=()):
+                if initializer is not None:
+                    initializer(*initargs)
+                out = []
+                for pos, s in enumerate(scenarios):
+                    out.append(fn(s))
+                    if on_complete is not None:
+                        on_complete(pos, out[-1])
+                return out
+
+        try:
+            matrix = ScenarioMatrix(
+                workflows=("IA",), policies=("Janus",), n_requests=5,
+                samples=300, seed=31,
+            )
+            report = SweepRunner(max_workers=4, backend="inline").run(matrix)
+            assert report.backend == "inline"
+        finally:
+            _BACKENDS.pop("inline")
