@@ -203,6 +203,73 @@ def test_workstealing_vs_static(benchmark, bench_requests, bench_samples):
     _write_results()
 
 
+def test_trace_record_replay(benchmark, bench_requests, bench_samples, tmp_path):
+    """Trace-file workloads: NHPP sampling rate, write/load, replay sweep."""
+    from repro.traces.diurnal import DiurnalRate, nhpp_arrivals
+    from repro.traces.trace_file import (
+        generate_workload_trace, load_trace, save_trace,
+    )
+    from repro.rng import make_rng
+
+    curve = DiurnalRate.sinusoid(100.0, amplitude=0.8, period_s=60.0)
+
+    def sample():
+        start = time.perf_counter()
+        nhpp_arrivals(curve, 100_000, make_rng(3))
+        return 100_000 / (time.perf_counter() - start)
+
+    nhpp_per_s = run_once(benchmark, sample)
+
+    trace = generate_workload_trace(
+        ("IA", "VA"), 50_000,
+        arrival=ArrivalSpec(kind="diurnal", rate_per_s=100.0, period_s=60.0),
+        seed=7, name="bench",
+    )
+    path = tmp_path / "bench.jsonl"
+    start = time.perf_counter()
+    save_trace(trace, path)
+    write_s = time.perf_counter() - start
+    start = time.perf_counter()
+    load_trace(path)
+    load_s = time.perf_counter() - start
+
+    small = tmp_path / "sweep-trace.jsonl"
+    save_trace(
+        generate_workload_trace(
+            ("IA", "VA"), max(2 * min(bench_requests, 120), 100),
+            arrival=ArrivalSpec(
+                kind="diurnal", rate_per_s=10.0, period_s=10.0
+            ),
+            seed=11, name="sweep",
+        ),
+        small,
+    )
+    matrix = ScenarioMatrix(
+        workflows=("IA", "VA"),
+        arrivals=(),
+        traces=(str(small),),
+        slo_scales=(1.0, 1.25),
+        n_requests=min(bench_requests, 120),
+        samples=min(bench_samples, 600),
+        seed=13,
+    )
+    start = time.perf_counter()
+    report = SweepRunner(max_workers=1).run(matrix)
+    replay_s = time.perf_counter() - start
+    print(f"\ntrace workloads: NHPP {nhpp_per_s:,.0f} arrivals/s, "
+          f"50k-record write {write_s * 1000:.0f} ms / load "
+          f"{load_s * 1000:.0f} ms, {report.num_cells}-cell replay sweep "
+          f"{replay_s:.2f} s")
+    _RESULTS["trace_workloads"] = {
+        "nhpp_arrivals_per_s": nhpp_per_s,
+        "write_50k_ms": write_s * 1000.0,
+        "load_50k_ms": load_s * 1000.0,
+        "replay_sweep_cells": report.num_cells,
+        "replay_sweep_seconds": replay_s,
+    }
+    _write_results()
+
+
 def test_cell_cache_warm_vs_cold(benchmark, bench_requests, bench_samples, tmp_path):
     """Cold sweep (populating the cache) vs fully warm replay."""
     matrix = _heterogeneous_matrix(bench_requests, bench_samples)

@@ -111,7 +111,18 @@ from .synthesis import (
     WorkflowHints,
     synthesize_hints,
 )
-from .traces import ArrivalSpec, WorkloadConfig, generate_requests
+from .traces import (
+    ArrivalSpec,
+    DiurnalRate,
+    PopularityMix,
+    WorkloadConfig,
+    WorkloadTrace,
+    generate_requests,
+    generate_workload_trace,
+    load_trace,
+    save_trace,
+    trace_from_requests,
+)
 from .types import PercentileGrid, ResourceLimits
 from .workflow import (
     RequestOutcome,
@@ -254,6 +265,13 @@ __all__ = [
     "SweepReport",
     "run_scenario",
     # traces
+    "DiurnalRate",
+    "PopularityMix",
+    "WorkloadTrace",
+    "generate_workload_trace",
+    "load_trace",
+    "save_trace",
+    "trace_from_requests",
     "generate_requests",
     "WorkloadConfig",
     "ArrivalSpec",

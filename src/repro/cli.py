@@ -7,6 +7,9 @@ Usage::
     janus-repro run-all --requests 400 --samples 1000
     janus-repro sweep --workflows IA,VA --arrivals constant,poisson@8 --jobs 4
     janus-repro sweep --backend workstealing --cache-dir .sweep-cache --progress
+    janus-repro trace generate --workflows IA,VA --n 2000 --out day.jsonl
+    janus-repro trace summarize day.jsonl
+    janus-repro sweep --workflows IA,VA --traces day.jsonl
     janus-repro profile IA --out ia-profiles.json
     janus-repro synthesize ia-profiles.json --slo 3000 --out ia-hints.json
     janus-repro inspect ia-hints.json
@@ -82,8 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--arrivals", default="constant,poisson@8,burst@8,azure@8",
         help="comma-separated arrival tokens: poisson@RATE, burst@RATE, "
-             "azure@RATE (requests/s), or constant[@INTERVAL_MS] "
-             "(back-to-back when no interval is given)")
+             "azure@RATE, diurnal@RATE (requests/s), "
+             "constant[@INTERVAL_MS] (back-to-back when no interval is "
+             "given), or replay@TRACE_FILE")
+    sweep_p.add_argument(
+        "--traces", default=None,
+        help="comma-separated trace files appended to the arrivals axis "
+             "as replay cells (see 'janus-repro trace generate'); each "
+             "workflow replays its own sub-stream of an attributed trace")
     sweep_p.add_argument(
         "--slo-scales", default="1.0,1.25",
         help="comma-separated multipliers on each workflow's default SLO")
@@ -140,6 +149,58 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--csv", default=None, help="write per-cell CSV here")
     sweep_p.add_argument("--json", default=None,
                          help="write the full JSON report here")
+
+    trace_p = sub.add_parser(
+        "trace", help="generate, summarize or replay workload trace files"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    gen_p = trace_sub.add_parser(
+        "generate",
+        help="synthesise a trace: one arrival process, Zipf workflow "
+             "popularity",
+    )
+    gen_p.add_argument("--out", required=True,
+                       help="output path (.csv for CSV, JSONL otherwise)")
+    gen_p.add_argument("--workflows", default="IA,VA",
+                       help="comma-separated workflow names in popularity "
+                            "rank order (default: IA,VA)")
+    gen_p.add_argument("--n", type=int, default=1000, dest="n_records",
+                       help="number of invocation records (default 1000)")
+    gen_p.add_argument("--arrival", default="diurnal@8",
+                       help="arrival token as for sweep --arrivals "
+                            "(default: diurnal@8)")
+    gen_p.add_argument("--amplitude", type=float, default=None,
+                       help="diurnal relative swing in [0, 1] "
+                            "(diurnal arrivals only)")
+    gen_p.add_argument("--period-s", type=float, default=None,
+                       dest="period_s",
+                       help="diurnal cycle length in seconds "
+                            "(diurnal arrivals only)")
+    gen_p.add_argument("--zipf", type=float, default=0.9,
+                       help="Zipf popularity exponent over the workflows "
+                            "(default 0.9)")
+    gen_p.add_argument("--seed", type=int, default=2025)
+    gen_p.add_argument("--name", default=None,
+                       help="trace name stored in the header "
+                            "(default: output basename)")
+
+    sum_p = trace_sub.add_parser(
+        "summarize", help="print a trace file's header and workload shape"
+    )
+    sum_p.add_argument("trace", help="trace file from 'trace generate'")
+
+    rep_p = trace_sub.add_parser(
+        "replay",
+        help="replay a trace into an arrival stream and summarise it",
+    )
+    rep_p.add_argument("trace", help="trace file to replay")
+    rep_p.add_argument("--workflow", default=None,
+                       help="replay this workflow's sub-stream through "
+                            "full request generation (default: the raw "
+                            "arrival stream)")
+    rep_p.add_argument("--requests", type=int, default=None,
+                       help="stream length (default: every matching "
+                            "record; longer wraps around)")
 
     prof_p = sub.add_parser(
         "profile", help="profile a catalog workflow to a JSON file"
@@ -203,6 +264,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return 0
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "synthesize":
@@ -239,6 +302,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     if args.cluster_config is not None:
         matrix_kwargs["cluster"] = parse_cluster_config(args.cluster_config)
+    if args.traces:
+        matrix_kwargs["traces"] = tuple(_split(args.traces))
     # Same knob-introspection contract as `run`: a scale flag reaches the
     # matrix only if its constructor takes the parameter.
     for knob, param in _KNOB_PARAMS.items():
@@ -262,6 +327,117 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         report.write_json(args.json)
         print(f"JSON report -> {args.json}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "generate":
+        return _cmd_trace_generate(args)
+    if args.trace_command == "summarize":
+        return _cmd_trace_summarize(args)
+    return _cmd_trace_replay(args)
+
+
+def _cmd_trace_generate(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .scenarios.matrix import parse_arrival
+    from .traces.trace_file import generate_workload_trace, save_trace
+
+    arrival = parse_arrival(args.arrival)
+    overrides = {
+        knob: value
+        for knob, value in (
+            ("amplitude", args.amplitude), ("period_s", args.period_s)
+        )
+        if value is not None
+    }
+    if overrides:
+        if arrival.kind != "diurnal":
+            raise SystemExit(
+                f"--amplitude/--period-s shape diurnal arrivals only "
+                f"(got --arrival {args.arrival!r})"
+            )
+        arrival = dataclasses.replace(arrival, **overrides)
+    workflows = [w.strip() for w in args.workflows.split(",") if w.strip()]
+    name = args.name or os.path.splitext(os.path.basename(args.out))[0]
+    trace = generate_workload_trace(
+        workflows, args.n_records, arrival=arrival, zipf_s=args.zipf,
+        seed=args.seed, name=name,
+    )
+    digest = save_trace(trace, args.out)
+    shares = ", ".join(
+        f"{wf} {count}" for wf, count in trace.counts_by_workflow().items()
+    )
+    print(
+        f"generated {trace.n_records} records over {trace.span_ms / 1000:.1f} s "
+        f"({arrival.label}; {shares}) -> {args.out}"
+    )
+    print(f"content digest: {digest}")
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from .traces.trace_file import load_trace
+
+    trace = load_trace(args.trace)
+    span_s = trace.span_ms / 1000.0
+    rate = trace.n_records / span_s if span_s > 0 else float("inf")
+    print(f"trace:     {trace.name} ({args.trace})")
+    print(f"records:   {trace.n_records} over {span_s:.1f} s "
+          f"(~{rate:.1f} req/s)")
+    print(f"digest:    {trace.digest()}")
+    if trace.workflows:
+        counts = trace.counts_by_workflow()
+        for wf in trace.workflows:
+            share = counts[wf] / trace.n_records
+            print(f"  {wf:12s} {counts[wf]:8d} records ({share:.1%})")
+    else:
+        print("  (no per-record workflow attribution)")
+    if trace.durations_ms is not None:
+        import numpy as np
+
+        p50, p99 = np.percentile(trace.durations_ms, [50, 99])
+        print(f"durations: P50 {p50:.1f} ms, P99 {p99:.1f} ms")
+    if trace.metadata:
+        print(f"metadata:  {json.dumps(trace.metadata, sort_keys=True)}")
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from .traces.trace_file import load_trace, replay_arrivals
+
+    trace = load_trace(args.trace)
+    if args.workflow is not None:
+        # Full request generation for a catalog workflow: exactly what a
+        # sweep cell replaying this trace would serve.
+        from .scenarios.registry import scenario_workflow
+        from .traces.workload import ArrivalSpec, WorkloadConfig
+        from .traces.workload import generate_requests
+
+        workflow = scenario_workflow(args.workflow)
+        n = args.requests or trace.arrivals_for(args.workflow).size
+        requests = generate_requests(
+            workflow,
+            WorkloadConfig(
+                n_requests=int(n),
+                arrival=ArrivalSpec(kind="replay", trace=args.trace),
+            ),
+        )
+        span_s = (requests[-1].arrival_ms - requests[0].arrival_ms) / 1000.0
+        rate = len(requests) / span_s if span_s > 0 else float("inf")
+        print(
+            f"replayed {len(requests)} {workflow.name} requests over "
+            f"{span_s:.1f} s (~{rate:.1f} req/s), SLO {requests[0].slo_ms:g} ms"
+        )
+    else:
+        arrivals = replay_arrivals(trace, args.requests or trace.n_records)
+        span_s = float(arrivals[-1] - arrivals[0]) / 1000.0
+        rate = arrivals.size / span_s if span_s > 0 else float("inf")
+        print(
+            f"replayed {arrivals.size} arrivals over {span_s:.1f} s "
+            f"(~{rate:.1f} req/s)"
+        )
     return 0
 
 

@@ -18,11 +18,29 @@ reverse import would cycle).
 
 from __future__ import annotations
 
+import collections
 import hashlib
 import os
 import tempfile
+import typing as _t
 
-__all__ = ["version_salted_digest", "atomic_write_bytes"]
+__all__ = [
+    "content_digest",
+    "version_salted_digest",
+    "atomic_write_bytes",
+    "DiskBackedMemo",
+]
+
+
+def content_digest(data: bytes) -> str:
+    """Plain SHA-256 of ``data`` — *not* version-salted.
+
+    For artifacts whose identity is their content alone (e.g. workload
+    trace files): the same bytes must digest identically across package
+    versions, because the digest names the data, not a derived result.
+    Derived caches should keep using :func:`version_salted_digest`.
+    """
+    return hashlib.sha256(data).hexdigest()
 
 
 def version_salted_digest(key: object) -> str:
@@ -39,9 +57,105 @@ def version_salted_digest(key: object) -> str:
     ).hexdigest()
 
 
+class DiskBackedMemo:
+    """Bounded in-memory LRU memo with an optional disk layer behind it.
+
+    The shared shape of the three synthesis-artifact caches (solved DP
+    tables, chain hints, DAG hints): a process-wide ``OrderedDict`` memo
+    in front of an optional directory of version-salted content-digest
+    files, with ``memory_hits`` / ``disk_hits`` / miss counters and
+    write-through so a memo warmed before the disk layer was attached
+    still persists for pool workers to share.
+
+    Serialisation stays with the caller: :meth:`get` takes ``load(path)``
+    (return the value or ``None`` for an absent/torn entry — swallow your
+    own format's exceptions) and ``store(path, value)`` (use
+    :func:`atomic_write_bytes`) callbacks alongside the ``compute``
+    thunk.
+    """
+
+    def __init__(
+        self,
+        miss_counter: str,
+        max_entries: int = 64,
+        suffix: str = ".json",
+    ) -> None:
+        self._cache: "collections.OrderedDict[tuple, _t.Any]" = (
+            collections.OrderedDict()
+        )
+        self._max = int(max_entries)
+        self._suffix = suffix
+        self._dir: str | None = None
+        self._miss_counter = miss_counter
+        self._stats = {"memory_hits": 0, "disk_hits": 0, miss_counter: 0}
+
+    def set_dir(self, path: str | os.PathLike[str] | None) -> None:
+        """Attach (or detach, with ``None``) the disk layer."""
+        self._dir = None if path is None else os.fspath(path)
+
+    def dir(self) -> str | None:
+        """The attached disk-layer directory (``None`` = detached)."""
+        return self._dir
+
+    def stats(self) -> dict[str, int]:
+        """Copy of the process-wide hit/miss counters."""
+        return dict(self._stats)
+
+    def clear(self) -> None:
+        """Drop the in-memory memo (a configured disk layer keeps its
+        files — delete the directory to cold-start it)."""
+        self._cache.clear()
+
+    def _path(self, key: tuple) -> str:
+        assert self._dir is not None
+        return os.path.join(
+            self._dir, f"{version_salted_digest(key)}{self._suffix}"
+        )
+
+    def get(
+        self,
+        key: tuple,
+        compute: _t.Callable[[], _t.Any],
+        load: _t.Callable[[str], _t.Any] | None = None,
+        store: _t.Callable[[str, _t.Any], None] | None = None,
+    ) -> _t.Any:
+        """The memoised value for ``key``: memory, then disk, then live.
+
+        A live ``compute`` also populates the disk layer; a memory hit
+        write-through-persists when its file is missing. Values are
+        shared objects — callers must treat them as read-only.
+        """
+        value = self._cache.get(key)
+        if value is not None:
+            self._stats["memory_hits"] += 1
+            self._cache.move_to_end(key)
+            if (
+                self._dir is not None
+                and store is not None
+                and not os.path.exists(self._path(key))
+            ):
+                store(self._path(key), value)
+            return value
+        if self._dir is not None and load is not None:
+            value = load(self._path(key))
+        if value is None:
+            value = compute()
+            self._stats[self._miss_counter] += 1
+            if self._dir is not None and store is not None:
+                store(self._path(key), value)
+        else:
+            self._stats["disk_hits"] += 1
+        self._cache[key] = value
+        if len(self._cache) > self._max:
+            self._cache.popitem(last=False)
+        return value
+
+
 def atomic_write_bytes(path: str, data: bytes) -> None:
     """Write ``data`` to ``path`` without ever exposing a torn file."""
-    directory = os.path.dirname(path)
+    # A bare filename has an empty dirname; mkstemp and makedirs both
+    # need the concrete current directory instead.
+    directory = os.path.dirname(path) or os.curdir
     os.makedirs(directory, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-")
     try:

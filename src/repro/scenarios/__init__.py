@@ -43,6 +43,7 @@ from .backends import (
     register_backend,
 )
 from .cache import CellCache, configure_persistent_caches, scenario_digest
+from .costs import CellCostModel
 from .matrix import (
     Scenario,
     ScenarioMatrix,
@@ -67,6 +68,7 @@ __all__ = [
     "backend_names",
     "get_backend",
     "CellCache",
+    "CellCostModel",
     "scenario_digest",
     "configure_persistent_caches",
     "parse_arrival",

@@ -133,19 +133,23 @@ def resolve_backend(
     backend: "str | ExecutionBackend | None",
     max_workers: int = 1,
     mp_context: _t.Any = None,
+    **options: _t.Any,
 ) -> ExecutionBackend:
     """Turn the ``SweepRunner(backend=...)`` argument into an instance.
 
     ``None`` keeps the historical behaviour: serial when ``max_workers``
     <= 1, the static pool otherwise. A string resolves through the
     registry; an instance passes through unchanged (its own worker
-    settings win).
+    settings win). Extra ``options`` (e.g. the runner's calibrated
+    ``cost_model``) reach the factory subject to :func:`get_backend`'s
+    signature filtering, so backends that don't take them ignore them.
     """
     if backend is None:
         backend = "serial" if max_workers <= 1 else "pool"
     if isinstance(backend, str):
         return get_backend(
-            backend, max_workers=max_workers, mp_context=mp_context
+            backend, max_workers=max_workers, mp_context=mp_context,
+            **options,
         )
     return backend
 
@@ -245,9 +249,34 @@ class WorkStealingBackend(_PoolBackendBase):
     expansion position, so dispatch is deterministic) ensures the
     long-pole cells cannot end up straggling behind a drained queue.
     Completion callbacks fire in true completion order.
+
+    ``cost_model`` optionally replaces the static
+    :meth:`~repro.scenarios.matrix.Scenario.cost_estimate` heuristic with
+    calibrated per-family wall-time history
+    (:class:`~repro.scenarios.costs.CellCostModel`, attached by the sweep
+    runner when a cache dir is configured). Either way the model only
+    *orders* dispatch; results are always reassembled in submission
+    order, so calibration can never change them.
     """
 
     name = "workstealing"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        mp_context: _t.Any = None,
+        cost_model: _t.Any = None,
+    ) -> None:
+        super().__init__(max_workers=max_workers, mp_context=mp_context)
+        self.cost_model = cost_model
+
+    def _costs(self, scenarios: _t.Sequence["Scenario"]) -> list[float]:
+        if self.cost_model is not None:
+            try:
+                return list(self.cost_model.estimate_all(scenarios))
+            except Exception:
+                pass  # calibration is advisory; fall back to the heuristic
+        return [s.cost_estimate() for s in scenarios]
 
     def run(
         self,
@@ -259,9 +288,10 @@ class WorkStealingBackend(_PoolBackendBase):
     ) -> list[_t.Any]:
         if not scenarios:
             return []
+        costs = self._costs(scenarios)
         order = sorted(
             range(len(scenarios)),
-            key=lambda pos: (-scenarios[pos].cost_estimate(), pos),
+            key=lambda pos: (-costs[pos], pos),
         )
         out: list[_t.Any] = [None] * len(scenarios)
         with self._pool(len(scenarios), initializer, initargs) as pool:

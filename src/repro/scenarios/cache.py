@@ -89,6 +89,14 @@ def scenario_digest(scenario: Scenario) -> str:
             else None
         ),
     }
+    if scenario.arrival.kind == "replay" and scenario.arrival.trace:
+        # Replay cells depend on the trace file's *content*, not its
+        # path: editing the trace cold-starts exactly the cells that
+        # replay it, while an untouched file stays a full cache hit even
+        # if it was re-saved byte-identically elsewhere.
+        from ..traces.trace_file import cached_trace
+
+        spec["trace_digest"] = cached_trace(scenario.arrival.trace).digest()
     payload = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -167,49 +175,62 @@ def configure_persistent_caches(cache_dir: str | None) -> None:
     process-pool worker ``initializer`` so every worker shares the solved
     tables through the filesystem.
     """
+    from ..synthesis.dag import set_dag_hints_cache_dir
     from ..synthesis.dp import set_dp_cache_dir
     from ..synthesis.generator import set_hints_cache_dir
 
     if cache_dir is None:
         set_dp_cache_dir(None)
         set_hints_cache_dir(None)
+        set_dag_hints_cache_dir(None)
     else:
         root = os.fspath(cache_dir)
         set_dp_cache_dir(os.path.join(root, "dp"))
         set_hints_cache_dir(os.path.join(root, "hints"))
+        set_dag_hints_cache_dir(os.path.join(root, "dag-hints"))
 
 
-def snapshot_persistent_caches() -> tuple[str | None, str | None]:
-    """Current (dp, hints) disk-layer dirs, for :func:`restore_persistent_caches`."""
+def snapshot_persistent_caches() -> tuple[str | None, str | None, str | None]:
+    """Current (dp, hints, dag-hints) disk-layer dirs, for
+    :func:`restore_persistent_caches`."""
+    from ..synthesis.dag import dag_hints_cache_dir
     from ..synthesis.dp import dp_cache_dir
     from ..synthesis.generator import hints_cache_dir
 
-    return (dp_cache_dir(), hints_cache_dir())
+    return (dp_cache_dir(), hints_cache_dir(), dag_hints_cache_dir())
 
 
 def restore_persistent_caches(
-    snapshot: tuple[str | None, str | None]
+    snapshot: tuple[str | None, str | None, str | None]
 ) -> None:
     """Re-attach the disk layers captured by :func:`snapshot_persistent_caches`.
 
     The sweep runner brackets its runs with snapshot/restore so pointing a
     sweep at a ``cache_dir`` never clobbers a configuration the caller
-    installed directly through ``set_dp_cache_dir``/``set_hints_cache_dir``.
+    installed directly through ``set_dp_cache_dir``/``set_hints_cache_dir``/
+    ``set_dag_hints_cache_dir``.
     """
+    from ..synthesis.dag import set_dag_hints_cache_dir
     from ..synthesis.dp import set_dp_cache_dir
     from ..synthesis.generator import set_hints_cache_dir
 
-    dp_dir, hints_dir = snapshot
+    dp_dir, hints_dir, dag_hints_dir = snapshot
     set_dp_cache_dir(dp_dir)
     set_hints_cache_dir(hints_dir)
+    set_dag_hints_cache_dir(dag_hints_dir)
 
 
 def synthesis_cache_stats() -> dict[str, dict[str, int]]:
     """Current process's DP/hints memo counters (see the synthesis modules)."""
+    from ..synthesis.dag import dag_hints_cache_stats
     from ..synthesis.dp import dp_cache_stats
     from ..synthesis.generator import hints_cache_stats
 
-    return {"dp": dp_cache_stats(), "hints": hints_cache_stats()}
+    return {
+        "dp": dp_cache_stats(),
+        "hints": hints_cache_stats(),
+        "dag_hints": dag_hints_cache_stats(),
+    }
 
 
 def add_stats(

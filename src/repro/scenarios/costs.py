@@ -1,0 +1,167 @@
+"""Calibrated cell-cost model for the work-stealing scheduler.
+
+:meth:`Scenario.cost_estimate` is a static heuristic (requests x tenants
+x nodes x policies x a fixed DES-cluster premium). It orders dispatch
+well enough cold, but misjudges the *relative* premium of cluster cells,
+Janus+ synthesis, and large-sample profiling campaigns. This module
+closes the loop: the sweep runner records each evaluated cell's wall
+time under the cache directory, keyed by the cell's *cost family* — the
+fields that determine how expensive a cell is, excluding those that only
+change the randomness (seeds, SLO scale). On later sweeps the
+work-stealing backend prefers the recorded history's mean over the
+static heuristic wherever history exists, and rescales the heuristic
+into seconds for the cells it has never timed.
+
+Strictly render-only: the model feeds dispatch *ordering*, and every
+backend reassembles results in expansion order, so a stale or wildly
+wrong calibration costs wall time, never correctness. Lookups and
+records never raise — a corrupt history file is simply ignored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import statistics
+import typing as _t
+
+from ..persist import atomic_write_bytes, version_salted_digest
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from .matrix import Scenario
+
+__all__ = ["CellCostModel"]
+
+#: Recorded walls kept per cost family (newest last). A short window so
+#: calibration tracks the current host, not months of stale history.
+_HISTORY_MAX = 16
+
+
+def _static_estimate(scenario: "Scenario") -> float:
+    """The static heuristic, shielded (ordering must never raise)."""
+    try:
+        return float(scenario.cost_estimate())
+    except Exception:
+        return 1.0
+
+
+def _cost_key(scenario: "Scenario") -> tuple:
+    """The cell's cost family: everything that shapes its wall time.
+
+    Seeds, SLO scale and pinned budgets are deliberately absent — they
+    move the randomness and the DP grid bounds, not the asymptotic work —
+    so one family aggregates walls across a whole matrix row and history
+    from a previous sweep transfers to a grown one.
+    """
+    from .registry import workflow_epoch
+
+    return (
+        "cell-cost",
+        scenario.workflow,
+        workflow_epoch(scenario.workflow),
+        scenario.executor,
+        scenario.cluster is not None
+        and dataclasses.astuple(scenario.cluster),
+        scenario.tenants,
+        scenario.n_requests,
+        scenario.samples,
+        tuple(sorted(scenario.policies)),
+    )
+
+
+class CellCostModel:
+    """Per-cost-family wall-time history under ``<root>/``.
+
+    One JSON file per family holding a bounded list of recorded wall
+    seconds. :meth:`estimate_all` serves calibrated means where history
+    exists and bridges the rest through the static heuristic, rescaled by
+    the observed median seconds-per-heuristic-unit so both populations
+    order sensibly against each other.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = os.fspath(root)
+        #: Render-only counters (how many estimates were calibrated).
+        self.calibrated = 0
+        self.fallbacks = 0
+        self._memo: dict[str, list[float] | None] = {}
+
+    def _path(self, scenario: "Scenario") -> str:
+        return os.path.join(
+            self.root, f"{version_salted_digest(_cost_key(scenario))}.json"
+        )
+
+    def _history(self, scenario: "Scenario") -> list[float] | None:
+        try:
+            path = self._path(scenario)
+        except Exception:
+            return None
+        if path in self._memo:
+            return self._memo[path]
+        history: list[float] | None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            walls = [float(w) for w in doc["walls"]]
+            history = walls if walls else None
+        except (OSError, ValueError, KeyError, TypeError):
+            history = None  # absent or torn — fall back to the heuristic
+        self._memo[path] = history
+        return history
+
+    def estimate_all(
+        self, scenarios: _t.Sequence["Scenario"]
+    ) -> list[float]:
+        """One dispatch-ordering cost per cell (never raises).
+
+        Cells with history cost their mean recorded wall (seconds).
+        Cells without are bridged via the static heuristic scaled by the
+        median observed seconds-per-unit across the calibrated cells —
+        with no history anywhere this degenerates to exactly the static
+        heuristic, i.e. the cold behaviour.
+        """
+        statics = [_static_estimate(s) for s in scenarios]
+        means = []
+        for scenario in scenarios:
+            history = self._history(scenario)
+            means.append(
+                sum(history) / len(history) if history else None
+            )
+        ratios = [
+            mean / static
+            for mean, static in zip(means, statics)
+            if mean is not None and static > 0
+        ]
+        scale = statistics.median(ratios) if ratios else 1.0
+        costs = []
+        for mean, static in zip(means, statics):
+            if mean is not None:
+                self.calibrated += 1
+                costs.append(mean)
+            else:
+                self.fallbacks += 1
+                costs.append(static * scale)
+        return costs
+
+    def record(self, scenario: "Scenario", wall_seconds: float) -> None:
+        """Append one observed wall time to the cell's family history.
+
+        Called from the sweep parent as cells complete; best-effort (a
+        read-only cache dir must not fail the sweep).
+        """
+        try:
+            path = self._path(scenario)
+            history = self._history(scenario) or []
+            history = (history + [float(wall_seconds)])[-_HISTORY_MAX:]
+            atomic_write_bytes(
+                path,
+                json.dumps({"schema": 1, "walls": history}).encode("utf-8"),
+            )
+            self._memo[path] = history
+        except Exception:
+            pass
+
+    def stats(self) -> dict[str, int]:
+        """Estimate counters since construction (render-only diagnostics)."""
+        return {"calibrated": self.calibrated, "fallbacks": self.fallbacks}

@@ -8,7 +8,7 @@ import typing as _t
 from dataclasses import dataclass, field, replace
 
 from ..cluster.platform import ClusterConfig
-from ..errors import ExperimentError
+from ..errors import ExperimentError, TraceError
 from ..rng import child_seed
 from ..traces.workload import ArrivalSpec
 from .registry import SCENARIO_WORKFLOWS
@@ -217,6 +217,13 @@ class ScenarioMatrix:
 
     workflows: tuple[str, ...] = ("IA", "VA")
     arrivals: tuple[ArrivalSpec, ...] = (ArrivalSpec(kind="constant"),)
+    #: Trace-file paths appended to the arrivals axis as ``replay`` specs:
+    #: each trace becomes one more arrival shape every workflow cell
+    #: replays (its own sub-stream when the trace carries workflow
+    #: attribution). The trace *content digest* is folded into the cell
+    #: cache key, so editing a trace file cold-starts exactly the cells
+    #: that replay it.
+    traces: tuple[str, ...] = ()
     slo_scales: tuple[float, ...] = (1.0,)
     tenant_counts: tuple[int, ...] = (1,)
     policies: tuple[str, ...] = DEFAULT_SWEEP_POLICIES
@@ -242,7 +249,7 @@ class ScenarioMatrix:
     def __post_init__(self) -> None:
         for axis, values in (
             ("workflows", self.workflows),
-            ("arrivals", self.arrivals),
+            ("arrivals", self.effective_arrivals()),
             ("slo_scales", self.slo_scales),
             ("tenant_counts", self.tenant_counts),
             ("policies", self.policies),
@@ -250,6 +257,7 @@ class ScenarioMatrix:
         ):
             if not values:
                 raise ExperimentError(f"matrix axis {axis!r} may not be empty")
+        self._validate_traces()
         unknown = [w for w in self.workflows if w not in SCENARIO_WORKFLOWS]
         if unknown:
             raise ExperimentError(
@@ -277,10 +285,60 @@ class ScenarioMatrix:
                         f"invalid budget range {pair} for workflow {wf!r}"
                     )
 
+    def effective_arrivals(self) -> tuple[ArrivalSpec, ...]:
+        """The arrivals axis with each trace appended as a replay spec."""
+        return self.arrivals + tuple(
+            ArrivalSpec(kind="replay", trace=path) for path in self.traces
+        )
+
+    def _validate_traces(self) -> None:
+        """Load every trace up front: a bad path or a trace that cannot
+        serve a workflow on the axis must fail at construction, not from a
+        pool worker mid-sweep."""
+        from ..traces.trace_file import cached_trace
+
+        replayed = [
+            spec.trace for spec in self.effective_arrivals()
+            if spec.kind == "replay" and spec.trace
+        ]
+        for path in replayed:
+            try:
+                trace = cached_trace(path)
+            except TraceError as exc:
+                raise ExperimentError(f"traces axis: {exc}") from exc
+            if not trace.workflows:
+                # Unattributed: every workflow replays the full stream.
+                counts = {wf: trace.n_records for wf in self.workflows}
+            else:
+                counts = trace.counts_by_workflow()
+            # A workflow listed in the catalog but with zero records is
+            # just as unservable as one missing from it entirely.
+            unserved = [
+                wf for wf in self.workflows if not counts.get(wf)
+            ]
+            if unserved:
+                raise ExperimentError(
+                    f"trace {path!r} has no records for workflows "
+                    f"{unserved} (catalog: {list(trace.workflows)}) — "
+                    f"their replay cells could never be generated"
+                )
+            # Wrap-around replay needs a gap structure: a single-record
+            # sub-stream cannot be extended to n_requests > 1 arrivals.
+            too_thin = [
+                wf for wf in self.workflows
+                if counts[wf] == 1 and self.n_requests > 1
+            ]
+            if too_thin:
+                raise ExperimentError(
+                    f"trace {path!r} has a single record for workflows "
+                    f"{too_thin}, which cannot be extended to "
+                    f"n_requests={self.n_requests} replayed arrivals"
+                )
+
     def __len__(self) -> int:
         return (
             len(self.workflows)
-            * len(self.arrivals)
+            * len(self.effective_arrivals())
             * len(self.slo_scales)
             * len(self.tenant_counts)
             * len(self.executors)
@@ -299,7 +357,7 @@ class ScenarioMatrix:
         }
         cells = []
         for wf, arrival, scale, tenants, executor in itertools.product(
-            self.workflows, self.arrivals, self.slo_scales,
+            self.workflows, self.effective_arrivals(), self.slo_scales,
             self.tenant_counts, self.executors,
         ):
             cells.append(
@@ -350,11 +408,16 @@ def parse_arrival(text: str) -> ArrivalSpec:
     Grammar: ``kind[@rate]`` — ``constant`` (back-to-back, or
     ``constant@interval_ms``), ``poisson@8``, ``burst@8`` (burst phase
     defaults to 10x the base rate at fraction 0.1), ``azure@8`` (heavy
-    tail, default sigma). Full control over burst/azure shape parameters
-    is available through :class:`ArrivalSpec` directly.
+    tail, default sigma), ``diurnal@8`` (sinusoidal NHPP, default
+    amplitude/period) — plus ``replay@PATH``, whose operand is a trace
+    file path, not a rate. Full control over burst/azure/diurnal shape
+    parameters is available through :class:`ArrivalSpec` directly.
     """
     kind, _, rate = text.partition("@")
     kind = kind.strip().lower()
+    if kind == "replay":
+        # The operand is a path; empty means a malformed token.
+        return ArrivalSpec(kind="replay", trace=rate.strip() or None)
     try:
         value = float(rate) if rate else None
     except ValueError:
@@ -363,7 +426,7 @@ def parse_arrival(text: str) -> ArrivalSpec:
         return ArrivalSpec(
             kind="constant", interval_ms=value if value is not None else 0.0
         )
-    if kind in ("poisson", "burst", "azure"):
+    if kind in ("poisson", "burst", "azure", "diurnal"):
         # An explicit 0 rate passes through so the generators' own
         # validation rejects it — only an *absent* rate gets the default.
         return ArrivalSpec(
@@ -371,7 +434,7 @@ def parse_arrival(text: str) -> ArrivalSpec:
         )
     raise ExperimentError(
         f"unknown arrival kind {kind!r} in {text!r}; "
-        "known: constant, poisson, burst, azure"
+        "known: constant, poisson, burst, azure, diurnal, replay"
     )
 
 

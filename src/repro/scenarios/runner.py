@@ -37,6 +37,7 @@ from .cache import (
     snapshot_persistent_caches,
     synthesis_cache_stats,
 )
+from .costs import CellCostModel
 from .matrix import Scenario, ScenarioMatrix
 from .registry import scenario_workflow, workflow_epoch
 from .report import CARRIED_EXTRAS, ScenarioResult, SweepReport
@@ -297,6 +298,14 @@ class SweepRunner:
         total = len(scenarios)
         start = time.perf_counter()
         cache = CellCache(self.cache_dir) if self.cache_dir else None
+        # Calibrated dispatch costs ride on the same cache dir: walls
+        # recorded as cells complete feed later sweeps' work-stealing
+        # order. Ordering-only, so this cannot affect results.
+        cost_model = (
+            CellCostModel(os.path.join(self.cache_dir, "costs"))
+            if self.cache_dir
+            else None
+        )
 
         raw: list[ScenarioResult | None] = [None] * total
         pending: list[tuple[int, Scenario]] = []
@@ -321,6 +330,7 @@ class SweepRunner:
         effective = min(self.max_workers, len(pending)) if pending else 1
         backend = resolve_backend(
             self.backend, max_workers=effective, mp_context=self.mp_context,
+            cost_model=cost_model,
         )
         synth_stats: dict[str, dict[str, int]] = {}
         if pending:
@@ -332,6 +342,8 @@ class SweepRunner:
                 # every other cell.
                 if cache is not None:
                     cache.store(scenario, outcome.result)
+                if cost_model is not None:
+                    cost_model.record(scenario, outcome.wall_seconds)
                 self._emit(
                     scenario, resolved, total, outcome.wall_seconds, False
                 )

@@ -7,7 +7,14 @@ runtime. See DESIGN.md §3 for the vectorisation strategy.
 
 from .budget import BudgetRange, budget_range_for_chain
 from .condenser import condense
-from .dag import DagWorkflowHints, downstream_chain, synthesize_dag_hints
+from .dag import (
+    DagWorkflowHints,
+    clear_dag_hints_cache,
+    dag_hints_cache_stats,
+    downstream_chain,
+    set_dag_hints_cache_dir,
+    synthesize_dag_hints,
+)
 from .dp import ChainDP
 from .generator import (
     HeadExploration,
@@ -25,6 +32,9 @@ __all__ = [
     "DagWorkflowHints",
     "synthesize_dag_hints",
     "downstream_chain",
+    "clear_dag_hints_cache",
+    "set_dag_hints_cache_dir",
+    "dag_hints_cache_stats",
     "HeadExploration",
     "SynthesisConfig",
     "HintSynthesizer",

@@ -24,11 +24,14 @@ the paper's per-suffix tables when the DAG is a chain.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 import typing as _t
 from dataclasses import dataclass, field
 
 from ..errors import SynthesisError
+from ..persist import DiskBackedMemo, atomic_write_bytes
 from ..profiling.profiles import ProfileSet
 from ..workflow.catalog import Workflow
 from ..workflow.dag import WorkflowDAG
@@ -38,7 +41,15 @@ from .dp import ChainDP
 from .generator import HeadExploration, HintSynthesizer, SynthesisConfig
 from .hints import CondensedHintsTable
 
-__all__ = ["DagWorkflowHints", "synthesize_dag_hints", "downstream_chain"]
+__all__ = [
+    "DagWorkflowHints",
+    "synthesize_dag_hints",
+    "downstream_chain",
+    "clear_dag_hints_cache",
+    "set_dag_hints_cache_dir",
+    "dag_hints_cache_dir",
+    "dag_hints_cache_stats",
+]
 
 
 def downstream_chain(
@@ -102,6 +113,113 @@ class DagWorkflowHints:
         """Bytes across all tables."""
         return sum(t.memory_bytes() for t in self.tables.values())
 
+    def to_json(self) -> str:
+        """Serialise (developer -> provider hand-off, disk memo layer)."""
+        return json.dumps(
+            {
+                "workflow_name": self.workflow_name,
+                "tables": {
+                    name: table.to_dict()
+                    for name, table in self.tables.items()
+                },
+                "chains": {
+                    name: list(chain) for name, chain in self.chains.items()
+                },
+                "synthesis_seconds": self.synthesis_seconds,
+                "metadata": self.metadata,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DagWorkflowHints":
+        """Inverse of :meth:`to_json`."""
+        doc = json.loads(text)
+        return cls(
+            workflow_name=doc["workflow_name"],
+            tables={
+                name: CondensedHintsTable.from_dict(table)
+                for name, table in doc["tables"].items()
+            },
+            chains={
+                name: tuple(chain) for name, chain in doc["chains"].items()
+            },
+            synthesis_seconds=doc.get("synthesis_seconds", 0.0),
+            metadata=doc.get("metadata", {}),
+        )
+
+
+#: Process-wide memo of DAG hint tables, mirroring the chain-hints memo in
+#: :mod:`repro.synthesis.generator`: keyed by every input the synthesis
+#: reads (per-node profile digests, the DAG's node/edge structure, the
+#: resource grid, budget, concurrency and the config knobs). DAG cells
+#: previously reached the DP disk layer through ``ChainDP.cached`` but
+#: re-ran the per-function suffix sweeps every time; this memo skips them.
+#: The disk layer (attached by the sweep runner's ``--cache-dir`` plumbing
+#: alongside the DP and chain-hints layers) and the counters live in the
+#: shared :class:`~repro.persist.DiskBackedMemo` machinery.
+_DAG_HINTS_MEMO = DiskBackedMemo("syntheses", max_entries=64)
+
+
+def set_dag_hints_cache_dir(path: str | os.PathLike[str] | None) -> None:
+    """Attach (or detach, with ``None``) the DAG-hints memo's disk layer."""
+    _DAG_HINTS_MEMO.set_dir(path)
+
+
+def dag_hints_cache_dir() -> str | None:
+    """The currently attached disk-layer directory (``None`` = detached)."""
+    return _DAG_HINTS_MEMO.dir()
+
+
+def dag_hints_cache_stats() -> dict[str, int]:
+    """Copy of the process-wide DAG-hints memo counters."""
+    return _DAG_HINTS_MEMO.stats()
+
+
+def clear_dag_hints_cache() -> None:
+    """Drop all memoised DAG hints (mainly for tests and benchmarks).
+
+    Clears the in-memory memo only — a configured disk layer keeps its
+    files (delete the directory to cold-start it).
+    """
+    _DAG_HINTS_MEMO.clear()
+
+
+def _dag_hints_key(
+    workflow: Workflow,
+    profiles: ProfileSet,
+    budget: BudgetRange | None,
+    concurrency: int,
+    weight: float,
+    exploration: HeadExploration,
+    enforce_resilience: bool,
+) -> tuple:
+    dag = workflow.dag
+    return (
+        workflow.name,
+        tuple(dag.nodes),
+        tuple(sorted(dag.edges)),
+        tuple(profiles[n].digest() for n in dag.nodes),
+        (workflow.limits.kmin, workflow.limits.kmax, workflow.limits.step),
+        None if budget is None
+        else (budget.tmin_ms, budget.tmax_ms, budget.step_ms),
+        int(concurrency),
+        float(weight),
+        exploration.value,
+        bool(enforce_resilience),
+    )
+
+
+def _load_disk_dag_hints(path: str) -> DagWorkflowHints | None:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return DagWorkflowHints.from_json(fh.read())
+    except (OSError, ValueError, KeyError, SynthesisError):
+        return None  # absent or torn entry — treat as a miss
+
+
+def _store_disk_dag_hints(path: str, hints: DagWorkflowHints) -> None:
+    atomic_write_bytes(path, hints.to_json().encode("utf-8"))
+
 
 def synthesize_dag_hints(
     workflow: Workflow,
@@ -119,7 +237,38 @@ def synthesize_dag_hints(
     ``exploration`` selects the Janus variant exactly as in the chain
     synthesizer (NONE = Janus-, HEAD_ONLY = Janus, HEAD_PLUS_NEXT = Janus+);
     ``enforce_resilience`` toggles the Eq. 6 constraint as there.
+
+    Results are memoised process-wide on the full input key (profile
+    digests + DAG structure + knobs), with an optional disk layer behind
+    the memo (:func:`set_dag_hints_cache_dir`); hints are deployed
+    read-only, so repeated calls return the shared object and
+    ``synthesis_seconds`` reports the original live run.
     """
+    key = _dag_hints_key(
+        workflow, profiles, budget, concurrency, weight, exploration,
+        enforce_resilience,
+    )
+    return _DAG_HINTS_MEMO.get(
+        key,
+        compute=lambda: _synthesize_dag_hints_live(
+            workflow, profiles, budget, concurrency, weight, exploration,
+            enforce_resilience,
+        ),
+        load=_load_disk_dag_hints,
+        store=_store_disk_dag_hints,
+    )
+
+
+def _synthesize_dag_hints_live(
+    workflow: Workflow,
+    profiles: ProfileSet,
+    budget: BudgetRange | None = None,
+    concurrency: int = 1,
+    weight: float = 1.0,
+    exploration: HeadExploration = HeadExploration.HEAD_ONLY,
+    enforce_resilience: bool = True,
+) -> DagWorkflowHints:
+    """The un-memoised synthesis (see :func:`synthesize_dag_hints`)."""
     start = time.perf_counter()
     dag = workflow.dag
     anchor = profiles.percentiles.anchor

@@ -26,7 +26,6 @@ microseconds-per-budget instead of the naive exhaustive search.
 
 from __future__ import annotations
 
-import collections
 import io
 import os
 import typing as _t
@@ -34,7 +33,7 @@ import typing as _t
 import numpy as np
 
 from ..errors import SynthesisError
-from ..persist import atomic_write_bytes, version_salted_digest
+from ..persist import DiskBackedMemo, atomic_write_bytes
 from ..profiling.profiles import LatencyProfile
 
 __all__ = [
@@ -53,37 +52,26 @@ _INF = np.inf
 #: the map is LRU-bounded because sweeps touch many (budget, workflow)
 #: combinations. Synthesis re-runs with shared profiles (SLO sweeps, the
 #: scenario matrix, repeated Session calls) skip the whole suffix solve.
-_DP_CACHE: "collections.OrderedDict[tuple, ChainDP]" = collections.OrderedDict()
-_DP_CACHE_MAX = 128
-
-#: Optional disk layer behind the in-memory memo: one ``.npz`` of solved
-#: tables per key, shared across processes through the filesystem (sweep
-#: pool workers all point here via their initializer). ``None`` = memory
-#: only. The key already content-addresses every solve input (profile
-#: digests, tmax, concurrency), so entries never go stale — the package
-#: version is folded into the filename so a solver change invalidates them.
-_DP_DISK_DIR: str | None = None
-
-#: Memo observability: ``memory_hits`` / ``disk_hits`` / ``solves`` since
-#: process start. Sweep workers report per-cell deltas of these so
-#: :class:`~repro.scenarios.report.SweepReport` can surface hit rates.
-_DP_STATS = {"memory_hits": 0, "disk_hits": 0, "solves": 0}
+#: The optional disk layer (one ``.npz`` of solved tables per key, shared
+#: across pool workers through the filesystem) and the
+#: memory/disk/``solves`` counters live in the shared
+#: :class:`~repro.persist.DiskBackedMemo` machinery.
+_DP_MEMO = DiskBackedMemo("solves", max_entries=128, suffix=".npz")
 
 
 def set_dp_cache_dir(path: str | os.PathLike[str] | None) -> None:
     """Attach (or detach, with ``None``) the DP memo's disk layer."""
-    global _DP_DISK_DIR
-    _DP_DISK_DIR = None if path is None else os.fspath(path)
+    _DP_MEMO.set_dir(path)
 
 
 def dp_cache_dir() -> str | None:
     """The currently attached disk-layer directory (``None`` = detached)."""
-    return _DP_DISK_DIR
+    return _DP_MEMO.dir()
 
 
 def dp_cache_stats() -> dict[str, int]:
     """Copy of the process-wide DP memo counters."""
-    return dict(_DP_STATS)
+    return _DP_MEMO.stats()
 
 
 def clear_dp_cache() -> None:
@@ -92,41 +80,7 @@ def clear_dp_cache() -> None:
     Clears the in-memory memo only — a configured disk layer keeps its
     files (delete the directory to cold-start it).
     """
-    _DP_CACHE.clear()
-
-
-def _disk_path(key: tuple) -> str:
-    assert _DP_DISK_DIR is not None
-    return os.path.join(_DP_DISK_DIR, f"{version_salted_digest(key)}.npz")
-
-
-def _load_disk(
-    key: tuple,
-    profiles: _t.Sequence[LatencyProfile],
-    tmax_ms: int,
-    concurrency: int,
-) -> "ChainDP | None":
-    if _DP_DISK_DIR is None:
-        return None
-    try:
-        with np.load(_disk_path(key)) as doc:
-            tables = (doc["cost"], doc["resil"], doc["head_ki"])
-    except (OSError, ValueError, KeyError):
-        return None
-    expected = (len(profiles), int(tmax_ms) + 1)
-    if any(t.shape != expected for t in tables):
-        return None  # stale layout — treat as a miss and re-solve
-    return ChainDP(profiles, tmax_ms, concurrency, _tables=tables)
-
-
-def _store_disk(key: tuple, dp: "ChainDP") -> None:
-    if _DP_DISK_DIR is None:
-        return
-    buf = io.BytesIO()
-    np.savez_compressed(
-        buf, cost=dp._cost, resil=dp._resil, head_ki=dp._head_ki
-    )
-    atomic_write_bytes(_disk_path(key), buf.getvalue())
+    _DP_MEMO.clear()
 
 
 class ChainDP:
@@ -152,29 +106,31 @@ class ChainDP:
             int(tmax_ms),
             int(concurrency),
         )
-        dp = _DP_CACHE.get(key)
-        if dp is not None:
-            _DP_STATS["memory_hits"] += 1
-            _DP_CACHE.move_to_end(key)
-            # Write-through: a memo warmed before the disk layer was
-            # attached must still persist, or long-lived processes would
-            # never share their solved tables with pool workers.
-            if _DP_DISK_DIR is not None and not os.path.exists(
-                _disk_path(key)
-            ):
-                _store_disk(key, dp)
-            return dp
-        dp = _load_disk(key, profiles, tmax_ms, concurrency)
-        if dp is None:
-            dp = cls(profiles, tmax_ms, concurrency)
-            _DP_STATS["solves"] += 1
-            _store_disk(key, dp)
-        else:
-            _DP_STATS["disk_hits"] += 1
-        _DP_CACHE[key] = dp
-        if len(_DP_CACHE) > _DP_CACHE_MAX:
-            _DP_CACHE.popitem(last=False)
-        return dp
+
+        def load(path: str) -> "ChainDP | None":
+            try:
+                with np.load(path) as doc:
+                    tables = (doc["cost"], doc["resil"], doc["head_ki"])
+            except (OSError, ValueError, KeyError):
+                return None
+            expected = (len(profiles), int(tmax_ms) + 1)
+            if any(t.shape != expected for t in tables):
+                return None  # stale layout — treat as a miss and re-solve
+            return cls(profiles, tmax_ms, concurrency, _tables=tables)
+
+        def store(path: str, dp: "ChainDP") -> None:
+            buf = io.BytesIO()
+            np.savez_compressed(
+                buf, cost=dp._cost, resil=dp._resil, head_ki=dp._head_ki
+            )
+            atomic_write_bytes(path, buf.getvalue())
+
+        return _DP_MEMO.get(
+            key,
+            compute=lambda: cls(profiles, tmax_ms, concurrency),
+            load=load,
+            store=store,
+        )
 
     def __init__(
         self,

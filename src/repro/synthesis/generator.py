@@ -25,7 +25,6 @@ complexity argument). Exploration modes:
 
 from __future__ import annotations
 
-import collections as _collections
 import enum
 import math
 import os
@@ -36,7 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SynthesisError
-from ..persist import atomic_write_bytes, version_salted_digest
+from ..persist import DiskBackedMemo, atomic_write_bytes
 from ..profiling.profiles import ProfileSet
 from .budget import BudgetRange, budget_range_for_chain
 from .condenser import condense
@@ -393,40 +392,26 @@ class HintSynthesizer:
 #: synthesis reads: per-function profile digests, chain, budget, concurrency
 #: and the SynthesisConfig knobs. Hints are deployed read-only, so the memo
 #: returns the shared object; SLO sweeps and scenario matrices that revisit
-#: a configuration skip both the DP solve and the percentile sweep.
-_HINTS_CACHE: "_collections.OrderedDict[tuple, WorkflowHints]" = (
-    _collections.OrderedDict()
-)
-_HINTS_CACHE_MAX = 64
-
-#: Optional disk layer behind the memo: one JSON file of condensed tables
-#: per key, shared across processes (sweep pool workers point here via
-#: their initializer). The key content-addresses every synthesis input —
-#: profile digests + all knobs — so entries never go stale; the package
-#: version is folded into the filename so a synthesizer change invalidates
-#: them wholesale.
-_HINTS_DISK_DIR: str | None = None
-
-#: Memo observability, mirrored on the DP cache: per-process counters the
-#: sweep runner samples around each cell to surface hit rates in
-#: :class:`~repro.scenarios.report.SweepReport`.
-_HINTS_STATS = {"memory_hits": 0, "disk_hits": 0, "syntheses": 0}
+#: a configuration skip both the DP solve and the percentile sweep. The
+#: optional disk layer (one JSON of condensed tables per key, shared across
+#: pool workers) and the memory/disk/``syntheses`` counters live in the
+#: shared :class:`~repro.persist.DiskBackedMemo` machinery.
+_HINTS_MEMO = DiskBackedMemo("syntheses", max_entries=64)
 
 
 def set_hints_cache_dir(path: str | os.PathLike[str] | None) -> None:
     """Attach (or detach, with ``None``) the hints memo's disk layer."""
-    global _HINTS_DISK_DIR
-    _HINTS_DISK_DIR = None if path is None else os.fspath(path)
+    _HINTS_MEMO.set_dir(path)
 
 
 def hints_cache_dir() -> str | None:
     """The currently attached disk-layer directory (``None`` = detached)."""
-    return _HINTS_DISK_DIR
+    return _HINTS_MEMO.dir()
 
 
 def hints_cache_stats() -> dict[str, int]:
     """Copy of the process-wide hints memo counters."""
-    return dict(_HINTS_STATS)
+    return _HINTS_MEMO.stats()
 
 
 def clear_hints_cache() -> None:
@@ -435,30 +420,19 @@ def clear_hints_cache() -> None:
     Clears the in-memory memo only — a configured disk layer keeps its
     files (delete the directory to cold-start it).
     """
-    _HINTS_CACHE.clear()
+    _HINTS_MEMO.clear()
 
 
-def _disk_path(key: tuple) -> str:
-    assert _HINTS_DISK_DIR is not None
-    return os.path.join(
-        _HINTS_DISK_DIR, f"{version_salted_digest(key)}.json"
-    )
-
-
-def _load_disk_hints(key: tuple) -> WorkflowHints | None:
-    if _HINTS_DISK_DIR is None:
-        return None
+def _load_disk_hints(path: str) -> WorkflowHints | None:
     try:
-        with open(_disk_path(key), "r", encoding="utf-8") as fh:
+        with open(path, "r", encoding="utf-8") as fh:
             return WorkflowHints.from_json(fh.read())
     except (OSError, ValueError, KeyError, SynthesisError):
         return None  # absent or torn entry — treat as a miss
 
 
-def _store_disk_hints(key: tuple, hints: WorkflowHints) -> None:
-    if _HINTS_DISK_DIR is None:
-        return
-    atomic_write_bytes(_disk_path(key), hints.to_json().encode("utf-8"))
+def _store_disk_hints(path: str, hints: WorkflowHints) -> None:
+    atomic_write_bytes(path, hints.to_json().encode("utf-8"))
 
 
 def synthesize_hints(
@@ -488,20 +462,7 @@ def synthesize_hints(
         bool(enforce_resilience),
         workflow_name,
     )
-    hints = _HINTS_CACHE.get(key)
-    if hints is not None:
-        _HINTS_STATS["memory_hits"] += 1
-        _HINTS_CACHE.move_to_end(key)
-        # Write-through: a memo warmed before the disk layer was attached
-        # must still persist, or long-lived processes would never share
-        # their tables with pool workers.
-        if _HINTS_DISK_DIR is not None and not os.path.exists(
-            _disk_path(key)
-        ):
-            _store_disk_hints(key, hints)
-        return hints
-    hints = _load_disk_hints(key)
-    if hints is None:
+    def compute() -> WorkflowHints:
         synth = HintSynthesizer(
             profiles,
             chain,
@@ -511,12 +472,8 @@ def synthesize_hints(
                 enforce_resilience=enforce_resilience,
             ),
         )
-        hints = synth.synthesize(budget, concurrency, workflow_name)
-        _HINTS_STATS["syntheses"] += 1
-        _store_disk_hints(key, hints)
-    else:
-        _HINTS_STATS["disk_hits"] += 1
-    _HINTS_CACHE[key] = hints
-    if len(_HINTS_CACHE) > _HINTS_CACHE_MAX:
-        _HINTS_CACHE.popitem(last=False)
-    return hints
+        return synth.synthesize(budget, concurrency, workflow_name)
+
+    return _HINTS_MEMO.get(
+        key, compute, load=_load_disk_hints, store=_store_disk_hints
+    )

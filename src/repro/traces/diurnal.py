@@ -1,0 +1,180 @@
+"""Time-varying arrival rates: diurnal curves and the NHPP sampler.
+
+Production serverless traffic is not stationary — the Azure Functions
+trace behind the paper's Fig. 1a shows pronounced diurnal rate swings on
+top of its Zipf popularity skew. This module models the rate side:
+
+* :class:`DiurnalRate` — a deterministic rate curve ``rate(t)`` in
+  requests/s, either sinusoidal (one smooth day/night swing) or
+  piecewise-constant (explicit step schedule), both periodic.
+* :func:`nhpp_arrivals` — samples a non-homogeneous Poisson process from
+  any such curve by Lewis–Shedler thinning: candidates are drawn from a
+  homogeneous process at the peak rate and accepted with probability
+  ``rate(t) / peak``. The chunked loop consumes the generator in a
+  deterministic order, so a fixed seed replays bit-identically — the
+  contract every sweep arrival process must honour.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = ["DiurnalRate", "nhpp_arrivals"]
+
+
+@dataclass(frozen=True)
+class DiurnalRate:
+    """A periodic arrival-rate curve ``rate(t_s)`` in requests/s.
+
+    Build via :meth:`sinusoid` or :meth:`piecewise`; both wrap with period
+    ``period_s`` so a cell can span any number of cycles.
+    """
+
+    kind: str
+    period_s: float
+    #: Sinusoid parameters (ignored for piecewise curves).
+    base_rate_per_s: float = 0.0
+    amplitude: float = 0.0
+    phase: float = 0.0
+    #: Piecewise steps ``((t0_s, rate0), (t1_s, rate1), ...)`` with
+    #: ``t0 == 0`` and strictly ascending times below ``period_s``; each
+    #: rate holds until the next breakpoint (the last until wrap-around).
+    points: tuple[tuple[float, float], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sinusoid", "piecewise"):
+            raise TraceError(f"unknown rate-curve kind {self.kind!r}")
+        if self.period_s <= 0:
+            raise TraceError(f"period must be > 0, got {self.period_s}")
+        if self.kind == "sinusoid":
+            if self.base_rate_per_s <= 0:
+                raise TraceError(
+                    f"base rate must be > 0, got {self.base_rate_per_s}"
+                )
+            if not 0.0 <= self.amplitude <= 1.0:
+                # Amplitude is relative: 1.0 dips to zero at the trough.
+                raise TraceError(
+                    f"amplitude must be in [0, 1], got {self.amplitude}"
+                )
+        else:
+            if not self.points:
+                raise TraceError("piecewise curve requires >= 1 breakpoint")
+            times = [t for t, _ in self.points]
+            rates = [r for _, r in self.points]
+            if times[0] != 0.0:
+                raise TraceError(
+                    f"first breakpoint must start at t=0, got {times[0]}"
+                )
+            if any(b <= a for a, b in zip(times, times[1:])):
+                raise TraceError(f"breakpoint times must ascend: {times}")
+            if times[-1] >= self.period_s:
+                raise TraceError(
+                    f"breakpoints must lie below the period "
+                    f"({times[-1]} >= {self.period_s})"
+                )
+            if any(r < 0 for r in rates) or max(rates) <= 0:
+                raise TraceError(
+                    f"rates must be >= 0 with a positive peak: {rates}"
+                )
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def sinusoid(
+        cls,
+        base_rate_per_s: float,
+        amplitude: float = 0.6,
+        period_s: float = 3600.0,
+        phase: float = 0.0,
+    ) -> "DiurnalRate":
+        """``base * (1 + amplitude * sin(2*pi*t/period + phase))``."""
+        return cls(
+            kind="sinusoid",
+            period_s=float(period_s),
+            base_rate_per_s=float(base_rate_per_s),
+            amplitude=float(amplitude),
+            phase=float(phase),
+        )
+
+    @classmethod
+    def piecewise(
+        cls,
+        points: _t.Sequence[tuple[float, float]],
+        period_s: float | None = None,
+    ) -> "DiurnalRate":
+        """Step schedule; the period defaults to twice the last breakpoint.
+
+        With ``points=((0, 10), (300, 80))`` and ``period_s=600`` the rate
+        is 10/s for the first five minutes of every ten, 80/s after.
+        """
+        pts = tuple((float(t), float(r)) for t, r in points)
+        if period_s is None:
+            period_s = 2.0 * pts[-1][0] if len(pts) > 1 else 1.0
+        return cls(kind="piecewise", period_s=float(period_s), points=pts)
+
+    # -- evaluation ---------------------------------------------------------
+    def rate_at(self, t_s: "np.ndarray | float") -> np.ndarray:
+        """Instantaneous rate (requests/s) at time(s) ``t_s`` (vectorised)."""
+        t = np.asarray(t_s, dtype=np.float64)
+        if self.kind == "sinusoid":
+            return self.base_rate_per_s * (
+                1.0
+                + self.amplitude
+                * np.sin(2.0 * np.pi * t / self.period_s + self.phase)
+            )
+        wrapped = np.mod(t, self.period_s)
+        times = np.array([p[0] for p in self.points])
+        rates = np.array([p[1] for p in self.points])
+        idx = np.searchsorted(times, wrapped, side="right") - 1
+        return rates[idx]
+
+    @property
+    def peak_rate(self) -> float:
+        """The curve's maximum rate — the thinning envelope."""
+        if self.kind == "sinusoid":
+            return self.base_rate_per_s * (1.0 + self.amplitude)
+        return max(r for _, r in self.points)
+
+    @property
+    def mean_rate(self) -> float:
+        """Time-averaged rate over one period."""
+        if self.kind == "sinusoid":
+            return self.base_rate_per_s  # the sine integrates to zero
+        times = [p[0] for p in self.points] + [self.period_s]
+        spans = np.diff(times)
+        rates = np.array([p[1] for p in self.points])
+        return float(np.dot(spans, rates) / self.period_s)
+
+
+def nhpp_arrivals(
+    curve: DiurnalRate, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``n`` arrival timestamps (ms) of a non-homogeneous Poisson process.
+
+    Lewis–Shedler thinning: homogeneous candidates at :attr:`DiurnalRate.
+    peak_rate`, each kept with probability ``rate(t) / peak``. Chunk sizes
+    depend only on ``n`` and the accepted count so far, so the generator
+    is consumed in a deterministic order and a fixed seed replays
+    bit-identically.
+    """
+    if n <= 0:
+        raise TraceError(f"n must be > 0, got {n}")
+    peak = curve.peak_rate
+    out = np.empty(n, dtype=np.float64)
+    filled = 0
+    t_ms = 0.0
+    while filled < n:
+        m = max(128, 2 * (n - filled))
+        gaps_ms = rng.exponential(1000.0 / peak, size=m)
+        candidates = t_ms + np.cumsum(gaps_ms)
+        u = rng.random(m)
+        accepted = candidates[u * peak < curve.rate_at(candidates / 1000.0)]
+        take = min(accepted.size, n - filled)
+        out[filled : filled + take] = accepted[:take]
+        filled += take
+        t_ms = float(candidates[-1])
+    return out

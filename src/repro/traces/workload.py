@@ -23,6 +23,8 @@ from .arrivals import (
     constant_arrivals,
     poisson_arrivals,
 )
+from .diurnal import DiurnalRate, nhpp_arrivals
+from .trace_file import cached_trace, replay_arrivals
 
 __all__ = [
     "ArrivalSpec",
@@ -34,7 +36,7 @@ __all__ = [
 InterferenceDraw = _t.Callable[[np.random.Generator], float]
 
 #: Arrival processes an :class:`ArrivalSpec` can name.
-ARRIVAL_KINDS = ("constant", "poisson", "burst", "azure")
+ARRIVAL_KINDS = ("constant", "poisson", "burst", "azure", "diurnal", "replay")
 
 
 @dataclass(frozen=True)
@@ -49,8 +51,12 @@ class ArrivalSpec:
     ``kind`` is one of ``constant`` (fixed ``interval_ms`` spacing),
     ``poisson`` (exponential gaps at ``rate_per_s``), ``burst`` (two-phase
     Poisson mixing ``rate_per_s`` with ``burst_rate_per_s`` at
-    ``burst_fraction``), or ``azure`` (heavy-tailed lognormal gaps with
-    log-std ``sigma`` replaying the Azure-trace shape).
+    ``burst_fraction``), ``azure`` (heavy-tailed lognormal gaps with
+    log-std ``sigma`` replaying the Azure-trace shape), ``diurnal`` (a
+    non-homogeneous Poisson process on a sinusoidal day/night rate curve:
+    mean ``rate_per_s``, relative swing ``amplitude``, cycle ``period_s``),
+    or ``replay`` (arrivals read verbatim from the trace file at
+    ``trace`` — the one kind that consumes no randomness).
     """
 
     kind: str = "constant"
@@ -59,6 +65,15 @@ class ArrivalSpec:
     burst_rate_per_s: float | None = None
     burst_fraction: float = 0.1
     sigma: float = 1.5
+    #: Diurnal shape: relative swing in [0, 1] (1 dips to zero at the
+    #: trough) and the cycle length in seconds.
+    amplitude: float = 0.6
+    period_s: float = 60.0
+    #: Replay source: path to a trace file readable by
+    #: :func:`~repro.traces.trace_file.load_trace`. The file is read at
+    #: draw time (and memoised per content), so workers replay whatever
+    #: the file holds when the cell runs.
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ARRIVAL_KINDS:
@@ -74,7 +89,7 @@ class ArrivalSpec:
                 raise TraceError(
                     f"interval must be >= 0, got {self.interval_ms}"
                 )
-        elif self.rate_per_s <= 0:
+        elif self.kind != "replay" and self.rate_per_s <= 0:
             raise TraceError(f"rate must be > 0, got {self.rate_per_s}")
         if self.kind == "burst":
             if self.burst_rate_per_s is not None and self.burst_rate_per_s <= 0:
@@ -87,6 +102,16 @@ class ArrivalSpec:
                 )
         if self.kind == "azure" and self.sigma < 0:
             raise TraceError(f"sigma must be >= 0, got {self.sigma}")
+        if self.kind == "diurnal":
+            # Delegated construction validates amplitude/period alongside
+            # the rate, at spec-build time as for the other kinds.
+            DiurnalRate.sinusoid(
+                self.rate_per_s, self.amplitude, self.period_s
+            )
+        if self.kind == "replay" and not self.trace:
+            raise TraceError(
+                "replay arrivals require trace=<path to a trace file>"
+            )
 
     @property
     def label(self) -> str:
@@ -105,10 +130,33 @@ class ArrivalSpec:
                 f"burst@{self.rate_per_s:g}/s+{burst_rate:g}/s"
                 f"@{self.burst_fraction:g}"
             )
+        if self.kind == "diurnal":
+            return (
+                f"diurnal@{self.rate_per_s:g}/s~{self.amplitude:g}"
+                f"x{self.period_s:g}s"
+            )
+        if self.kind == "replay":
+            # The path as given, not its content digest: the label keys
+            # seed derivation and cell identifiers, and an edited trace
+            # must keep the cell's dynamics streams (common random
+            # numbers) while the cache key — which folds the content
+            # digest in separately — goes cold.
+            return f"replay@{self.trace}"
         return f"azure@{self.rate_per_s:g}/s~{self.sigma:g}"
 
-    def timestamps(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        """``n`` arrival timestamps (ms) drawn from this process."""
+    def timestamps(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        workflow: str | None = None,
+    ) -> np.ndarray:
+        """``n`` arrival timestamps (ms) drawn from this process.
+
+        ``workflow`` only matters for ``replay`` specs: a trace carrying
+        per-record workflow attribution replays the named workflow's
+        sub-stream (its share of the recorded popularity mix), an
+        unattributed trace replays the full stream.
+        """
         if self.kind == "constant":
             return constant_arrivals(self.interval_ms, n)
         if self.kind == "poisson":
@@ -122,6 +170,14 @@ class ArrivalSpec:
             return burst_arrivals(
                 self.rate_per_s, burst_rate, self.burst_fraction, n, rng
             )
+        if self.kind == "diurnal":
+            curve = DiurnalRate.sinusoid(
+                self.rate_per_s, self.amplitude, self.period_s
+            )
+            return nhpp_arrivals(curve, n, rng)
+        if self.kind == "replay":
+            assert self.trace is not None  # __post_init__ guarantees it
+            return replay_arrivals(cached_trace(self.trace), n, workflow)
         return azure_like_arrivals(self.rate_per_s, n, rng, sigma=self.sigma)
 
 
@@ -181,7 +237,9 @@ def generate_requests(
     cfg = config or WorkloadConfig()
     factory = RngFactory(seed).fork("workload", workflow.name)
     arrival_rng = factory.stream("arrivals")
-    arrivals = cfg.arrival_spec().timestamps(cfg.n_requests, arrival_rng)
+    arrivals = cfg.arrival_spec().timestamps(
+        cfg.n_requests, arrival_rng, workflow=workflow.name
+    )
     slo = float(cfg.slo_ms if cfg.slo_ms is not None else workflow.slo_ms)
     concurrency = int(
         cfg.concurrency if cfg.concurrency is not None else workflow.max_concurrency
@@ -219,6 +277,7 @@ def generate_requests(
                 slo_ms=slo,
                 stage_dynamics=dynamics,
                 concurrency=concurrency,
+                workflow=workflow.name,
             )
         )
     return requests

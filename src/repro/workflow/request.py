@@ -49,6 +49,13 @@ class WorkflowRequest:
     slo_ms: Milliseconds
     stage_dynamics: dict[str, InvocationDynamics]
     concurrency: int = 1
+    #: Name of the workflow this request triggers. Informational (empty
+    #: for hand-built requests): executors resolve stages through their
+    #: own workflow, but recording a stream back out as a trace
+    #: (:func:`repro.traces.trace_file.trace_from_requests`) needs the
+    #: attribution — especially for merged multi-tenant/multi-workflow
+    #: streams.
+    workflow: str = ""
 
     def __post_init__(self) -> None:
         if self.slo_ms <= 0:

@@ -161,3 +161,97 @@ class TestSweepBackendsAndCache:
         out = capsys.readouterr().out
         assert "cell cache" not in out
         assert not cache.exists()
+
+
+class TestTraceCommands:
+    def test_generate_summarize_replay_round_trip(self, capsys, tmp_path):
+        out = tmp_path / "day.jsonl"
+        assert main(
+            ["trace", "generate", "--workflows", "IA,VA", "--n", "150",
+             "--arrival", "diurnal@10", "--period-s", "10",
+             "--amplitude", "0.8", "--zipf", "1.0", "--seed", "7",
+             "--out", str(out)]
+        ) == 0
+        gen_out = capsys.readouterr().out
+        assert "generated 150 records" in gen_out
+        assert "content digest: " in gen_out
+        assert out.exists()
+
+        assert main(["trace", "summarize", str(out)]) == 0
+        sum_out = capsys.readouterr().out
+        assert "records:   150" in sum_out
+        assert "IA" in sum_out and "VA" in sum_out
+        # The digest printed at generation matches the summary's.
+        digest = gen_out.split("content digest: ")[1].strip()
+        assert digest in sum_out
+
+        assert main(["trace", "replay", str(out)]) == 0
+        assert "replayed 150 arrivals" in capsys.readouterr().out
+        assert main(
+            ["trace", "replay", str(out), "--workflow", "IA",
+             "--requests", "20"]
+        ) == 0
+        assert "replayed 20 IA requests" in capsys.readouterr().out
+
+    def test_generate_csv_encoding(self, capsys, tmp_path):
+        out = tmp_path / "day.csv"
+        assert main(
+            ["trace", "generate", "--workflows", "IA", "--n", "30",
+             "--arrival", "poisson@5", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert out.read_text().startswith("#janus-trace=1\n")
+
+    def test_shape_flags_rejected_for_non_diurnal(self, tmp_path):
+        with pytest.raises(SystemExit, match="diurnal"):
+            main(
+                ["trace", "generate", "--workflows", "IA", "--n", "10",
+                 "--arrival", "poisson@5", "--amplitude", "0.5",
+                 "--out", str(tmp_path / "x.jsonl")]
+            )
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_sweep_traces_flag_end_to_end(self, capsys, tmp_path):
+        trace_path = tmp_path / "day.jsonl"
+        assert main(
+            ["trace", "generate", "--workflows", "IA", "--n", "80",
+             "--arrival", "diurnal@10", "--period-s", "5",
+             "--seed", "3", "--out", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        json_path = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--workflows", "IA", "--arrivals", "constant",
+             "--traces", str(trace_path),
+             "--slo-scales", "1.0", "--tenants", "1",
+             "--policies", "Optimal,Janus",
+             "--requests", "15", "--samples", "300", "--seed", "9",
+             "--jobs", "1", "--json", str(json_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweeping 2 scenario cells" in out
+        import json as json_mod
+
+        payload = json_mod.loads(json_path.read_text())
+        arrivals = {r["arrival"] for r in payload["results"]}
+        assert arrivals == {"constant@0ms", f"replay@{trace_path}"}
+
+    def test_sweep_replay_arrival_token(self, capsys, tmp_path):
+        trace_path = tmp_path / "day.jsonl"
+        assert main(
+            ["trace", "generate", "--workflows", "IA", "--n", "60",
+             "--arrival", "poisson@10", "--seed", "3",
+             "--out", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["sweep", "--workflows", "IA",
+             "--arrivals", f"replay@{trace_path}",
+             "--slo-scales", "1.0", "--tenants", "1",
+             "--policies", "Janus",
+             "--requests", "10", "--samples", "300", "--jobs", "1"]
+        ) == 0
+        assert "sweeping 1 scenario cells" in capsys.readouterr().out

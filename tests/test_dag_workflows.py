@@ -125,6 +125,99 @@ class TestDagSynthesis:
         with pytest.raises(SynthesisError):
             hints.table_for("Z")
 
+    def test_json_round_trip(self, diamond_workflow, diamond_profiles):
+        from repro.synthesis.dag import DagWorkflowHints
+
+        hints = synthesize_dag_hints(diamond_workflow, diamond_profiles)
+        restored = DagWorkflowHints.from_json(hints.to_json())
+        assert set(restored.tables) == set(hints.tables)
+        assert restored.chains == hints.chains
+        assert restored.metadata == hints.metadata
+        for name in hints.tables:
+            assert restored.tables[name].rows() == hints.tables[name].rows()
+            assert restored.tables[name].kmax == hints.tables[name].kmax
+
+
+class TestDagHintsMemo:
+    def test_memory_memo_returns_shared_object(
+        self, diamond_workflow, diamond_profiles
+    ):
+        from repro.synthesis.dag import (
+            clear_dag_hints_cache,
+            dag_hints_cache_stats,
+        )
+
+        clear_dag_hints_cache()
+        before = dag_hints_cache_stats()
+        first = synthesize_dag_hints(diamond_workflow, diamond_profiles)
+        again = synthesize_dag_hints(diamond_workflow, diamond_profiles)
+        assert again is first
+        after = dag_hints_cache_stats()
+        assert after["syntheses"] == before["syntheses"] + 1
+        assert after["memory_hits"] == before["memory_hits"] + 1
+
+    def test_knobs_key_the_memo(self, diamond_workflow, diamond_profiles):
+        from repro.synthesis.dag import clear_dag_hints_cache
+        from repro.synthesis.generator import HeadExploration
+
+        clear_dag_hints_cache()
+        base = synthesize_dag_hints(diamond_workflow, diamond_profiles)
+        pinned = synthesize_dag_hints(
+            diamond_workflow, diamond_profiles,
+            exploration=HeadExploration.NONE,
+        )
+        assert pinned is not base
+
+    def test_disk_layer_round_trips_without_resynthesis(
+        self, diamond_workflow, diamond_profiles, tmp_path
+    ):
+        from repro.synthesis.dag import (
+            clear_dag_hints_cache,
+            dag_hints_cache_stats,
+            set_dag_hints_cache_dir,
+        )
+
+        set_dag_hints_cache_dir(tmp_path)
+        try:
+            clear_dag_hints_cache()
+            live = synthesize_dag_hints(diamond_workflow, diamond_profiles)
+            assert list(tmp_path.iterdir())  # persisted
+            clear_dag_hints_cache()  # cold memory, warm disk
+            before = dag_hints_cache_stats()
+            restored = synthesize_dag_hints(
+                diamond_workflow, diamond_profiles
+            )
+            after = dag_hints_cache_stats()
+            assert after["disk_hits"] == before["disk_hits"] + 1
+            assert after["syntheses"] == before["syntheses"]
+            for name in live.tables:
+                assert (
+                    restored.tables[name].rows() == live.tables[name].rows()
+                )
+        finally:
+            set_dag_hints_cache_dir(None)
+
+    def test_torn_disk_entry_is_a_miss(
+        self, diamond_workflow, diamond_profiles, tmp_path
+    ):
+        from repro.synthesis.dag import (
+            clear_dag_hints_cache,
+            set_dag_hints_cache_dir,
+        )
+
+        set_dag_hints_cache_dir(tmp_path)
+        try:
+            clear_dag_hints_cache()
+            live = synthesize_dag_hints(diamond_workflow, diamond_profiles)
+            [entry] = list(tmp_path.iterdir())
+            entry.write_text("{torn")
+            clear_dag_hints_cache()
+            healed = synthesize_dag_hints(diamond_workflow, diamond_profiles)
+            for name in live.tables:
+                assert healed.tables[name].rows() == live.tables[name].rows()
+        finally:
+            set_dag_hints_cache_dir(None)
+
 
 class TestDagExecutor:
     def test_parallel_branches_overlap(self, diamond_workflow, diamond_requests):

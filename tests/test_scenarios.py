@@ -953,6 +953,367 @@ def _exploding_factory():
     raise RuntimeError("kaboom: flaky workflow factory")
 
 
+@pytest.fixture()
+def recorded_trace(tmp_path):
+    """A small diurnal+Zipf trace covering both catalog chain workflows."""
+    from repro.traces.trace_file import generate_workload_trace, save_trace
+    from repro.traces.workload import ArrivalSpec as Spec
+
+    path = tmp_path / "day.jsonl"
+    trace = generate_workload_trace(
+        ("IA", "VA"), 120,
+        arrival=Spec(kind="diurnal", rate_per_s=12.0, period_s=5.0),
+        zipf_s=1.0, seed=41, name="day",
+    )
+    save_trace(trace, path)
+    return path
+
+
+def _trace_matrix(path):
+    return ScenarioMatrix(
+        workflows=("IA",),
+        arrivals=(ArrivalSpec("constant"),),
+        traces=(str(path),),
+        policies=("Optimal", "Janus"),
+        n_requests=25,
+        samples=300,
+        seed=19,
+    )
+
+
+class TestTraceAxis:
+    def test_traces_extend_the_arrivals_axis(self, recorded_trace):
+        matrix = _trace_matrix(recorded_trace)
+        assert len(matrix) == 2
+        labels = [c.arrival.label for c in matrix.expand()]
+        assert labels == ["constant@0ms", f"replay@{recorded_trace}"]
+
+    def test_missing_trace_fails_at_construction(self, tmp_path):
+        with pytest.raises(ExperimentError, match="cannot read trace file"):
+            _trace_matrix(tmp_path / "nope.jsonl")
+
+    def test_trace_without_the_workflow_fails_at_construction(
+        self, tmp_path
+    ):
+        from repro.traces.trace_file import generate_workload_trace, save_trace
+
+        path = tmp_path / "va-only.jsonl"
+        save_trace(
+            generate_workload_trace(("VA",), 30, seed=1, name="va"), path
+        )
+        with pytest.raises(ExperimentError, match="no records for workflows"):
+            _trace_matrix(path)
+
+    def test_zero_record_catalog_workflow_fails_at_construction(
+        self, tmp_path
+    ):
+        # A workflow can sit in the trace's catalog with zero records
+        # (extreme Zipf skew); its replay cells are just as unservable as
+        # for a missing workflow, and must fail here, not mid-sweep in a
+        # pool worker.
+        import numpy as np
+
+        from repro.traces.trace_file import WorkloadTrace, save_trace
+
+        path = tmp_path / "skewed.jsonl"
+        save_trace(
+            WorkloadTrace(
+                name="skewed",
+                arrival_ms=np.array([0.0, 10.0, 20.0]),
+                workflow_ids=np.array([0, 0, 0]),
+                workflows=("VA", "IA"),  # IA listed, zero records
+            ),
+            path,
+        )
+        with pytest.raises(ExperimentError, match="no records for workflows"):
+            _trace_matrix(path)
+
+    def test_single_record_substream_fails_at_construction(self, tmp_path):
+        # Wrap-around replay needs >= 2 records per served workflow when
+        # n_requests exceeds the sub-stream; this must fail here, not as
+        # a TraceError from a pool worker mid-sweep.
+        import numpy as np
+
+        from repro.traces.trace_file import WorkloadTrace, save_trace
+
+        path = tmp_path / "thin.jsonl"
+        save_trace(
+            WorkloadTrace(
+                name="thin",
+                arrival_ms=np.array([0.0, 5.0, 10.0]),
+                workflow_ids=np.array([1, 0, 1]),
+                workflows=("IA", "VA"),  # IA has exactly one record
+            ),
+            path,
+        )
+        with pytest.raises(ExperimentError, match="single record"):
+            _trace_matrix(path)
+
+    def test_replay_parse_token(self):
+        spec = parse_arrival("replay@/tmp/some-trace.jsonl")
+        assert spec.kind == "replay"
+        assert spec.trace == "/tmp/some-trace.jsonl"
+        from repro.errors import TraceError
+
+        with pytest.raises(TraceError, match="replay arrivals require"):
+            parse_arrival("replay@")
+
+    def test_diurnal_parse_token(self):
+        spec = parse_arrival("diurnal@6")
+        assert spec.kind == "diurnal" and spec.rate_per_s == 6.0
+
+    def test_replay_sweep_bit_identical_across_backends(self, recorded_trace):
+        # Acceptance: a recorded trace replayed through the sweep engine
+        # is bit-identical on every backend, across real process
+        # boundaries.
+        matrix = _trace_matrix(recorded_trace)
+        serial = SweepRunner(max_workers=1, backend="serial").run(matrix)
+        for backend in ("pool", "workstealing"):
+            other = SweepRunner(max_workers=2, backend=backend).run(matrix)
+            assert other.to_json() == serial.to_json()
+        # The replay cell genuinely served the trace's IA sub-stream, not
+        # the synthetic arrivals.
+        replay_cells = [
+            r for r in serial.results if r.arrival.startswith("replay@")
+        ]
+        assert len(replay_cells) == 1
+
+    def test_editing_the_trace_cold_starts_only_replay_cells(
+        self, recorded_trace, tmp_path
+    ):
+        # Acceptance: an untouched trace is a full cache hit; editing the
+        # file changes the cell-cache key of exactly the cells replaying
+        # it (the constant-arrival cell stays warm). Asserted on the
+        # cache keys and the regenerated arrivals, not report-JSON
+        # inequality — analytic per-request latencies are
+        # arrival-independent, so the aggregate metrics can coincide to
+        # the last ulp and a JSON comparison would be flaky.
+        from repro.scenarios import scenario_digest
+        from repro.scenarios.runner import scenario_requests
+        from repro.scenarios.registry import scenario_workflow
+        from repro.traces.trace_file import generate_workload_trace, save_trace
+        from repro.traces.workload import ArrivalSpec as Spec
+
+        matrix = _trace_matrix(recorded_trace)
+        constant_cell, replay_cell = matrix.expand()
+        cold_digests = (
+            scenario_digest(constant_cell), scenario_digest(replay_cell)
+        )
+        workflow = scenario_workflow(replay_cell.workflow)
+        cold_arrivals = [
+            r.arrival_ms
+            for r in scenario_requests(workflow, replay_cell, 3000.0)
+        ]
+
+        cache_dir = tmp_path / "cache"
+        cold = SweepRunner(max_workers=1, cache_dir=cache_dir).run(matrix)
+        assert cold.cell_cache == {"hits": 0, "misses": 2}
+        warm = SweepRunner(max_workers=1, cache_dir=cache_dir).run(matrix)
+        assert warm.cell_cache == {"hits": 2, "misses": 0}
+        assert warm.to_json() == cold.to_json()
+
+        save_trace(
+            generate_workload_trace(
+                ("IA", "VA"), 120,
+                arrival=Spec(kind="poisson", rate_per_s=30.0),
+                seed=4242, name="edited",
+            ),
+            recorded_trace,
+        )
+        # Exactly the replay cell's cache key changes...
+        assert scenario_digest(constant_cell) == cold_digests[0]
+        assert scenario_digest(replay_cell) != cold_digests[1]
+        # ...its regenerated workload serves the edited arrivals...
+        edited_arrivals = [
+            r.arrival_ms
+            for r in scenario_requests(workflow, replay_cell, 3000.0)
+        ]
+        assert edited_arrivals != cold_arrivals
+        # ...and the sweep re-evaluates it while the constant cell stays
+        # warm.
+        edited = SweepRunner(max_workers=1, cache_dir=cache_dir).run(matrix)
+        assert edited.cell_cache == {"hits": 1, "misses": 1}
+
+    def test_replay_cells_keep_dynamics_streams(self, recorded_trace):
+        # Replay pins arrivals to the file; the per-request dynamics stay
+        # on the cell's derived seed (common random numbers), so the seed
+        # labels — which embed the trace *path*, not its content — are
+        # stable across file edits.
+        matrix = _trace_matrix(recorded_trace)
+        constant, replay = matrix.expand()
+        assert replay.seed != constant.seed
+        again = _trace_matrix(recorded_trace).expand()[1]
+        assert again.seed == replay.seed
+
+
+class TestDagHintsCache:
+    def test_dag_cells_hit_the_disk_layer(self, tmp_path):
+        import shutil
+
+        from repro.synthesis.dag import clear_dag_hints_cache
+        from repro.synthesis.dp import clear_dp_cache
+        from repro.synthesis.generator import clear_hints_cache
+
+        matrix = ScenarioMatrix(
+            workflows=("media",),
+            arrivals=(ArrivalSpec("constant"),),
+            policies=("Janus",),
+            n_requests=8,
+            samples=300,
+            seed=5,
+        )
+        clear_dp_cache()
+        clear_hints_cache()
+        clear_dag_hints_cache()
+        cold = SweepRunner(max_workers=1, cache_dir=tmp_path).run(matrix)
+        assert cold.synthesis_cache["dag_hints"]["syntheses"] >= 1
+        assert (tmp_path / "dag-hints").is_dir()
+        # Cold memos + dropped cells: the rerun must be served from the
+        # DAG-hints disk layer without re-running the suffix sweeps.
+        shutil.rmtree(tmp_path / "cells")
+        clear_dp_cache()
+        clear_hints_cache()
+        clear_dag_hints_cache()
+        rerun = SweepRunner(max_workers=1, cache_dir=tmp_path).run(matrix)
+        assert rerun.synthesis_cache["dag_hints"]["disk_hits"] >= 1
+        assert rerun.synthesis_cache["dag_hints"]["syntheses"] == 0
+        assert rerun.to_json() == cold.to_json()
+        assert "dag_hints[" in rerun.render()
+
+    def test_sweep_restores_caller_configured_dag_hints_layer(self, tmp_path):
+        from repro.synthesis.dag import (
+            dag_hints_cache_dir,
+            set_dag_hints_cache_dir,
+        )
+
+        set_dag_hints_cache_dir(tmp_path / "my-dag-hints")
+        try:
+            SweepRunner(max_workers=1, cache_dir=tmp_path / "sweep").run(
+                SMALL_MATRIX
+            )
+            assert dag_hints_cache_dir() == str(tmp_path / "my-dag-hints")
+        finally:
+            set_dag_hints_cache_dir(None)
+
+
+class TestCalibratedCosts:
+    def test_no_history_degenerates_to_static_heuristic(self, tmp_path):
+        from repro.scenarios.costs import CellCostModel
+
+        cells = SMALL_MATRIX.expand()
+        model = CellCostModel(tmp_path / "costs")
+        costs = model.estimate_all(cells)
+        assert costs == [c.cost_estimate() for c in cells]
+        assert model.stats() == {"calibrated": 0, "fallbacks": len(cells)}
+
+    def test_recorded_walls_feed_later_estimates(self, tmp_path):
+        from repro.scenarios.costs import CellCostModel
+
+        cells = SMALL_MATRIX.expand()
+        model = CellCostModel(tmp_path / "costs")
+        model.record(cells[0], 2.0)
+        model.record(cells[0], 4.0)
+        fresh = CellCostModel(tmp_path / "costs")  # re-read from disk
+        costs = fresh.estimate_all(cells[:1])
+        assert costs[0] == pytest.approx(3.0)  # mean of the history
+        assert fresh.stats()["calibrated"] == 1
+
+    def test_cost_families_pool_across_seeds_and_slo_scales(self, tmp_path):
+        import dataclasses
+
+        from repro.scenarios.costs import CellCostModel
+
+        cell = SMALL_MATRIX.expand()[0]
+        twin = dataclasses.replace(
+            cell, slo_scale=cell.slo_scale * 1.5, seed=cell.seed + 99
+        )
+        model = CellCostModel(tmp_path / "costs")
+        model.record(cell, 5.0)
+        assert CellCostModel(tmp_path / "costs").estimate_all(
+            [twin]
+        ) == [pytest.approx(5.0)]
+
+    def test_uncovered_cells_bridge_through_scaled_static(self, tmp_path):
+        import dataclasses
+
+        from repro.scenarios.costs import CellCostModel
+
+        cell = SMALL_MATRIX.expand()[0]
+        bigger = dataclasses.replace(cell, n_requests=3 * cell.n_requests)
+        model = CellCostModel(tmp_path / "costs")
+        model.record(cell, 2.0)
+        fresh = CellCostModel(tmp_path / "costs")
+        calibrated, bridged = fresh.estimate_all([cell, bigger])
+        # History serves the known family; the unknown one scales the
+        # static heuristic by the observed seconds-per-unit, so the 3x
+        # bigger cell costs 3x the calibrated wall.
+        assert calibrated == pytest.approx(2.0)
+        assert bridged == pytest.approx(6.0)
+
+    def test_corrupt_history_is_ignored(self, tmp_path):
+        from repro.scenarios.costs import CellCostModel
+
+        cells = SMALL_MATRIX.expand()
+        model = CellCostModel(tmp_path / "costs")
+        model.record(cells[0], 1.0)
+        victim = next((tmp_path / "costs").iterdir())
+        victim.write_text("{not json")
+        fresh = CellCostModel(tmp_path / "costs")
+        assert fresh.estimate_all(cells[:1]) == [cells[0].cost_estimate()]
+
+    def test_workstealing_dispatch_follows_calibrated_costs(self, tmp_path):
+        # Invert the static order via recorded history: the scheduler must
+        # follow the calibration, and the results must not change.
+        from repro.scenarios import WorkStealingBackend
+        from repro.scenarios.costs import CellCostModel
+
+        import dataclasses
+
+        cells = dataclasses.replace(
+            SMALL_MATRIX, tenant_counts=(1, 3), n_requests=4, samples=300
+        ).expand()
+        model = CellCostModel(tmp_path / "costs")
+        # Calibrate the two cost families (tenants=1 / tenants=3) upside
+        # down relative to the static heuristic: the single-tenant family
+        # measured an order of magnitude slower.
+        by_tenants = {cell.tenants: cell for cell in cells}
+        model.record(by_tenants[1], 10.0)
+        model.record(by_tenants[3], 0.5)
+        calibrated_model = CellCostModel(tmp_path / "costs")
+        seen: list[int] = []
+        out = WorkStealingBackend(
+            max_workers=1, cost_model=calibrated_model
+        ).run(cells, _cost_probe, on_complete=lambda pos, _: seen.append(pos))
+        walls = calibrated_model.estimate_all(cells)
+        expected = sorted(
+            range(len(cells)), key=lambda pos: (-walls[pos], pos)
+        )
+        assert seen == expected
+        assert seen != sorted(
+            range(len(cells)),
+            key=lambda pos: (-cells[pos].cost_estimate(), pos),
+        )
+        assert out == [c.scenario_id for c in cells]  # order preserved
+
+    def test_sweep_records_walls_under_the_cache_dir(self, tmp_path):
+        import json as json_mod
+
+        matrix = ScenarioMatrix(
+            workflows=("IA",), policies=("Janus",), n_requests=5,
+            samples=300, seed=37,
+        )
+        SweepRunner(max_workers=1, cache_dir=tmp_path).run(matrix)
+        files = list((tmp_path / "costs").iterdir())
+        assert len(files) == 1
+        doc = json_mod.loads(files[0].read_text())
+        assert doc["schema"] == 1
+        assert len(doc["walls"]) == 1 and doc["walls"][0] > 0
+        # A warm re-run resolves cells from the cache, so no new walls.
+        SweepRunner(max_workers=1, cache_dir=tmp_path).run(matrix)
+        doc = json_mod.loads(files[0].read_text())
+        assert len(doc["walls"]) == 1
+
+
 class TestReviewHardening:
     """Regression pins for the post-review fixes."""
 
