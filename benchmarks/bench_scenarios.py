@@ -270,6 +270,83 @@ def test_trace_record_replay(benchmark, bench_requests, bench_samples, tmp_path)
     _write_results()
 
 
+def test_streaming_metrics_throughput(benchmark):
+    """P2+Welford fold rate vs the exact retained-array baseline.
+
+    The streaming path buys O(1) memory; this records what it costs (or
+    saves) in samples/s against appending to a list and calling
+    ``numpy.percentile`` once at the end.
+    """
+    import numpy as np
+
+    from repro.metrics.stats import percentile_summary
+    from repro.metrics.streaming import StreamingSummary
+
+    n = 200_000
+    samples = np.random.default_rng(3).lognormal(5.0, 0.6, size=n)
+    values = [float(x) for x in samples]
+
+    def stream():
+        summary = StreamingSummary()
+        start = time.perf_counter()
+        for x in values:
+            summary.add(x)
+        summary.snapshot()
+        return n / (time.perf_counter() - start)
+
+    streaming_per_s = run_once(benchmark, stream)
+
+    start = time.perf_counter()
+    retained: list[float] = []
+    for x in values:
+        retained.append(x)
+    exact = percentile_summary(np.asarray(retained))
+    exact_s = time.perf_counter() - start
+    exact_per_s = n / exact_s
+
+    est = StreamingSummary()
+    for x in values:
+        est.add(x)
+    p99_err = abs(est.percentile(99.0) - exact["p99"]) / exact["p99"]
+    print(f"\nstreaming metrics ({n:,} samples): "
+          f"P2+Welford {streaming_per_s:,.0f} samples/s, "
+          f"exact-array {exact_per_s:,.0f} samples/s, "
+          f"P99 rel err {p99_err:.4%}")
+    assert p99_err < 0.01
+    _RESULTS["serving"] = {
+        "stream_samples": n,
+        "streaming_samples_per_s": streaming_per_s,
+        "exact_array_samples_per_s": exact_per_s,
+        "p99_rel_error": p99_err,
+    }
+    _write_results()
+
+
+def test_serving_loop_throughput(benchmark, bench_samples):
+    """Requests/s through the full asyncio serving loop (unpaced)."""
+    from repro.serving import ServingConfig, run_service
+
+    config = ServingConfig(
+        source=ArrivalSpec(kind="poisson", rate_per_s=200.0),
+        max_requests=2000,
+        samples=min(bench_samples, 600),
+        metrics_every=500,
+    )
+    report = run_once(benchmark, run_service, config)
+    req_per_s = report.completed / report.wall_seconds
+    print(f"\nserving loop: {report.completed} requests in "
+          f"{report.wall_seconds:.2f} s ({req_per_s:,.0f} req/s)")
+    assert report.dropped == 0
+    serving = dict(_RESULTS.get("serving", {}))
+    serving.update({
+        "loop_requests": report.completed,
+        "loop_seconds": report.wall_seconds,
+        "loop_requests_per_s": req_per_s,
+    })
+    _RESULTS["serving"] = serving
+    _write_results()
+
+
 def test_cell_cache_warm_vs_cold(benchmark, bench_requests, bench_samples, tmp_path):
     """Cold sweep (populating the cache) vs fully warm replay."""
     matrix = _heterogeneous_matrix(bench_requests, bench_samples)

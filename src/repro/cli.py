@@ -10,6 +10,9 @@ Usage::
     janus-repro trace generate --workflows IA,VA --n 2000 --out day.jsonl
     janus-repro trace summarize day.jsonl
     janus-repro sweep --workflows IA,VA --traces day.jsonl
+    janus-repro serve --source diurnal@8 --max-requests 2000
+    janus-repro serve --source replay@day.jsonl --max-requests 5000 \
+        --snapshot-out snapshot.json --event-log events.jsonl
     janus-repro profile IA --out ia-profiles.json
     janus-repro synthesize ia-profiles.json --slo 3000 --out ia-hints.json
     janus-repro inspect ia-hints.json
@@ -146,9 +149,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster knobs for 'cluster' cells as field=value pairs, "
              "e.g. 'n_vms=2,warm_pool_size=4,autoscale=false,"
              "keepalive_ms=500'")
+    sweep_p.add_argument(
+        "--streaming", action="store_true",
+        help="serve every cell through bounded-memory streaming "
+             "estimators (P2 percentiles) instead of retained outcome "
+             "arrays — for very large --requests (analytic cells only)")
     sweep_p.add_argument("--csv", default=None, help="write per-cell CSV here")
     sweep_p.add_argument("--json", default=None,
                          help="write the full JSON report here")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the always-on serving loop: live sizing, streaming "
+             "metrics, online adaptation",
+    )
+    serve_p.add_argument(
+        "--source", default="diurnal@8",
+        help="arrival source token as for sweep --arrivals "
+             "(default: diurnal@8)")
+    serve_p.add_argument("--workflow", default="IA",
+                         help="scenario workflow to serve (default: IA)")
+    serve_p.add_argument("--policy", default="Janus",
+                         help="sizing policy (default: Janus)")
+    serve_p.add_argument("--max-requests", type=int, default=None,
+                         dest="max_requests",
+                         help="stop after ingesting N requests")
+    serve_p.add_argument("--max-seconds", type=float, default=None,
+                         dest="max_seconds",
+                         help="stop after S wall-clock seconds")
+    serve_p.add_argument(
+        "--time-scale", type=float, default=0.0, dest="time_scale",
+        help="wall-clock pacing: 0 = unpaced (as fast as possible, the "
+             "default), 1 = real time, 60 = a trace-minute per second")
+    serve_p.add_argument(
+        "--metrics-every", type=int, default=500, dest="metrics_every",
+        help="emit a metrics snapshot event every N completions "
+             "(default 500)")
+    serve_p.add_argument("--snapshot-out", default=None, dest="snapshot_out",
+                         help="write the final metrics snapshot JSON here")
+    serve_p.add_argument("--event-log", default=None, dest="event_log",
+                         help="append JSONL events (arrivals, decisions, "
+                              "swaps, snapshots) here")
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--samples", type=int, default=2000,
+                         help="profiling samples per grid point")
+    serve_p.add_argument("--slo-scale", type=float, default=1.0,
+                         dest="slo_scale",
+                         help="multiplier on the workflow's default SLO")
+    serve_p.add_argument(
+        "--no-adapt", action="store_true",
+        help="disable online adaptation (observe misses, never "
+             "re-synthesize)")
+    serve_p.add_argument(
+        "--miss-threshold", type=float, default=0.01, dest="miss_threshold",
+        help="windowed hint-miss rate that triggers re-synthesis "
+             "(default 0.01)")
+    serve_p.add_argument(
+        "--miss-window", type=int, default=200, dest="miss_window",
+        help="sliding window length for the miss rate (default 200)")
+    serve_p.add_argument(
+        "--drift", default=None,
+        help="force workload drift for adaptation demos: comma-separated "
+             "AFTER:SCALE pairs, e.g. '500:4.0' multiplies working sets "
+             "by 4 from request 500 on")
 
     trace_p = sub.add_parser(
         "trace", help="generate, summarize or replay workload trace files"
@@ -264,6 +327,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         return 0
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "profile":
@@ -304,6 +369,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         matrix_kwargs["cluster"] = parse_cluster_config(args.cluster_config)
     if args.traces:
         matrix_kwargs["traces"] = tuple(_split(args.traces))
+    if args.streaming:
+        matrix_kwargs["streaming"] = True
     # Same knob-introspection contract as `run`: a scale flag reaches the
     # matrix only if its constructor takes the parameter.
     for knob, param in _KNOB_PARAMS.items():
@@ -327,6 +394,77 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         report.write_json(args.json)
         print(f"JSON report -> {args.json}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .scenarios.matrix import parse_arrival
+    from .serving import ServingConfig, run_service
+
+    schedule: tuple[tuple[int, float], ...] = ()
+    if args.drift:
+        pairs = []
+        for token in args.drift.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            after_s, _, scale_s = token.partition(":")
+            try:
+                pairs.append((int(after_s), float(scale_s)))
+            except ValueError:
+                raise SystemExit(
+                    f"--drift wants AFTER:SCALE pairs, got {token!r}"
+                ) from None
+        schedule = tuple(pairs)
+    config = ServingConfig(
+        workflow=args.workflow,
+        policy=args.policy,
+        source=parse_arrival(args.source),
+        seed=args.seed,
+        samples=args.samples,
+        slo_scale=args.slo_scale,
+        max_requests=args.max_requests,
+        max_seconds=args.max_seconds,
+        time_scale=args.time_scale,
+        metrics_every=args.metrics_every,
+        miss_threshold=args.miss_threshold,
+        miss_window=args.miss_window,
+        adapt=not args.no_adapt,
+        workset_schedule=schedule,
+        event_log=args.event_log,
+    )
+    print(
+        f"serving {config.workflow} under {config.policy} "
+        f"({config.source.label}, seed {config.seed})..."
+    )
+    report = run_service(config)
+    snap = report.snapshot
+    rate = report.completed / report.wall_seconds if report.wall_seconds else 0
+    print(
+        f"served {report.completed}/{report.arrivals} requests "
+        f"({report.dropped} dropped) in {report.wall_seconds:.2f} s "
+        f"(~{rate:.0f} req/s), {report.swaps} hint swap(s)"
+    )
+    print(
+        f"  latency  P50 {snap['p50']:.1f} ms   "
+        f"P95 {snap['p95']:.1f} ms   P99 {snap['p99']:.1f} ms"
+    )
+    print(
+        f"  SLO      {snap['slo_attainment']:.1%} attained "
+        f"(windowed {snap['slo_attainment_windowed']:.1%})"
+    )
+    print(
+        f"  cost     {snap['mean_allocated_millicores']:.0f} mc/request "
+        f"(total {snap['total_millicore_cost']:.0f})   "
+        f"miss rate {snap['miss_rate']:.3f}"
+    )
+    if args.snapshot_out:
+        with open(args.snapshot_out, "w", encoding="utf-8") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"snapshot JSON -> {args.snapshot_out}")
+    if args.event_log:
+        print(f"event log -> {args.event_log}")
     return 0
 
 

@@ -4,6 +4,12 @@ from .report import format_kv, format_table
 from .slack import slack, slack_cdf, slacks
 from .slo import e2e_percentile, meets_p99_slo, violation_count, violation_rate
 from .stats import empirical_cdf, percentile_summary, ratio_of_percentiles
+from .streaming import (
+    P2Quantile,
+    StreamingMoments,
+    StreamingSummary,
+    WindowedRate,
+)
 
 __all__ = [
     "slack",
@@ -16,6 +22,10 @@ __all__ = [
     "empirical_cdf",
     "percentile_summary",
     "ratio_of_percentiles",
+    "P2Quantile",
+    "StreamingMoments",
+    "StreamingSummary",
+    "WindowedRate",
     "format_table",
     "format_kv",
 ]

@@ -6,6 +6,8 @@ import typing as _t
 
 import numpy as np
 
+from ..errors import ExperimentError
+
 __all__ = ["empirical_cdf", "percentile_summary", "ratio_of_percentiles"]
 
 
@@ -30,10 +32,19 @@ def percentile_summary(
     data: _t.Sequence[float] | np.ndarray,
     percentiles: _t.Sequence[float] = (1, 25, 50, 75, 95, 99),
 ) -> dict[str, float]:
-    """Named percentiles plus mean/min/max."""
+    """Named percentiles plus mean/min/max.
+
+    Raises :class:`~repro.errors.ExperimentError` on an empty sample (a
+    summary of nothing is a harness bug, not a statistics question). A
+    single sample is legal and degenerate: every percentile, the mean,
+    the min and the max all equal that sample.
+    """
     arr = np.asarray(data, dtype=np.float64)
     if arr.size == 0:
-        raise ValueError("percentile_summary requires at least one sample")
+        raise ExperimentError(
+            "percentile_summary requires at least one sample (got an "
+            "empty stream — did the run complete any requests?)"
+        )
     out = {f"p{p:g}": float(np.percentile(arr, p)) for p in percentiles}
     out["mean"] = float(arr.mean())
     out["min"] = float(arr.min())

@@ -18,11 +18,12 @@ from __future__ import annotations
 import typing as _t
 
 from ..errors import ExperimentError
+from ..metrics.streaming import StreamingMoments, StreamingSummary
 from ..policies.base import SizingPolicy
 from ..workflow.catalog import Workflow
 from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
 from .registry import register_executor
-from .results import RunResult, collect_policy_extras
+from .results import RunResult, StreamingRunResult, collect_policy_extras
 
 __all__ = ["AnalyticExecutor"]
 
@@ -85,5 +86,40 @@ class AnalyticExecutor:
         return RunResult(
             policy_name=policy.name,
             outcomes=outcomes,
+            extras=collect_policy_extras(policy),
+        )
+
+    def run_streaming(
+        self, policy: SizingPolicy, requests: _t.Iterable[WorkflowRequest]
+    ) -> StreamingRunResult:
+        """Serve a stream folding each outcome into streaming estimators.
+
+        The bounded-memory path for very large ``n_requests``: outcomes
+        are never retained, so memory stays O(1) in the stream length.
+        Latency percentiles in the result are P² estimates (see
+        :mod:`repro.metrics.streaming`).
+        """
+        latency = StreamingSummary((50.0, 99.0))
+        cost = StreamingMoments()
+        slack = StreamingMoments()
+        violations = 0
+        n = 0
+        for request in requests:
+            outcome = self.run_request(policy, request)
+            latency.add(outcome.e2e_ms)
+            cost.add(outcome.allocated_millicores)
+            slack.add(outcome.slack)
+            violations += not outcome.slo_met
+            n += 1
+        if n == 0:
+            raise ExperimentError("request stream is empty")
+        return StreamingRunResult(
+            policy_name=policy.name,
+            n_requests=n,
+            mean_allocated=cost.mean,
+            p50_e2e_ms=latency.percentile(50.0),
+            p99_e2e_ms=latency.percentile(99.0),
+            violation_rate=violations / n,
+            mean_slack=slack.mean,
             extras=collect_policy_extras(policy),
         )

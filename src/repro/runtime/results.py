@@ -10,7 +10,7 @@ import numpy as np
 from ..errors import ExperimentError
 from ..workflow.request import RequestOutcome
 
-__all__ = ["RunResult", "collect_policy_extras"]
+__all__ = ["RunResult", "StreamingRunResult", "collect_policy_extras"]
 
 #: Diagnostic attributes lifted off a policy into ``RunResult.extras``
 #: (Janus-style policies expose hit rates / synthesis costs — keep them).
@@ -99,4 +99,52 @@ class RunResult:
             "p99_e2e_ms": self.e2e_percentile(99),
             "violation_rate": self.violation_rate,
             "mean_slack": float(self.slacks().mean()),
+        }
+
+
+@dataclass(frozen=True)
+class StreamingRunResult:
+    """Aggregate of serving one stream without retaining the outcomes.
+
+    The bounded-memory counterpart of :class:`RunResult` for very large
+    streams: per-request metrics were folded into streaming estimators
+    (:mod:`repro.metrics.streaming`) as the stream was served, so only the
+    aggregates survive. Percentiles are P² *estimates* (within a fraction
+    of a percent of the exact order statistics at sweep-scale streams).
+    Duck-types the slice of :class:`RunResult` that
+    :func:`repro.runtime.driver.compare` consumes — ``summary()``,
+    ``mean_allocated``, ``normalized_cpu`` — so streaming and exact
+    results are interchangeable in comparison tables.
+    """
+
+    policy_name: str
+    n_requests: int
+    mean_allocated: float
+    p50_e2e_ms: float
+    p99_e2e_ms: float
+    violation_rate: float
+    mean_slack: float
+    extras: dict[str, _t.Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ExperimentError(f"{self.policy_name}: no outcomes recorded")
+
+    def normalized_cpu(
+        self, baseline: "RunResult | StreamingRunResult"
+    ) -> float:
+        """Mean allocation normalised by a baseline (paper: Optimal)."""
+        denom = baseline.mean_allocated
+        if denom <= 0:
+            raise ExperimentError("baseline has zero mean allocation")
+        return self.mean_allocated / denom
+
+    def summary(self) -> dict[str, float]:
+        """Headline metrics, same keys as :meth:`RunResult.summary`."""
+        return {
+            "mean_allocated_millicores": self.mean_allocated,
+            "p50_e2e_ms": self.p50_e2e_ms,
+            "p99_e2e_ms": self.p99_e2e_ms,
+            "violation_rate": self.violation_rate,
+            "mean_slack": self.mean_slack,
         }

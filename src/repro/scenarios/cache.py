@@ -89,6 +89,10 @@ def scenario_digest(scenario: Scenario) -> str:
             else None
         ),
     }
+    if scenario.streaming:
+        # Folded in only when set so every pre-existing cell keeps its
+        # digest (same pattern as trace_digest below).
+        spec["streaming"] = True
     if scenario.arrival.kind == "replay" and scenario.arrival.trace:
         # Replay cells depend on the trace file's *content*, not its
         # path: editing the trace cold-starts exactly the cells that

@@ -120,6 +120,12 @@ class Scenario:
     #: Cluster dimensions for executors that accept a ``config`` (the
     #: ``"cluster"`` backend); requires a non-``None`` ``executor``.
     cluster: ClusterConfig | None = None
+    #: Aggregate with bounded-memory streaming estimators instead of
+    #: retaining every outcome — the path for cells with very large
+    #: ``n_requests``. Latency percentiles in the cell table become P²
+    #: estimates; requires an executor with a streaming path (the
+    #: analytic chain backend).
+    streaming: bool = False
 
     def __post_init__(self) -> None:
         if self.slo_scale <= 0:
@@ -145,6 +151,11 @@ class Scenario:
                 f"a cluster config requires an executor whose factory "
                 f"accepts a 'config' option (e.g. 'cluster'), got "
                 f"executor={self.executor!r}"
+            )
+        if self.streaming and self.executor not in (None, "analytic"):
+            raise ExperimentError(
+                f"streaming cells require the analytic chain backend "
+                f"(executor None or 'analytic'), got {self.executor!r}"
             )
 
     def cost_estimate(self) -> float:
@@ -199,6 +210,8 @@ class Scenario:
         )
         if self.executor is not None:
             base += f"/exec {self.executor}"
+        if self.streaming:
+            base += "/streaming"
         return base
 
 
@@ -245,6 +258,9 @@ class ScenarioMatrix:
     #: Cluster dimensions applied to the ``"cluster"`` cells of the
     #: ``executors`` axis (``None`` = the :class:`ClusterConfig` defaults).
     cluster: ClusterConfig | None = None
+    #: Bounded-memory aggregation for every cell (see
+    #: :attr:`Scenario.streaming`) — pair with a large ``n_requests``.
+    streaming: bool = False
 
     def __post_init__(self) -> None:
         for axis, values in (
@@ -277,6 +293,13 @@ class ScenarioMatrix:
                 f"{list(self.executors)} accepts one — the knobs would be "
                 "silently ignored; add executors=(..., 'cluster')"
             )
+        if self.streaming:
+            bad = [e for e in self.executors if e not in (None, "analytic")]
+            if bad:
+                raise ExperimentError(
+                    f"streaming matrices require the analytic chain "
+                    f"backend on every executor axis entry, got {bad}"
+                )
         if self.budgets is not None:
             for wf, pair in self.budgets.items():
                 tmin, tmax = pair
@@ -382,6 +405,7 @@ class ScenarioMatrix:
                     ),
                     executor=executor,
                     cluster=self.cluster if executor in config_takers else None,
+                    streaming=self.streaming,
                 )
             )
         return cells

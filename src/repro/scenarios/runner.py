@@ -15,17 +15,20 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import heapq
 import os
 import time
 import typing as _t
 
 from ..api.session import Session
 from ..errors import ExperimentError
+from ..policies.base import SizingPolicy
 from ..profiling.profiler import profile_workflow
 from ..profiling.profiles import ProfileSet
 from ..rng import child_seed
+from ..runtime.driver import compare
 from ..synthesis.budget import BudgetRange
-from ..traces.workload import WorkloadConfig, generate_requests
+from ..traces.workload import WorkloadConfig, generate_requests, iter_requests
 from ..workflow.catalog import Workflow
 from ..workflow.request import WorkflowRequest
 from .backends import ExecutionBackend, resolve_backend
@@ -48,6 +51,7 @@ __all__ = [
     "evaluate_cell",
     "run_scenario",
     "scenario_requests",
+    "iter_scenario_requests",
     "merge_tenant_streams",
 ]
 
@@ -114,6 +118,93 @@ def scenario_requests(
     return streams[0] if scenario.tenants == 1 else merge_tenant_streams(streams)
 
 
+def iter_scenario_requests(
+    workflow: Workflow, scenario: Scenario, slo_ms: float
+) -> _t.Iterator[WorkflowRequest]:
+    """Lazy variant of :func:`scenario_requests` for streaming cells.
+
+    Yields the identical arrival-merged stream (same seeds, same merge
+    order) without materialising it: per-tenant generators are heap-merged
+    on the same ``(arrival_ms, tenant, request_id)`` key
+    :func:`merge_tenant_streams` sorts by, which coincides with a stable
+    merge because each tenant stream is already arrival-ordered.
+    """
+    def tenant_stream(tenant: int) -> _t.Iterator[WorkflowRequest]:
+        return iter_requests(
+            workflow,
+            WorkloadConfig(
+                n_requests=scenario.n_requests,
+                arrival=scenario.arrival,
+                slo_ms=slo_ms,
+            ),
+            seed=child_seed(scenario.seed, "tenant", str(tenant)),
+        )
+
+    if scenario.tenants == 1:
+        yield from tenant_stream(0)
+        return
+    tagged = heapq.merge(
+        *(
+            ((req.arrival_ms, tenant, req.request_id, req) for req in stream)
+            for tenant, stream in (
+                (t, tenant_stream(t)) for t in range(scenario.tenants)
+            )
+        )
+    )
+    for i, (_, _, _, req) in enumerate(tagged):
+        yield dataclasses.replace(req, request_id=i)
+
+
+def _run_streaming_cell(
+    session: Session,
+    scenario: Scenario,
+    slo_ms: float,
+    suite: _t.Mapping[str, SizingPolicy],
+) -> ScenarioResult:
+    """Serve a streaming cell: aggregates only, no retained outcomes.
+
+    Each policy re-generates the identical request stream from the cell
+    seed (common random numbers without a shared materialised list).
+    """
+    backend = session.executor(scenario.executor)
+    if not hasattr(backend, "run_streaming"):
+        raise ExperimentError(
+            f"streaming cell {scenario.scenario_id}: executor "
+            f"{type(backend).__name__} has no streaming path (chain "
+            f"workflows on the analytic backend only)"
+        )
+    results = {
+        name: backend.run_streaming(
+            policy, iter_scenario_requests(session.workflow, scenario, slo_ms)
+        )
+        for name, policy in suite.items()
+    }
+    baseline = scenario.baseline
+    if baseline is None:
+        baseline = "Optimal" if "Optimal" in results else next(iter(results))
+    extras = {
+        name: {
+            key: float(res.extras[key])
+            for key in CARRIED_EXTRAS
+            if key in res.extras
+        }
+        for name, res in results.items()
+    }
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        workflow=scenario.workflow,
+        arrival=scenario.arrival.label,
+        slo_scale=scenario.slo_scale,
+        tenants=scenario.tenants,
+        slo_ms=slo_ms,
+        seed=scenario.seed,
+        baseline=baseline,
+        executor=f"{type(backend).__name__}[streaming]",
+        table=compare(results, baseline=baseline),
+        extras={name: vals for name, vals in extras.items() if vals},
+    )
+
+
 def run_scenario(scenario: Scenario) -> ScenarioResult | None:
     """Evaluate one scenario cell end to end via :meth:`Session.compare`.
 
@@ -161,6 +252,8 @@ def run_scenario(scenario: Scenario) -> ScenarioResult | None:
         return None
     if scenario.baseline is not None and scenario.baseline not in suite:
         return None
+    if scenario.streaming:
+        return _run_streaming_cell(session, scenario, slo_ms, suite)
     requests = scenario_requests(session.workflow, scenario, slo_ms)
     report = session.compare(
         requests=requests,

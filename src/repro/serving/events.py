@@ -1,0 +1,86 @@
+"""Structured JSONL event log for serving runs.
+
+One JSON object per line, each carrying a monotonically increasing
+``seq`` and a ``kind`` (``start``, ``arrival``, ``decision``, ``swap``,
+``snapshot``, ``stop``). With a path the log is write-through — nothing
+is retained in memory, preserving the loop's O(1) footprint; without a
+path events accumulate in :attr:`EventLog.events` for tests and
+interactive use.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+from pathlib import Path
+
+from ..errors import ExperimentError
+
+__all__ = ["EventLog", "read_events"]
+
+
+def _jsonable(obj: _t.Any) -> _t.Any:
+    # numpy scalars (sizes, rates) serialize as their Python values.
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+class EventLog:
+    """Append-only event sink, JSONL on disk or a list in memory."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.events: list[dict[str, _t.Any]] = []
+        self._seq = 0
+        self._fh: _t.TextIO | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w", encoding="utf-8")
+
+    def emit(self, kind: str, **fields: _t.Any) -> dict[str, _t.Any]:
+        """Record one event; returns the record that was written."""
+        record: dict[str, _t.Any] = {"seq": self._seq, "kind": kind}
+        record.update(fields)
+        self._seq += 1
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, default=_jsonable) + "\n")
+        else:
+            self.events.append(record)
+        return record
+
+    @property
+    def count(self) -> int:
+        """Events emitted so far."""
+        return self._seq
+
+    def close(self) -> None:
+        """Flush and close the file sink (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: _t.Any) -> None:
+        self.close()
+
+
+def read_events(
+    path: str | Path, kind: str | None = None
+) -> list[dict[str, _t.Any]]:
+    """Load a JSONL event log back, optionally filtered by ``kind``."""
+    p = Path(path)
+    if not p.exists():
+        raise ExperimentError(f"no event log at {p}")
+    out = []
+    with p.open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if kind is None or record.get("kind") == kind:
+                out.append(record)
+    return out

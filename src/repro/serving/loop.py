@@ -1,0 +1,483 @@
+"""The asyncio serving loop: ingest, size, observe, adapt.
+
+:class:`ServingLoop` is the live counterpart of :class:`~repro.runtime.
+executor.AnalyticExecutor.run`: the same per-stage sizing walk, but over
+an *unbounded* arrival stream, with bounded-memory metrics
+(:mod:`repro.metrics.streaming`) instead of retained outcome lists, and
+with the paper's §III-D regeneration loop running online — when the
+supervisor's sliding miss-rate window crosses the threshold, the loop
+re-profiles from its recent latency window, re-synthesizes hints (through
+the :func:`~repro.synthesis.generator.synthesize_hints` disk memo) and
+hot-swaps the adapter's tables. The adapter is stateless per request, so
+in-flight requests finish against whichever tables their next stage
+finds — none are dropped.
+
+Scheduling is cooperative and deterministic: each request is an asyncio
+task that yields between stages, so requests interleave like a real
+service while a fixed seed and ``time_scale=0`` (no wall-clock pacing)
+replay bit-identically. ``time_scale > 0`` paces arrivals and stage
+executions against the wall clock (1.0 = real time, 60.0 = a minute of
+trace per second).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import typing as _t
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+from ..metrics.streaming import StreamingMoments, StreamingSummary, WindowedRate
+from ..adapter.supervisor import HitMissSupervisor
+from ..policies.registry import JANUS_EXPLORATIONS, POLICIES
+from ..profiling.profiles import LatencyProfile, ProfileSet
+from ..profiling.profiler import profile_workflow
+from ..rng import RngFactory
+from ..scenarios.registry import scenario_workflow
+from ..synthesis.generator import HeadExploration, synthesize_hints
+from ..traces.workload import ArrivalSpec
+from ..workflow.catalog import Workflow
+from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
+from .events import EventLog
+from .sources import arrival_source
+
+__all__ = ["ServingConfig", "ServingLoop", "ServingReport", "run_service"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of one serving run.
+
+    ``source`` is an :class:`ArrivalSpec` (build one with
+    :func:`repro.scenarios.matrix.parse_arrival` from tokens like
+    ``diurnal@8`` or ``replay@trace.jsonl``). ``time_scale=0`` disables
+    wall-clock pacing — the stream is served as fast as the machine
+    allows, which is what bounded CI runs want. ``workset_schedule``
+    deterministically drifts the workload mid-run: ``((after_n, scale),
+    ...)`` multiplies drawn working sets by ``scale`` from request index
+    ``after_n`` on — the forcing function for adaptation tests.
+    """
+
+    workflow: str = "IA"
+    policy: str = "Janus"
+    source: ArrivalSpec = field(
+        default_factory=lambda: ArrivalSpec(kind="poisson", rate_per_s=50.0)
+    )
+    seed: int = 0
+    samples: int = 2000
+    slo_scale: float = 1.0
+    max_requests: int | None = None
+    max_seconds: float | None = None
+    time_scale: float = 0.0
+    metrics_every: int = 500
+    percentiles: tuple[float, ...] = (50.0, 95.0, 99.0)
+    slo_window: int = 1000
+    miss_threshold: float = 0.01
+    miss_window: int = 200
+    min_samples: int = 50
+    adapt: bool = True
+    latency_window: int = 512
+    workset_schedule: tuple[tuple[int, float], ...] = ()
+    event_log: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_requests is not None and self.max_requests < 1:
+            raise ExperimentError(
+                f"max_requests must be >= 1, got {self.max_requests}"
+            )
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ExperimentError(
+                f"max_seconds must be > 0, got {self.max_seconds}"
+            )
+        if self.max_requests is None and self.max_seconds is None:
+            raise ExperimentError(
+                "an unbounded run needs an explicit opt-in: set "
+                "max_requests and/or max_seconds (use max_seconds=inf "
+                "for a true always-on service)"
+            )
+        if self.time_scale < 0:
+            raise ExperimentError(
+                f"time_scale must be >= 0, got {self.time_scale}"
+            )
+        if self.metrics_every < 1:
+            raise ExperimentError(
+                f"metrics_every must be >= 1, got {self.metrics_every}"
+            )
+        if self.slo_scale <= 0:
+            raise ExperimentError(
+                f"slo_scale must be > 0, got {self.slo_scale}"
+            )
+        if self.latency_window < 1:
+            raise ExperimentError(
+                f"latency_window must be >= 1, got {self.latency_window}"
+            )
+        last = -1
+        for after_n, scale in self.workset_schedule:
+            if after_n <= last:
+                raise ExperimentError(
+                    f"workset_schedule indices must ascend: "
+                    f"{self.workset_schedule}"
+                )
+            if scale <= 0:
+                raise ExperimentError(
+                    f"workset scale must be > 0, got {scale}"
+                )
+            last = after_n
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """What a bounded serving run amounted to."""
+
+    workflow: str
+    policy: str
+    source: str
+    arrivals: int
+    completed: int
+    dropped: int
+    swaps: int
+    snapshot: dict[str, float]
+    wall_seconds: float
+
+
+class ServingLoop:
+    """Always-on request sizing over an unbounded arrival stream."""
+
+    def __init__(
+        self,
+        config: ServingConfig,
+        workflow: Workflow | None = None,
+        profiles: ProfileSet | None = None,
+    ) -> None:
+        self.config = config
+        self.workflow = workflow or scenario_workflow(config.workflow)
+        if self.workflow.topology != "chain":
+            raise ExperimentError(
+                f"serving supports chain workflows, got topology "
+                f"{self.workflow.topology!r} ({self.workflow.name})"
+            )
+        self.slo_ms = float(self.workflow.slo_ms) * config.slo_scale
+        self.profiles = profiles or profile_workflow(
+            self.workflow, seed=config.seed, samples=config.samples
+        )
+        self.policy = POLICIES.build(
+            config.policy,
+            self.workflow,
+            self.profiles,
+            slo_ms=self.slo_ms,
+        )
+        self.policy.bind(self.workflow)
+
+        # Wire drift detection into the policy's adapter when it has one
+        # (the Janus family); other policies serve without adaptation.
+        self.adapter = getattr(self.policy, "adapter", None)
+        self._drift_flagged = False
+        if self.adapter is not None:
+            supervisor = HitMissSupervisor(
+                miss_threshold=config.miss_threshold,
+                min_samples=config.min_samples,
+                window=config.miss_window,
+            )
+            supervisor.on_regenerate(self._flag_drift)
+            self.adapter.supervisor = supervisor
+
+        factory = RngFactory(config.seed).fork("serving", self.workflow.name)
+        self._arrivals = arrival_source(
+            config.source,
+            factory.stream("arrivals"),
+            workflow=self.workflow.name,
+        )
+        self._stage_rngs = {
+            name: factory.stream("dynamics", name)
+            for name in self.workflow.dag.nodes
+        }
+
+        # Streaming state — all O(1) or bounded-window memory.
+        self.latency = StreamingSummary(config.percentiles)
+        self.slo = WindowedRate(window=config.slo_window)
+        self.cost = StreamingMoments()
+        self.slack = StreamingMoments()
+        self._lat_windows: dict[str, deque[tuple[float, int]]] = {
+            name: deque(maxlen=config.latency_window)
+            for name in self.workflow.chain
+        }
+        self.events = EventLog(config.event_log)
+        self.arrivals = 0
+        self.completed = 0
+        self.swaps = 0
+        self._in_flight: set[asyncio.Task[None]] = set()
+        self._workset_scale = 1.0
+
+    # -- request construction ----------------------------------------------
+    def _flag_drift(self, _supervisor: HitMissSupervisor) -> None:
+        self._drift_flagged = True
+
+    def _scale_for(self, index: int) -> float:
+        scale = 1.0
+        for after_n, s in self.config.workset_schedule:
+            if index >= after_n:
+                scale = s
+        return scale
+
+    def _make_request(self, index: int, arrival_ms: float) -> WorkflowRequest:
+        # Mirrors :func:`repro.traces.workload.generate_requests`: dynamics
+        # are drawn per request in arrival order from per-stage streams, so
+        # the stream is identical however the loop is paced or adapted.
+        self._workset_scale = self._scale_for(index)
+        dynamics = {}
+        for name in self.workflow.dag.nodes:
+            model = self.workflow.model(name)
+            dyn = model.sample_dynamics(self._stage_rngs[name])
+            if self._workset_scale != 1.0:
+                dyn = type(dyn)(
+                    workset=dyn.workset * self._workset_scale,
+                    noise_z=dyn.noise_z,
+                    interference=dyn.interference,
+                )
+            dynamics[name] = dyn
+        return WorkflowRequest(
+            request_id=index,
+            arrival_ms=arrival_ms,
+            slo_ms=self.slo_ms,
+            stage_dynamics=dynamics,
+            concurrency=1,
+            workflow=self.workflow.name,
+        )
+
+    # -- serving ------------------------------------------------------------
+    async def _serve(self, request: WorkflowRequest) -> None:
+        chain = self.workflow.chain
+        limits = self.workflow.limits
+        self.policy.begin_request(request)
+        elapsed = 0.0
+        stages: list[StageRecord] = []
+        for fname in chain:
+            size = self.policy.size_for_node(fname, request, elapsed)
+            size = limits.clamp(size)
+            model = self.workflow.model(fname)
+            exec_ms = model.execution_time(
+                size, request.dynamics_for(fname), request.concurrency
+            )
+            start = request.arrival_ms + elapsed
+            stages.append(
+                StageRecord(
+                    function=fname, size=size, start_ms=start,
+                    end_ms=start + exec_ms,
+                )
+            )
+            elapsed += exec_ms
+            self._lat_windows[fname].append((exec_ms, size))
+            if self.config.time_scale > 0:
+                await asyncio.sleep(
+                    exec_ms / 1000.0 / self.config.time_scale
+                )
+            else:
+                # Cooperative yield: other requests advance one stage per
+                # scheduler round, so the service genuinely interleaves.
+                await asyncio.sleep(0)
+        self.policy.end_request(request)
+        outcome = RequestOutcome(
+            request_id=request.request_id,
+            arrival_ms=request.arrival_ms,
+            slo_ms=request.slo_ms,
+            stages=stages,
+        )
+        self._on_complete(outcome)
+
+    def _on_complete(self, outcome: RequestOutcome) -> None:
+        self.completed += 1
+        self.latency.add(outcome.e2e_ms)
+        self.slo.add(outcome.slo_met)
+        self.cost.add(outcome.allocated_millicores)
+        self.slack.add(outcome.slack)
+        self.events.emit(
+            "decision",
+            request_id=outcome.request_id,
+            e2e_ms=round(outcome.e2e_ms, 3),
+            slo_met=outcome.slo_met,
+            allocated_millicores=outcome.allocated_millicores,
+            sizes=outcome.sizes(),
+        )
+        if self._drift_flagged and self.config.adapt:
+            self._resynthesize()
+        if self.completed % self.config.metrics_every == 0:
+            self.events.emit("snapshot", **self.snapshot())
+
+    # -- adaptation ----------------------------------------------------------
+    def _drift_ratios(self) -> dict[str, float]:
+        """Per-function latency multiplier vs the deployed profiles.
+
+        Estimated from the recent (exec_ms, size) window as the mean
+        ratio against the profile's median latency at the same size — a
+        stand-in for the developer re-profiling on representative drifted
+        inputs (paper §III-D).
+        """
+        ratios = {}
+        for fname in self.workflow.chain:
+            window = self._lat_windows[fname]
+            prof = self.profiles[fname]
+            samples = []
+            for exec_ms, size in window:
+                expected = prof.latency(50.0, size)
+                if expected > 0:
+                    samples.append(exec_ms / expected)
+            ratios[fname] = (
+                sum(samples) / len(samples) if samples else 1.0
+            )
+        return ratios
+
+    def _resynthesize(self) -> None:
+        self._drift_flagged = False
+        if self.adapter is None:
+            return
+        ratios = self._drift_ratios()
+        scaled = {}
+        for fname in self.workflow.chain:
+            prof = self.profiles[fname]
+            scaled[fname] = LatencyProfile(
+                function=prof.function,
+                percentiles=prof.percentiles,
+                limits=prof.limits,
+                concurrencies=prof.concurrencies,
+                table=prof.table * ratios[fname],
+            )
+        exploration = JANUS_EXPLORATIONS.get(
+            self.config.policy, HeadExploration.HEAD_ONLY
+        )
+        # budget=None: the Eq. 3 feasible range is recomputed from the
+        # drifted tables, which is what moves the covered budgets back
+        # over the traffic (the disk memo absorbs repeat synthesis).
+        new_hints = synthesize_hints(
+            ProfileSet(scaled),
+            self.workflow.chain,
+            budget=None,
+            exploration=exploration,
+            workflow_name=self.workflow.name,
+        )
+        in_flight = max(0, len(self._in_flight) - 1)  # minus the completer
+        self.adapter.replace_hints(new_hints)  # resets the supervisor
+        self.profiles = ProfileSet(
+            {**{f: self.profiles[f] for f in self.profiles.functions()},
+             **scaled}
+        )
+        # Fresh windows: the next estimate (if drift persists) should be
+        # measured against the tables just deployed, not diluted by
+        # samples that predate the swap.
+        for window in self._lat_windows.values():
+            window.clear()
+        self.swaps += 1
+        self.events.emit(
+            "swap",
+            swap=self.swaps,
+            completed=self.completed,
+            in_flight=in_flight,
+            ratios={f: round(r, 4) for f, r in ratios.items()},
+        )
+
+    # -- metrics -------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """Live metrics as a plain dict (percentile_summary-compatible
+        latency keys plus SLO attainment, cost and miss-rate counters)."""
+        if self.completed == 0:
+            raise ExperimentError("no completed requests to snapshot yet")
+        out = self.latency.snapshot()
+        out["arrivals"] = float(self.arrivals)
+        out["completed"] = float(self.completed)
+        out["in_flight"] = float(len(self._in_flight))
+        out["slo_attainment"] = self.slo.rate
+        out["slo_attainment_windowed"] = self.slo.windowed_rate
+        out["violation_rate"] = 1.0 - self.slo.rate
+        out["mean_allocated_millicores"] = self.cost.mean
+        out["total_millicore_cost"] = self.cost.total
+        out["mean_slack"] = self.slack.mean
+        out["swaps"] = float(self.swaps)
+        if self.adapter is not None:
+            sup = self.adapter.supervisor
+            out["miss_rate"] = sup.miss_rate
+            out["cumulative_miss_rate"] = sup.cumulative_miss_rate
+        else:
+            out["miss_rate"] = 0.0
+        return out
+
+    # -- main loop -----------------------------------------------------------
+    async def run(self) -> ServingReport:
+        """Serve until a bound trips; returns the final report."""
+        cfg = self.config
+        t0 = time.perf_counter()
+        self.events.emit(
+            "start",
+            workflow=self.workflow.name,
+            policy=self.policy.name,
+            source=cfg.source.label,
+            slo_ms=self.slo_ms,
+            seed=cfg.seed,
+            time_scale=cfg.time_scale,
+        )
+        try:
+            for arrival_ms in self._arrivals:
+                if (
+                    cfg.max_requests is not None
+                    and self.arrivals >= cfg.max_requests
+                ):
+                    break
+                if (
+                    cfg.max_seconds is not None
+                    and time.perf_counter() - t0 >= cfg.max_seconds
+                ):
+                    break
+                if cfg.time_scale > 0:
+                    target = t0 + arrival_ms / 1000.0 / cfg.time_scale
+                    delay = target - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                request = self._make_request(self.arrivals, arrival_ms)
+                self.arrivals += 1
+                self.events.emit(
+                    "arrival",
+                    request_id=request.request_id,
+                    arrival_ms=round(arrival_ms, 3),
+                    workset_scale=self._workset_scale,
+                )
+                task = asyncio.ensure_future(self._serve(request))
+                self._in_flight.add(task)
+                task.add_done_callback(self._in_flight.discard)
+                await asyncio.sleep(0)
+            # Drain: no request is dropped — every ingested arrival
+            # completes, including those mid-flight during a hot swap.
+            while self._in_flight:
+                await asyncio.gather(*list(self._in_flight))
+            snapshot = self.snapshot()
+            self.events.emit("snapshot", **snapshot)
+            wall = time.perf_counter() - t0
+            self.events.emit(
+                "stop",
+                arrivals=self.arrivals,
+                completed=self.completed,
+                swaps=self.swaps,
+                wall_seconds=round(wall, 3),
+            )
+            return ServingReport(
+                workflow=self.workflow.name,
+                policy=self.policy.name,
+                source=cfg.source.label,
+                arrivals=self.arrivals,
+                completed=self.completed,
+                dropped=self.arrivals - self.completed,
+                swaps=self.swaps,
+                snapshot=snapshot,
+                wall_seconds=wall,
+            )
+        finally:
+            self.events.close()
+
+
+def run_service(
+    config: ServingConfig,
+    workflow: Workflow | None = None,
+    profiles: ProfileSet | None = None,
+) -> ServingReport:
+    """Build a :class:`ServingLoop` and run it to completion."""
+    loop = ServingLoop(config, workflow=workflow, profiles=profiles)
+    return asyncio.run(loop.run())

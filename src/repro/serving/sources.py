@@ -1,0 +1,151 @@
+"""Unbounded arrival sources for the serving loop.
+
+The batch generators in :mod:`repro.traces` answer "give me *n* arrivals";
+an always-on service does not know *n* up front. Each source here is an
+infinite iterator of arrival timestamps (milliseconds since service
+start), built from the same declarative :class:`~repro.traces.workload.
+ArrivalSpec` the sweep engine uses — so ``diurnal@8`` means the same
+process in a sweep cell and in ``janus-repro serve``.
+
+Determinism contract: chunk sizes are fixed constants (never dependent on
+how much of the stream a consumer happened to drain), so a fixed seed
+replays the identical timestamp stream however far it is consumed.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..errors import TraceError
+from ..traces.diurnal import DiurnalRate
+from ..traces.trace_file import cached_trace
+from ..traces.workload import ArrivalSpec
+
+__all__ = ["arrival_source", "CHUNK"]
+
+#: Candidates drawn per RNG round. A fixed constant — part of the
+#: determinism contract above.
+CHUNK = 512
+
+
+def _poisson_gaps(
+    rate_per_s: float, rng: np.random.Generator
+) -> _t.Iterator[float]:
+    t = 0.0
+    mean_gap_ms = 1000.0 / rate_per_s
+    while True:
+        for gap in rng.exponential(mean_gap_ms, size=CHUNK):
+            t += float(gap)
+            yield t
+
+
+def _constant(interval_ms: float) -> _t.Iterator[float]:
+    i = 0
+    while True:
+        yield i * interval_ms
+        i += 1
+
+
+def _burst(
+    base_rate: float,
+    burst_rate: float,
+    fraction: float,
+    rng: np.random.Generator,
+) -> _t.Iterator[float]:
+    t = 0.0
+    while True:
+        in_burst = rng.random(CHUNK) < fraction
+        rates = np.where(in_burst, burst_rate, base_rate)
+        for gap in rng.exponential(1000.0 / rates):
+            t += float(gap)
+            yield t
+
+
+def _azure(
+    rate_per_s: float, sigma: float, rng: np.random.Generator
+) -> _t.Iterator[float]:
+    t = 0.0
+    mean_gap_ms = 1000.0 / rate_per_s
+    while True:
+        z = rng.standard_normal(CHUNK)
+        gaps = np.exp(sigma * z - 0.5 * sigma * sigma) * mean_gap_ms
+        for gap in gaps:
+            t += float(gap)
+            yield t
+
+
+def _nhpp(curve: DiurnalRate, rng: np.random.Generator) -> _t.Iterator[float]:
+    # Lewis-Shedler thinning, as in :func:`repro.traces.diurnal.
+    # nhpp_arrivals` but with the fixed CHUNK so the draw order does not
+    # depend on how many arrivals the consumer eventually takes.
+    peak = curve.peak_rate
+    t_ms = 0.0
+    while True:
+        gaps_ms = rng.exponential(1000.0 / peak, size=CHUNK)
+        candidates = t_ms + np.cumsum(gaps_ms)
+        u = rng.random(CHUNK)
+        accepted = candidates[u * peak < curve.rate_at(candidates / 1000.0)]
+        t_ms = float(candidates[-1])
+        for ts in accepted:
+            yield float(ts)
+
+
+def _replay(trace_path: str, workflow: str | None) -> _t.Iterator[float]:
+    # Same wrap-around law as :func:`repro.traces.trace_file.
+    # replay_arrivals`: each full pass shifts by the span plus one mean
+    # gap, so the recorded gap structure repeats forever.
+    trace = cached_trace(trace_path)
+    arrivals = trace.arrivals_for(workflow)
+    if arrivals.size == 0:
+        raise TraceError(
+            f"trace {trace.name!r} has no records"
+            + (f" for workflow {workflow!r}" if workflow else "")
+        )
+    m = int(arrivals.size)
+    if m == 1:
+        raise TraceError(
+            f"cannot serve forever from the single-record trace "
+            f"{trace.name!r} — wrap-around needs >= 2 records"
+        )
+    span = float(arrivals[-1] - arrivals[0])
+    period = span + span / (m - 1)
+    i = 0
+    while True:
+        yield float(arrivals[i % m]) + (i // m) * period
+        i += 1
+
+
+def arrival_source(
+    spec: ArrivalSpec,
+    rng: np.random.Generator,
+    workflow: str | None = None,
+) -> _t.Iterator[float]:
+    """Infinite arrival-timestamp stream (ms) for ``spec``.
+
+    ``workflow`` only matters for replay specs (sub-stream selection), as
+    for :meth:`ArrivalSpec.timestamps`.
+    """
+    if spec.kind == "constant":
+        return _constant(spec.interval_ms)
+    if spec.kind == "poisson":
+        return _poisson_gaps(spec.rate_per_s, rng)
+    if spec.kind == "burst":
+        burst_rate = (
+            spec.burst_rate_per_s
+            if spec.burst_rate_per_s is not None
+            else 10.0 * spec.rate_per_s
+        )
+        return _burst(spec.rate_per_s, burst_rate, spec.burst_fraction, rng)
+    if spec.kind == "azure":
+        return _azure(spec.rate_per_s, spec.sigma, rng)
+    if spec.kind == "diurnal":
+        curve = DiurnalRate.sinusoid(
+            spec.rate_per_s, spec.amplitude, spec.period_s
+        )
+        return _nhpp(curve, rng)
+    if spec.kind == "replay":
+        assert spec.trace is not None  # ArrivalSpec.__post_init__ guarantees
+        return _replay(spec.trace, workflow)
+    raise TraceError(f"unknown arrival kind {spec.kind!r}")

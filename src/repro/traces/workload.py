@@ -30,6 +30,7 @@ __all__ = [
     "ArrivalSpec",
     "WorkloadConfig",
     "generate_requests",
+    "iter_requests",
     "shifted_workload",
 ]
 
@@ -228,12 +229,19 @@ class WorkloadConfig:
         return ArrivalSpec(kind="constant", interval_ms=0.0)
 
 
-def generate_requests(
+def iter_requests(
     workflow: Workflow,
     config: WorkloadConfig | None = None,
     seed: int = 0,
-) -> list[WorkflowRequest]:
-    """Build a deterministic request stream for ``workflow``."""
+) -> _t.Iterator[WorkflowRequest]:
+    """Yield the deterministic request stream one request at a time.
+
+    Identical draws (and thus identical requests) to
+    :func:`generate_requests` — the arrivals array is still drawn in one
+    batch (O(n) floats, the cheap part) but the per-request dynamics and
+    request objects are produced lazily, so streaming consumers (the
+    serving loop, streaming sweep cells) never hold the full stream.
+    """
     cfg = config or WorkloadConfig()
     factory = RngFactory(seed).fork("workload", workflow.name)
     arrival_rng = factory.stream("arrivals")
@@ -252,7 +260,6 @@ def generate_requests(
     }
     interference_rng = factory.stream("interference")
 
-    requests: list[WorkflowRequest] = []
     for i in range(cfg.n_requests):
         dynamics = {}
         for name in workflow.dag.nodes:
@@ -270,17 +277,23 @@ def generate_requests(
                     interference=dyn.interference,
                 )
             dynamics[name] = dyn
-        requests.append(
-            WorkflowRequest(
-                request_id=i,
-                arrival_ms=float(arrivals[i]),
-                slo_ms=slo,
-                stage_dynamics=dynamics,
-                concurrency=concurrency,
-                workflow=workflow.name,
-            )
+        yield WorkflowRequest(
+            request_id=i,
+            arrival_ms=float(arrivals[i]),
+            slo_ms=slo,
+            stage_dynamics=dynamics,
+            concurrency=concurrency,
+            workflow=workflow.name,
         )
-    return requests
+
+
+def generate_requests(
+    workflow: Workflow,
+    config: WorkloadConfig | None = None,
+    seed: int = 0,
+) -> list[WorkflowRequest]:
+    """Build a deterministic request stream for ``workflow``."""
+    return list(iter_requests(workflow, config, seed))
 
 
 def shifted_workload(

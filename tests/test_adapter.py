@@ -76,6 +76,72 @@ class TestSupervisor:
         assert snap == {"hits": 1, "misses": 0, "miss_rate": 0.0}
 
 
+class TestWindowedSupervisor:
+    def test_window_validation(self):
+        with pytest.raises(AdapterError):
+            HitMissSupervisor(window=0)
+        with pytest.raises(AdapterError, match="cannot exceed"):
+            HitMissSupervisor(min_samples=50, window=10)
+
+    def test_misses_roll_off_the_window(self):
+        sup = HitMissSupervisor(min_samples=1, window=4)
+        for _ in range(4):
+            sup.record(False)
+        assert sup.miss_rate == 1.0
+        for _ in range(4):
+            sup.record(True)
+        # All misses have left the window; all-time accounting remembers.
+        assert sup.miss_rate == 0.0
+        assert sup.cumulative_miss_rate == pytest.approx(0.5)
+        assert sup.window_total == 4 and sup.total == 8
+
+    def test_boundary_exact_eviction(self):
+        # The rate at the window boundary counts exactly the last N
+        # outcomes: N-1 hits then 1 miss then N-1 hits -> one miss inside.
+        sup = HitMissSupervisor(min_samples=1, window=8)
+        for _ in range(7):
+            sup.record(True)
+        sup.record(False)
+        assert sup.miss_rate == pytest.approx(1 / 8)
+        for _ in range(7):
+            sup.record(True)
+        assert sup.miss_rate == pytest.approx(1 / 8)  # miss now oldest
+        sup.record(True)
+        assert sup.miss_rate == 0.0  # miss evicted
+
+    def test_windowed_trigger_reacts_to_recent_drift(self):
+        # A long healthy history must not dilute the trigger: cumulative
+        # rate stays under threshold while the windowed rate fires.
+        sup = HitMissSupervisor(
+            miss_threshold=0.1, min_samples=10, window=20
+        )
+        fired = []
+        sup.on_regenerate(lambda s: fired.append(s.miss_rate))
+        for _ in range(1000):
+            sup.record(True)
+        for _ in range(5):
+            sup.record(False)
+        assert fired and fired[0] > 0.1
+        assert sup.cumulative_miss_rate < 0.01
+
+    def test_reset_clears_the_window(self):
+        sup = HitMissSupervisor(min_samples=1, window=4)
+        for _ in range(4):
+            sup.record(False)
+        sup.reset()
+        assert sup.window_total == 0 and sup.miss_rate == 0.0
+        sup.record(True)
+        assert sup.miss_rate == 0.0
+
+    def test_snapshot_gains_window_keys(self):
+        sup = HitMissSupervisor(min_samples=1, window=4)
+        sup.record(False)
+        snap = sup.snapshot()
+        assert snap["window"] == 4.0 and snap["window_total"] == 1.0
+        assert snap["miss_rate"] == 1.0
+        assert snap["cumulative_miss_rate"] == 1.0
+
+
 class TestJanusAdapter:
     def test_initial_decision_uses_full_slo(self):
         adapter = JanusAdapter(make_hints(), slo_ms=3000.0)

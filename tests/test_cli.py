@@ -255,3 +255,66 @@ class TestTraceCommands:
              "--requests", "10", "--samples", "300", "--jobs", "1"]
         ) == 0
         assert "sweeping 1 scenario cells" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.source == "diurnal@8" and args.policy == "Janus"
+        assert args.max_requests is None and args.time_scale == 0.0
+
+    def test_unbounded_run_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="unbounded"):
+            main(["serve"])  # no --max-requests / --max-seconds
+
+    def test_bad_drift_token_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--max-requests", "10", "--drift", "nope"])
+
+    def test_serve_end_to_end(self, capsys, tmp_path):
+        snap_path = tmp_path / "snapshot.json"
+        events_path = tmp_path / "events.jsonl"
+        assert main(
+            ["serve", "--source", "poisson@50", "--max-requests", "120",
+             "--samples", "300", "--metrics-every", "60",
+             "--snapshot-out", str(snap_path),
+             "--event-log", str(events_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served 120/120 requests (0 dropped)" in out
+        assert "P50" in out and "SLO" in out
+        import json as json_mod
+
+        snap = json_mod.loads(snap_path.read_text())
+        for key in ("p50", "p95", "p99", "slo_attainment", "miss_rate",
+                    "mean_allocated_millicores"):
+            assert key in snap
+        from repro.serving import read_events
+
+        assert len(read_events(events_path, kind="decision")) == 120
+
+    def test_serve_with_drift_reports_swaps(self, capsys):
+        assert main(
+            ["serve", "--source", "poisson@50", "--max-requests", "700",
+             "--samples", "300", "--drift", "300:4.0",
+             "--miss-threshold", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hint swap(s)" in out
+        swaps = int(out.split("hint swap(s)")[0].strip().split()[-1])
+        assert swaps >= 1
+
+
+class TestSweepStreaming:
+    def test_flag_reaches_the_matrix(self, capsys):
+        assert main(
+            ["sweep", "--workflows", "IA", "--arrivals", "poisson@8",
+             "--slo-scales", "1.0", "--tenants", "1",
+             "--policies", "Optimal,Janus", "--requests", "25",
+             "--samples", "300", "--jobs", "1", "--streaming"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweeping 1 scenario cells" in out and "Janus" in out

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import ExperimentError
 from repro.metrics.report import format_kv, format_table
 from repro.metrics.slack import slack, slack_cdf, slacks
 from repro.metrics.slo import (
@@ -42,8 +43,13 @@ class TestStats:
         assert summary["min"] == 0.0 and summary["max"] == 100.0
 
     def test_percentile_summary_empty_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ExperimentError, match="at least one sample"):
             percentile_summary([])
+
+    def test_percentile_summary_single_sample_degenerate(self):
+        summary = percentile_summary([42.0])
+        assert summary["p1"] == summary["p99"] == 42.0
+        assert summary["mean"] == summary["min"] == summary["max"] == 42.0
 
 
 class TestSlack:

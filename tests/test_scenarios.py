@@ -1412,3 +1412,91 @@ class TestReviewHardening:
             assert report.backend == "inline"
         finally:
             _BACKENDS.pop("inline")
+
+
+class TestStreamingCells:
+    """The opt-in bounded-memory sweep path (Scenario.streaming)."""
+
+    MATRIX = ScenarioMatrix(
+        workflows=("IA",),
+        arrivals=(ArrivalSpec("poisson", rate_per_s=20.0),),
+        slo_scales=(1.0,),
+        tenant_counts=(1, 2),
+        policies=("Optimal", "Janus"),
+        n_requests=120,
+        samples=300,
+        seed=13,
+        streaming=True,
+    )
+
+    def test_cell_id_and_executor_are_marked(self):
+        cell = self.MATRIX.expand()[0]
+        assert cell.streaming
+        assert cell.scenario_id.endswith("/streaming")
+        result = run_scenario(cell)
+        assert result.executor.endswith("[streaming]")
+
+    def test_digest_differs_from_exact_cell(self):
+        import dataclasses
+
+        from repro.scenarios.cache import scenario_digest
+
+        streaming_cell = self.MATRIX.expand()[0]
+        exact_cell = dataclasses.replace(streaming_cell, streaming=False)
+        assert scenario_digest(streaming_cell) != scenario_digest(exact_cell)
+
+    def test_table_matches_exact_cell_closely(self):
+        import dataclasses
+
+        streaming_cell = self.MATRIX.expand()[0]
+        exact_cell = dataclasses.replace(streaming_cell, streaming=False)
+        s_result = run_scenario(streaming_cell)
+        e_result = run_scenario(exact_cell)
+        s_table, e_table = s_result.table, e_result.table
+        assert set(s_table) == set(e_table)
+        for policy in s_table:
+            s_row, e_row = s_table[policy], e_table[policy]
+            # Means are exact aggregates: identical stream, identical math.
+            assert s_row["mean_allocated_millicores"] == pytest.approx(
+                e_row["mean_allocated_millicores"], rel=1e-12
+            )
+            assert s_row["violation_rate"] == pytest.approx(
+                e_row["violation_rate"]
+            )
+            # Percentiles are P2 estimates; tight but not exact.
+            assert s_row["p50_e2e_ms"] == pytest.approx(
+                e_row["p50_e2e_ms"], rel=0.05
+            )
+        # Policy extras still carried, matching the exact path.
+        assert "hit_rate" in s_result.extras["Janus"]
+        assert s_result.extras["Janus"]["hit_rate"] == pytest.approx(
+            e_result.extras["Janus"]["hit_rate"]
+        )
+
+    def test_lazy_merge_equals_eager_merge(self):
+        from repro.scenarios.registry import scenario_workflow
+        from repro.scenarios.runner import (
+            iter_scenario_requests,
+            scenario_requests,
+        )
+
+        cell = next(
+            c for c in self.MATRIX.expand() if c.tenants == 2
+        )
+        workflow = scenario_workflow(cell.workflow)
+        slo_ms = workflow.slo_ms * cell.slo_scale
+        lazy = list(iter_scenario_requests(workflow, cell, slo_ms))
+        eager = scenario_requests(workflow, cell, slo_ms)
+        assert len(lazy) == len(eager) == 240
+        for a, b in zip(lazy, eager):
+            assert a.request_id == b.request_id
+            assert a.arrival_ms == b.arrival_ms
+            assert a.stage_dynamics == b.stage_dynamics
+
+    def test_streaming_requires_analytic_executor(self):
+        with pytest.raises(ExperimentError, match="streaming"):
+            ScenarioMatrix(
+                workflows=("IA",), policies=("Janus",),
+                executors=("cluster",), streaming=True,
+                n_requests=10, samples=300,
+            )
