@@ -347,6 +347,67 @@ def test_serving_loop_throughput(benchmark, bench_samples):
     _write_results()
 
 
+def test_fault_injection(benchmark, bench_requests, bench_samples):
+    """Fault-schedule compilation rate and faulted-vs-clean DES cell cost.
+
+    Fault schedules are compiled per cell per run, so compilation must be
+    cheap; the faulted-cell wall time records what the preemption race
+    (AnyOf per invocation attempt plus retries) adds on top of a clean
+    cluster cell.
+    """
+    from repro.cluster import ClusterConfig
+    from repro.cluster.faults import FaultSpec, compile_fault_schedule
+    from repro.scenarios import parse_fault
+
+    spec = FaultSpec(kind="preempt", rate_per_min=120.0, recovery_ms=1000.0)
+
+    def compile_rate():
+        rounds = 200
+        start = time.perf_counter()
+        for i in range(rounds):
+            compile_fault_schedule(spec, i, 8, 600_000.0)
+        return rounds / (time.perf_counter() - start)
+
+    schedules_per_s = run_once(benchmark, compile_rate)
+    events = len(compile_fault_schedule(spec, 0, 8, 600_000.0))
+
+    def cluster_matrix(faults):
+        return ScenarioMatrix(
+            workflows=("IA",),
+            arrivals=(ArrivalSpec(kind="poisson", rate_per_s=8.0),),
+            slo_scales=(1.0,),
+            policies=("GrandSLAM", "Janus"),
+            executors=("cluster",),
+            cluster=ClusterConfig(n_vms=2, autoscale=False),
+            faults=faults,
+            n_requests=min(bench_requests, 120),
+            samples=min(bench_samples, 600),
+            seed=23,
+        )
+
+    start = time.perf_counter()
+    SweepRunner(max_workers=1).run(cluster_matrix((None,)))
+    clean_s = time.perf_counter() - start
+    start = time.perf_counter()
+    faulted_report = SweepRunner(max_workers=1).run(
+        cluster_matrix((parse_fault("preempt@60:1000"),))
+    )
+    faulted_s = time.perf_counter() - start
+    retries = faulted_report.results[0].extra("Janus", "retries")
+    print(f"\nfault injection: {schedules_per_s:,.0f} schedules/s "
+          f"({events} events over a 10 min horizon), DES cell clean "
+          f"{clean_s:.2f} s vs faulted {faulted_s:.2f} s "
+          f"({retries:.0f} retries)")
+    _RESULTS["faults"] = {
+        "schedules_per_s": schedules_per_s,
+        "schedule_events_10min": events,
+        "clean_cell_seconds": clean_s,
+        "faulted_cell_seconds": faulted_s,
+        "faulted_cell_retries": retries,
+    }
+    _write_results()
+
+
 def test_cell_cache_warm_vs_cold(benchmark, bench_requests, bench_samples, tmp_path):
     """Cold sweep (populating the cache) vs fully warm replay."""
     matrix = _heterogeneous_matrix(bench_requests, bench_samples)

@@ -150,6 +150,15 @@ def build_parser() -> argparse.ArgumentParser:
              "e.g. 'n_vms=2,warm_pool_size=4,autoscale=false,"
              "keepalive_ms=500'")
     sweep_p.add_argument(
+        "--faults", default=None,
+        help="comma-separated fault-injection axis entries: 'none' (no "
+             "faults, keeps fault-free cells' cache keys), "
+             "'preempt@RATE_PER_MIN[:RECOVERY_MS]', 'crash@AT_MS', "
+             "'storm@MULTIPLIER[:WINDOW_FRACTION]', "
+             "'straggler@FRACTION:SLOWDOWN', or 'contention[@SCALE]'. "
+             "Cluster-side kinds need --executor cluster; storm works on "
+             "any executor (it reshapes arrivals into a flash crowd)")
+    sweep_p.add_argument(
         "--streaming", action="store_true",
         help="serve every cell through bounded-memory streaming "
              "estimators (P2 percentiles) instead of retained outcome "
@@ -207,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--miss-window", type=int, default=200, dest="miss_window",
         help="sliding window length for the miss rate (default 200)")
+    serve_p.add_argument(
+        "--faults", default=None,
+        help="arrival-side fault injection: 'storm@MULTIPLIER"
+             "[:WINDOW_FRACTION]' superimposes a flash crowd on --source "
+             "(cluster-side kinds need 'sweep --executor cluster')")
     serve_p.add_argument(
         "--drift", default=None,
         help="force workload drift for adaptation demos: comma-separated "
@@ -346,6 +360,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         SweepRunner,
         parse_arrival,
         parse_cluster_config,
+        parse_fault,
     )
 
     def _split(text: str) -> list[str]:
@@ -369,6 +384,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         matrix_kwargs["cluster"] = parse_cluster_config(args.cluster_config)
     if args.traces:
         matrix_kwargs["traces"] = tuple(_split(args.traces))
+    if args.faults:
+        matrix_kwargs["faults"] = tuple(
+            None if token == "none" else parse_fault(token)
+            for token in _split(args.faults)
+        )
     if args.streaming:
         matrix_kwargs["streaming"] = True
     # Same knob-introspection contract as `run`: a scale flag reaches the
@@ -398,7 +418,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .scenarios.matrix import parse_arrival
+    from .scenarios.matrix import parse_arrival, parse_fault
     from .serving import ServingConfig, run_service
 
     schedule: tuple[tuple[int, float], ...] = ()
@@ -432,6 +452,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         adapt=not args.no_adapt,
         workset_schedule=schedule,
         event_log=args.event_log,
+        faults=parse_fault(args.faults) if args.faults else None,
     )
     print(
         f"serving {config.workflow} under {config.policy} "

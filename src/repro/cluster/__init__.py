@@ -3,6 +3,16 @@ interference and the DES-backed :class:`ServerlessPlatform` facade."""
 
 from .accounting import ClusterAccounting
 from .autoscaler import HorizontalAutoscaler
+from .faults import (
+    CLUSTER_FAULT_KINDS,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+    FaultStats,
+    compile_fault_schedule,
+    parse_fault,
+)
 from .interference import DEFAULT_COEFFICIENTS, InterferenceModel
 from .multi import MultiTenantPlatform, TenantJob
 from .platform import ClusterConfig, ServerlessPlatform, cluster_executor
@@ -24,4 +34,12 @@ __all__ = [
     "TenantJob",
     "ServerlessPlatform",
     "cluster_executor",
+    "CLUSTER_FAULT_KINDS",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultStats",
+    "FaultInjector",
+    "parse_fault",
+    "compile_fault_schedule",
 ]

@@ -1,0 +1,419 @@
+"""Fault injection: deterministic adverse-dynamics schedules for the DES
+cluster (paper Fig. 7 resilience, §II-B interference).
+
+A :class:`FaultSpec` is a declarative, seed-free description of one adverse
+dynamic — VM preemptions, a permanent VM crash, correlated stragglers,
+cross-function contention, or a flash-crowd arrival storm. Cluster-side
+kinds compile into an explicit, fully sorted schedule of primitive
+:class:`FaultEvent` records (:func:`compile_fault_schedule`) from a derived
+seed, so the same spec + seed + fleet size always yields the bit-identical
+schedule regardless of which sweep backend or process evaluates the cell —
+the property the chaos tests pin.
+
+The :class:`FaultInjector` drives a compiled schedule inside a simulation:
+it downs/recovers VMs (evicting parked pods, arming per-VM failure events
+the serving core races against mid-invocation) and applies transient
+straggler slowdowns. All bookkeeping lands in :class:`FaultStats`, which the
+platform surfaces as per-policy result extras.
+
+``storm`` is the one arrival-side kind: it does not touch the cluster at
+all but rewrites the cell's arrival process into the ``"storm"``
+burst-on-diurnal kind (see :func:`repro.scenarios.matrix.storm_arrival`),
+so it works on analytic cells too.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from dataclasses import dataclass
+
+from ..errors import ClusterError
+from ..rng import make_rng
+from ..sim.engine import Simulator
+from ..sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pool import PoolManager
+    from .vm import VirtualMachine
+
+__all__ = [
+    "CLUSTER_FAULT_KINDS",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultStats",
+    "FaultInjector",
+    "parse_fault",
+    "compile_fault_schedule",
+]
+
+#: Kinds realised by the DES cluster platform (an injector is installed).
+CLUSTER_FAULT_KINDS = ("preempt", "crash", "straggler", "contention")
+#: Every kind a ``faults=`` axis entry may name; ``storm`` transforms the
+#: cell's arrival process instead of touching the cluster.
+FAULT_KINDS = CLUSTER_FAULT_KINDS + ("storm",)
+
+#: Backoff a preempted invocation waits before re-acquiring a pod (ms).
+RETRY_BACKOFF_MS = 50.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault shape — picklable, hashable, seed-free.
+
+    Like :class:`~repro.traces.workload.ArrivalSpec`, the spec carries only
+    the *shape*; all randomness comes from the seed handed to
+    :func:`compile_fault_schedule`, so a cell's fault schedule replays
+    bit-identically under its derived seed. Only the fields the kind
+    consumes are validated (and shown in :attr:`label`):
+
+    ``preempt``
+        Transient VM preemptions as a Poisson process of
+        ``rate_per_min`` across the fleet; each victim is down for
+        ``recovery_ms`` (busy pods are killed mid-invocation and the
+        serving core retries after a backoff).
+    ``crash``
+        One VM permanently fails at ``at_ms``.
+    ``straggler``
+        Correlated slow episodes: a fixed ``fraction`` of the fleet runs
+        ``slowdown`` x slower during episodes of ``duration_ms`` arriving
+        with mean spacing ``interval_ms`` (all affected VMs slow
+        *together* — the correlated-straggler shape).
+    ``contention``
+        Cross-function dominant-resource contention: busy pods of *other*
+        functions sharing a VM contribute ``scale`` of a same-function
+        neighbour to the interference count (see
+        :meth:`~repro.cluster.interference.InterferenceModel.cross_slowdown`).
+    ``storm``
+        Flash crowd: the cell's arrival process gains a window around the
+        diurnal peak where the rate is multiplied by ``multiplier``
+        (``window_fraction`` of the period wide).
+    """
+
+    kind: str
+    #: preempt: fleet-wide preemption rate and per-event downtime.
+    rate_per_min: float = 2.0
+    recovery_ms: float = 5000.0
+    #: crash: permanent failure time.
+    at_ms: float = 5000.0
+    #: storm: rate multiplier and window width (fraction of the period).
+    multiplier: float = 6.0
+    window_fraction: float = 0.15
+    #: straggler: affected fleet fraction, slowdown and episode shape.
+    fraction: float = 0.25
+    slowdown: float = 3.0
+    duration_ms: float = 5000.0
+    interval_ms: float = 20000.0
+    #: contention: weight of one busy other-function neighbour relative to
+    #: a same-function one.
+    scale: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ClusterError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.kind == "preempt":
+            if self.rate_per_min <= 0:
+                raise ClusterError(
+                    f"preemption rate must be > 0/min, got {self.rate_per_min}"
+                )
+            if self.recovery_ms <= 0:
+                raise ClusterError(
+                    f"recovery must be > 0 ms, got {self.recovery_ms}"
+                )
+        elif self.kind == "crash":
+            if self.at_ms < 0:
+                raise ClusterError(f"crash time must be >= 0, got {self.at_ms}")
+        elif self.kind == "storm":
+            if self.multiplier <= 1.0:
+                raise ClusterError(
+                    f"storm multiplier must be > 1, got {self.multiplier}"
+                )
+            if not 0.0 < self.window_fraction <= 1.0:
+                raise ClusterError(
+                    f"storm window fraction must be in (0, 1], got "
+                    f"{self.window_fraction}"
+                )
+        elif self.kind == "straggler":
+            if not 0.0 < self.fraction <= 1.0:
+                raise ClusterError(
+                    f"straggler fraction must be in (0, 1], got {self.fraction}"
+                )
+            if self.slowdown <= 1.0:
+                raise ClusterError(
+                    f"straggler slowdown must be > 1, got {self.slowdown}"
+                )
+            if self.duration_ms <= 0 or self.interval_ms <= 0:
+                raise ClusterError(
+                    f"straggler episodes need duration and interval > 0 ms, "
+                    f"got {self.duration_ms}/{self.interval_ms}"
+                )
+        elif self.kind == "contention":
+            if self.scale < 0:
+                raise ClusterError(
+                    f"contention scale must be >= 0, got {self.scale}"
+                )
+
+    @property
+    def label(self) -> str:
+        """Stable identifier — keys fault-seed derivation and cell IDs."""
+        if self.kind == "preempt":
+            return (
+                f"preempt@{self.rate_per_min:g}/min"
+                f"~{self.recovery_ms:g}ms"
+            )
+        if self.kind == "crash":
+            return f"crash@{self.at_ms:g}ms"
+        if self.kind == "storm":
+            return f"storm@x{self.multiplier:g}~{self.window_fraction:g}"
+        if self.kind == "straggler":
+            return (
+                f"straggler@{self.fraction:g}x{self.slowdown:g}"
+                f"~{self.duration_ms:g}/{self.interval_ms:g}ms"
+            )
+        return f"contention@{self.scale:g}"
+
+
+def parse_fault(text: str) -> FaultSpec:
+    """Parse a CLI fault token into a :class:`FaultSpec`.
+
+    Grammar: ``preempt@RATE[:RECOVERY_MS]`` (preemptions/min),
+    ``crash@AT_MS``, ``storm@MULT[:WINDOW_FRACTION]``,
+    ``straggler@FRACTION:SLOWDOWN`` and ``contention[@SCALE]``. Full
+    control over every shape field is available through
+    :class:`FaultSpec` directly.
+    """
+    kind, _, operand = text.partition("@")
+    kind = kind.strip().lower()
+    if kind not in FAULT_KINDS:
+        raise ClusterError(
+            f"unknown fault kind {kind!r} in {text!r}; known: {FAULT_KINDS}"
+        )
+    first, _, second = operand.partition(":")
+    try:
+        a = float(first) if first.strip() else None
+        b = float(second) if second.strip() else None
+    except ValueError:
+        raise ClusterError(f"invalid fault operand in {text!r}")
+    if kind == "preempt":
+        fields: dict[str, float] = {}
+        if a is not None:
+            fields["rate_per_min"] = a
+        if b is not None:
+            fields["recovery_ms"] = b
+        return FaultSpec(kind="preempt", **fields)
+    if kind == "crash":
+        return FaultSpec(kind="crash", **({} if a is None else {"at_ms": a}))
+    if kind == "storm":
+        fields = {}
+        if a is not None:
+            fields["multiplier"] = a
+        if b is not None:
+            fields["window_fraction"] = b
+        return FaultSpec(kind="storm", **fields)
+    if kind == "straggler":
+        if a is None or b is None:
+            raise ClusterError(
+                f"straggler wants FRACTION:SLOWDOWN, got {text!r}"
+            )
+        return FaultSpec(kind="straggler", fraction=a, slowdown=b)
+    return FaultSpec(
+        kind="contention", **({} if a is None else {"scale": a})
+    )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One primitive scheduled action against one VM.
+
+    ``action`` is ``"down"`` / ``"up"`` (preemptions and crashes; ``cause``
+    distinguishes them) or ``"slow"`` / ``"unslow"`` (straggler episodes,
+    ``slowdown`` carries the factor).
+    """
+
+    at_ms: float
+    vm_id: int
+    action: str
+    cause: str
+    slowdown: float = 1.0
+
+
+def compile_fault_schedule(
+    spec: FaultSpec, seed: int, n_vms: int, horizon_ms: float
+) -> tuple[FaultEvent, ...]:
+    """Compile ``spec`` into a sorted, deterministic event schedule.
+
+    All randomness comes from ``make_rng(seed)`` consumed in a fixed
+    order, so (spec, seed, n_vms, horizon) -> schedule is a pure function:
+    every sweep backend and every process compiles the identical tuple.
+    Kinds without scheduled events (``contention``, ``storm``) compile to
+    an empty schedule.
+    """
+    if n_vms < 1:
+        raise ClusterError(f"need >= 1 VM, got {n_vms}")
+    if horizon_ms <= 0:
+        raise ClusterError(f"horizon must be > 0 ms, got {horizon_ms}")
+    rng = make_rng(seed)
+    events: list[FaultEvent] = []
+    if spec.kind == "crash":
+        if spec.at_ms < horizon_ms:
+            victim = int(rng.integers(n_vms))
+            events.append(
+                FaultEvent(float(spec.at_ms), victim, "down", "crash")
+            )
+    elif spec.kind == "preempt":
+        # Poisson preemption times across the fleet; a candidate hitting a
+        # VM that is still down is dropped at compile time so the injector
+        # only ever applies clean down/up pairs.
+        mean_gap_ms = 60_000.0 / spec.rate_per_min
+        down_until = [0.0] * n_vms
+        t = 0.0
+        while True:
+            t += float(rng.exponential(mean_gap_ms))
+            if t >= horizon_ms:
+                break
+            victim = int(rng.integers(n_vms))
+            if t < down_until[victim]:
+                continue
+            down_until[victim] = t + spec.recovery_ms
+            events.append(FaultEvent(t, victim, "down", "preempt"))
+            events.append(
+                FaultEvent(t + spec.recovery_ms, victim, "up", "preempt")
+            )
+    elif spec.kind == "straggler":
+        affected = sorted(
+            int(v)
+            for v in rng.permutation(n_vms)[
+                : max(1, math.ceil(spec.fraction * n_vms))
+            ]
+        )
+        # Episode start times, then overlapping episodes merged into
+        # disjoint [start, end) intervals so slow/unslow pairs nest
+        # cleanly.
+        starts: list[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(spec.interval_ms))
+            if t >= horizon_ms:
+                break
+            starts.append(t)
+        intervals: list[tuple[float, float]] = []
+        for start in starts:
+            end = start + spec.duration_ms
+            if intervals and start <= intervals[-1][1]:
+                intervals[-1] = (intervals[-1][0], max(intervals[-1][1], end))
+            else:
+                intervals.append((start, end))
+        for start, end in intervals:
+            for vm_id in affected:
+                events.append(
+                    FaultEvent(start, vm_id, "slow", "straggler", spec.slowdown)
+                )
+                events.append(FaultEvent(end, vm_id, "unslow", "straggler"))
+    events.sort(key=lambda ev: (ev.at_ms, ev.vm_id, ev.action))
+    return tuple(events)
+
+
+@dataclass
+class FaultStats:
+    """Counters the platform surfaces as per-policy result extras."""
+
+    preemptions: int = 0
+    crashes: int = 0
+    #: Pods killed as collateral: parked pods on a failed VM plus pods
+    #: whose cold boot was interrupted by the VM going down.
+    evictions: int = 0
+    #: Invocations killed mid-flight and re-executed elsewhere.
+    retries: int = 0
+    #: Invocations dispatched onto a straggling (slowed) VM.
+    straggler_exposure: int = 0
+
+    def as_extras(self) -> dict[str, float]:
+        """Deterministic extras payload (floats, for the report JSON)."""
+        return {
+            "preemptions": float(self.preemptions),
+            "evictions": float(self.evictions),
+            "retries": float(self.retries),
+            "straggler_exposure": float(self.straggler_exposure),
+        }
+
+
+class FaultInjector:
+    """Applies a compiled fault schedule to a live cluster simulation.
+
+    One driver process walks the schedule: ``down`` marks the VM failed
+    (placement refuses it), evicts its parked pods and fires the VM's
+    armed failure event — the serving core races every in-flight
+    invocation against that event and handles its own preemption. ``up``
+    restores the VM; ``slow``/``unslow`` set the VM's transient slowdown.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vms: _t.Sequence["VirtualMachine"],
+        pool: "PoolManager",
+        schedule: _t.Sequence[FaultEvent],
+        stats: FaultStats,
+    ) -> None:
+        self.sim = sim
+        self.vms = list(vms)
+        self.pool = pool
+        self.schedule = tuple(schedule)
+        self.stats = stats
+        self._has_failures = any(ev.action == "down" for ev in self.schedule)
+        #: One armed (pending) failure event per VM, re-armed after firing.
+        self._failure_events: dict[int, Event] = {
+            vm.vm_id: Event(sim) for vm in self.vms
+        }
+        # The pool reports boot-interruption evictions into the same stats.
+        pool.fault_stats = stats
+        for ev in self.schedule:
+            if ev.vm_id >= len(self.vms):
+                raise ClusterError(
+                    f"fault event targets VM {ev.vm_id} but the fleet has "
+                    f"{len(self.vms)} VMs"
+                )
+
+    def start(self) -> None:
+        """Launch the schedule driver (no-op for an empty schedule)."""
+        if self.schedule:
+            self.sim.process(self._driver())
+
+    def watch(self, vm: "VirtualMachine") -> Event | None:
+        """The armed failure event of ``vm``, or ``None`` when this
+        schedule can never down a VM (stragglers/contention) — so the
+        serving core only pays the race where preemption is possible."""
+        if not self._has_failures:
+            return None
+        return self._failure_events[vm.vm_id]
+
+    # -- schedule driver -----------------------------------------------------
+    def _driver(self):
+        for ev in self.schedule:
+            delay = ev.at_ms - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self._apply(ev)
+
+    def _apply(self, ev: FaultEvent) -> None:
+        vm = self.vms[ev.vm_id]
+        if ev.action == "down":
+            vm.up = False
+            if ev.cause == "crash":
+                self.stats.crashes += 1
+            else:
+                self.stats.preemptions += 1
+            self.stats.evictions += self.pool.evict_parked_on(vm)
+            # Fire the armed event (busy invocations racing on it preempt
+            # themselves), then re-arm for the next failure of this VM.
+            self._failure_events[vm.vm_id].succeed(value=ev.cause)
+            self._failure_events[vm.vm_id] = Event(self.sim)
+        elif ev.action == "up":
+            vm.up = True
+        elif ev.action == "slow":
+            vm.slowdown = ev.slowdown
+        else:  # unslow
+            vm.slowdown = 1.0

@@ -65,6 +65,38 @@ class InterferenceModel:
             raise ClusterError(f"no interference coefficients for {resource}")
         return 1.0 + c.a * float(colocated - 1) ** c.b
 
+    def cross_slowdown(
+        self,
+        resource: Resource,
+        same: int,
+        other: int,
+        scale: float = 0.5,
+    ) -> float:
+        """Slowdown with cross-function neighbours on the same resource.
+
+        Beyond the paper's same-function packing, co-located pods of
+        *different* functions whose dominant resource matches also contend
+        — just less tightly (they rarely hit the same phase). ``same``
+        counts same-function instances including the one measured,
+        ``other`` counts busy other-function instances dominated by the
+        same resource, and ``scale`` weighs one such neighbour against a
+        same-function one: the effective count becomes
+        ``same + scale * other``, fed through the calibrated curve. With
+        ``other = 0`` this reduces exactly to :meth:`slowdown`.
+        """
+        if same < 1:
+            raise ClusterError(f"same-function count must be >= 1, got {same}")
+        if other < 0:
+            raise ClusterError(f"other-function count must be >= 0, got {other}")
+        if scale < 0:
+            raise ClusterError(f"contention scale must be >= 0, got {scale}")
+        try:
+            c = self.coefficients[resource]
+        except KeyError:
+            raise ClusterError(f"no interference coefficients for {resource}")
+        effective = float(same) + scale * float(other) - 1.0
+        return 1.0 + c.a * effective**c.b
+
     def curve(self, resource: Resource, max_colocated: int = 6) -> list[float]:
         """Slowdowns for 1..max_colocated instances (Fig. 1c series)."""
         return [self.slowdown(resource, n) for n in range(1, max_colocated + 1)]

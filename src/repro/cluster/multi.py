@@ -29,6 +29,7 @@ from ..policies.base import SizingPolicy
 from ..runtime.results import RunResult
 from ..workflow.catalog import Workflow
 from ..workflow.request import RequestOutcome, WorkflowRequest
+from .faults import FaultSpec
 from .interference import InterferenceModel
 from .platform import ClusterConfig, _ServingPlatform
 
@@ -56,12 +57,15 @@ class MultiTenantPlatform(_ServingPlatform):
         workflows: _t.Mapping[str, Workflow],
         config: ClusterConfig | None = None,
         interference: InterferenceModel | None = None,
+        faults: FaultSpec | None = None,
+        fault_seed: int = 0,
     ) -> None:
         if not workflows:
             raise ClusterError("at least one tenant workflow required")
         self.workflows = dict(workflows)
         self.config = config or ClusterConfig()
         self.interference = interference or InterferenceModel()
+        self._init_faults(faults, fault_seed)
         self._namespaced: dict[str, FunctionModel] = {}
         for tenant, workflow in self.workflows.items():
             for name, model in workflow.functions.items():
@@ -98,6 +102,9 @@ class MultiTenantPlatform(_ServingPlatform):
         if unknown:
             raise ClusterError(f"tenants without deployed workflows: {unknown}")
         self._reset()
+        self._start_faults(
+            [request for job in jobs for request in job.requests]
+        )
         self._outcomes = {job.tenant: [] for job in jobs}
         procs = []
         for job in jobs:

@@ -34,13 +34,27 @@ from ..sim.process import Process
 from ..types import Millicores
 from ..workflow.catalog import Workflow
 from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
+from ..functions.model import Resource
 from .accounting import ClusterAccounting
 from .autoscaler import HorizontalAutoscaler
+from .faults import (
+    CLUSTER_FAULT_KINDS,
+    RETRY_BACKOFF_MS,
+    FaultInjector,
+    FaultSpec,
+    FaultStats,
+    compile_fault_schedule,
+)
 from .interference import InterferenceModel
+from .pod import Pod
 from .pool import PoolManager
 from .vm import VirtualMachine
 
 __all__ = ["ClusterConfig", "ServerlessPlatform", "cluster_executor"]
+
+#: Fault schedules extend this far past the last arrival so faults keep
+#: landing while the tail of the request stream drains.
+FAULT_HORIZON_MARGIN_MS = 60_000.0
 
 
 @dataclass(frozen=True)
@@ -117,6 +131,61 @@ class _ServingPlatform:
     interference: InterferenceModel
     accounting: ClusterAccounting
     autoscaler: HorizontalAutoscaler
+    fault_spec: FaultSpec | None
+    fault_seed: int
+    fault_stats: FaultStats | None
+    fault_injector: FaultInjector | None
+
+    def _init_faults(
+        self, faults: FaultSpec | None, fault_seed: int
+    ) -> None:
+        """Validate and pin the platform's fault configuration.
+
+        ``storm`` never reaches the cluster (the scenario layer rewrites
+        the arrival process instead), and ``crash`` on a single-VM fleet
+        would leave acquisitions polling a dead cluster forever — both are
+        configuration errors, rejected here.
+        """
+        if faults is not None:
+            if faults.kind not in CLUSTER_FAULT_KINDS:
+                raise ClusterError(
+                    f"fault kind {faults.kind!r} is arrival-side; the "
+                    f"cluster platform injects {CLUSTER_FAULT_KINDS}"
+                )
+            if faults.kind == "crash" and self.config.n_vms < 2:
+                raise ClusterError(
+                    "crash fault needs n_vms >= 2: with the only VM down "
+                    "permanently, pending pods would never place"
+                )
+        self.fault_spec = faults
+        self.fault_seed = int(fault_seed)
+        self.fault_stats = None
+        self.fault_injector = None
+
+    def _start_faults(
+        self, requests: _t.Iterable[WorkflowRequest]
+    ) -> None:
+        """Compile and launch this run's fault schedule (after substrate).
+
+        The horizon is derived from the (deterministic) request stream, so
+        (spec, fault_seed, fleet, stream) -> schedule stays a pure
+        function and every backend injects the bit-identical faults.
+        """
+        self.fault_stats = None
+        self.fault_injector = None
+        if self.fault_spec is None:
+            return
+        horizon_ms = (
+            max(r.arrival_ms for r in requests) + FAULT_HORIZON_MARGIN_MS
+        )
+        schedule = compile_fault_schedule(
+            self.fault_spec, self.fault_seed, len(self.vms), horizon_ms
+        )
+        self.fault_stats = FaultStats()
+        self.fault_injector = FaultInjector(
+            self.sim, self.vms, self.pool, schedule, self.fault_stats
+        )
+        self.fault_injector.start()
 
     def _build_substrate(
         self, functions: _t.Mapping[str, _t.Any]
@@ -180,31 +249,92 @@ class _ServingPlatform:
         )
         model = workflow.model(fname)
         stage_start = self.sim.now
-        pod = yield from self.pool.acquire(pool_key, size)
-        cold_ms = self.sim.now - stage_start
-        pod.start_invocation()
-        self._invocation_started(pool_key)
-        self.accounting.snapshot()
-        # Interference from busy same-function neighbours on this VM.
-        n_colo = max(1, pod.vm.colocated_count(pool_key, busy_only=True))
-        slowdown = self.interference.slowdown(model.dominant_resource, n_colo)
-        dyn = request.dynamics_for(fname)
-        dyn_q: InvocationDynamics = replace(
-            dyn, interference=dyn.interference * slowdown
-        )
-        exec_ms = model.execution_time(size, dyn_q, request.concurrency)
-        yield self.sim.timeout(exec_ms)
-        pod.finish_invocation()
-        self._invocation_finished(pool_key)
-        self.pool.release(pod)
-        self.accounting.snapshot()
-        return StageRecord(
-            function=fname,
-            size=size,
-            start_ms=stage_start,
-            end_ms=self.sim.now,
-            cold_start_ms=cold_ms,
-        )
+        cold_ms = 0.0
+        while True:
+            acquire_start = self.sim.now
+            pod = yield from self.pool.acquire(pool_key, size)
+            cold_ms += self.sim.now - acquire_start
+            pod.start_invocation()
+            self._invocation_started(pool_key)
+            self.accounting.snapshot()
+            # Interference from busy same-function neighbours on this VM —
+            # plus, under the contention fault, busy pods of *other*
+            # functions contending on the same dominant resource.
+            n_colo = max(1, pod.vm.colocated_count(pool_key, busy_only=True))
+            if (
+                self.fault_spec is not None
+                and self.fault_spec.kind == "contention"
+            ):
+                slowdown = self.interference.cross_slowdown(
+                    model.dominant_resource,
+                    n_colo,
+                    self._cross_contenders(
+                        pod, pool_key, model.dominant_resource
+                    ),
+                    self.fault_spec.scale,
+                )
+            else:
+                slowdown = self.interference.slowdown(
+                    model.dominant_resource, n_colo
+                )
+            dyn = request.dynamics_for(fname)
+            dyn_q: InvocationDynamics = replace(
+                dyn, interference=dyn.interference * slowdown
+            )
+            exec_ms = model.execution_time(size, dyn_q, request.concurrency)
+            # Transient straggler slowdown of the hosting VM.
+            vm_slowdown = pod.vm.slowdown
+            if vm_slowdown > 1.0:
+                exec_ms *= vm_slowdown
+                if self.fault_stats is not None:
+                    self.fault_stats.straggler_exposure += 1
+            fail_ev = (
+                self.fault_injector.watch(pod.vm)
+                if self.fault_injector is not None
+                else None
+            )
+            if fail_ev is None:
+                yield self.sim.timeout(exec_ms)
+            else:
+                # Race execution against the VM's next failure. The done
+                # timeout stays in the heap if it loses — its late firing
+                # only hits the already-triggered AnyOf's no-op callback.
+                done = self.sim.timeout(exec_ms)
+                yield self.sim.any_of([done, fail_ev])
+                if not done.processed:
+                    # Preempted mid-invocation: the pod dies with its VM;
+                    # back off and re-execute on whatever is still up.
+                    self._invocation_finished(pool_key)
+                    pod.preempt()
+                    pod.vm.evict(pod)
+                    self.accounting.snapshot()
+                    if self.fault_stats is not None:
+                        self.fault_stats.retries += 1
+                    yield self.sim.timeout(RETRY_BACKOFF_MS)
+                    continue
+            pod.finish_invocation()
+            self._invocation_finished(pool_key)
+            self.pool.release(pod)
+            self.accounting.snapshot()
+            return StageRecord(
+                function=fname,
+                size=size,
+                start_ms=stage_start,
+                end_ms=self.sim.now,
+                cold_start_ms=cold_ms,
+            )
+
+    def _cross_contenders(
+        self, pod: Pod, pool_key: str, resource: Resource
+    ) -> int:
+        """Busy other-function pods on ``pod``'s VM dominated by ``resource``."""
+        count = 0
+        for neighbour in pod.vm.pods():
+            if neighbour.busy and neighbour.function != pool_key:
+                model = self.pool.functions.get(neighbour.function)
+                if model is not None and model.dominant_resource is resource:
+                    count += 1
+        return count
 
     def _dag_node(
         self,
@@ -303,8 +433,13 @@ class _ServingPlatform:
                 raise proc.value
 
     def _platform_extras(self) -> dict[str, _t.Any]:
-        """Cluster-level diagnostics attached to every result."""
-        return {
+        """Cluster-level diagnostics attached to every result.
+
+        Fault counters appear only when a fault spec is active, so
+        fault-free runs keep their result payloads (and cached JSON)
+        byte-identical to a build without fault injection.
+        """
+        extras = {
             "cold_start_rate": self.pool.cold_start_rate,
             "mean_cluster_allocated": self.accounting.mean_allocated(),
             "idle_millicore_ms": self.pool.idle_millicore_ms,
@@ -312,6 +447,9 @@ class _ServingPlatform:
             "events_processed": self.sim.processed_events,
             "autoscaler_adjustments": self.autoscaler.adjustments,
         }
+        if self.fault_stats is not None:
+            extras.update(self.fault_stats.as_extras())
+        return extras
 
 
 class ServerlessPlatform(_ServingPlatform):
@@ -326,10 +464,13 @@ class ServerlessPlatform(_ServingPlatform):
         workflow: Workflow,
         config: ClusterConfig | None = None,
         interference: InterferenceModel | None = None,
+        faults: FaultSpec | None = None,
+        fault_seed: int = 0,
     ) -> None:
         self.workflow = workflow
         self.config = config or ClusterConfig()
         self.interference = interference or InterferenceModel()
+        self._init_faults(faults, fault_seed)
         self._outcomes: list[RequestOutcome] = []
         self._reset()
 
@@ -358,6 +499,7 @@ class ServerlessPlatform(_ServingPlatform):
         if not requests:
             raise ClusterError("request stream is empty")
         self._reset()
+        self._start_faults(requests)
         self._outcomes = []
         procs = [
             self.sim.process(
@@ -407,6 +549,8 @@ def cluster_executor(
     *,
     config: ClusterConfig | None = None,
     interference: InterferenceModel | None = None,
+    faults: FaultSpec | None = None,
+    fault_seed: int = 0,
     **overrides: _t.Any,
 ) -> ServerlessPlatform:
     """The ``"cluster"`` executor factory: a DES platform for ``workflow``.
@@ -415,9 +559,16 @@ def cluster_executor(
     as keyword overrides, so callers can write
     ``get_executor("cluster", wf, n_vms=2, autoscale=False)`` or pass
     ``executor_kwargs={"config": ClusterConfig(...)}`` through a
-    :class:`~repro.api.Session`.
+    :class:`~repro.api.Session`. ``faults`` + ``fault_seed`` install a
+    deterministic fault schedule (see :mod:`repro.cluster.faults`).
     """
     if overrides:
         base = config or ClusterConfig()
         config = base.with_overrides(**overrides)
-    return ServerlessPlatform(workflow, config=config, interference=interference)
+    return ServerlessPlatform(
+        workflow,
+        config=config,
+        interference=interference,
+        faults=faults,
+        fault_seed=fault_seed,
+    )

@@ -74,6 +74,14 @@ class Pod:
             raise ClusterError(f"cannot kill busy pod {self.pod_id}")
         self.state = PodState.DEAD
 
+    def preempt(self) -> None:
+        """BUSY -> DEAD: the hosting VM failed mid-invocation.
+
+        The only sanctioned way to lose a busy pod — ``kill`` refuses it so
+        scale-in can never silently drop in-flight work.
+        """
+        self._transition(PodState.BUSY, PodState.DEAD)
+
     def _transition(self, expected: PodState, target: PodState) -> None:
         if self.state is not expected:
             raise ClusterError(

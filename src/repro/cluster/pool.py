@@ -72,6 +72,9 @@ class PoolManager:
         self.idle_millicore_ms = 0.0
         #: Poll interval while waiting as a pending pod on a full cluster.
         self.retry_interval_ms = 10.0
+        #: Installed by a :class:`~repro.cluster.faults.FaultInjector` so
+        #: boot-interruption evictions land in the run's fault counters.
+        self.fault_stats = None
 
     # -- placement policy -------------------------------------------------
     def _pick_vm(self, function: str, size: Millicores) -> VirtualMachine | None:
@@ -144,30 +147,38 @@ class PoolManager:
         # pressure); scan newest-first for one that fits.
         for idx in range(len(warm) - 1, -1, -1):
             pod = warm[idx].pod
-            if pod.vm.free + pod.size >= size:
+            if pod.vm.up and pod.vm.free + pod.size >= size:
                 self._unpark(function, idx)
                 self.warm_hits += 1
                 self._resize(pod, size)
                 return pod
         # Cold path: boot a fresh pod. Under capacity pressure, reclaim idle
         # pods first, then wait for running invocations to release cores
-        # (the pod stays "pending", as on a saturated Kubernetes node).
+        # (the pod stays "pending", as on a saturated Kubernetes node). A VM
+        # failing mid-boot loses the boot: evict and start over elsewhere.
         self.cold_starts += 1
         model = self.functions[function]
-        vm = self._pick_vm(function, size)
-        if vm is None:
-            self._reclaim_idle(size)
+        while True:
             vm = self._pick_vm(function, size)
-        while vm is None:
-            self.throttled += 1
-            yield self.sim.timeout(self.retry_interval_ms)
-            self._reclaim_idle(size)
-            vm = self._pick_vm(function, size)
-        pod = Pod(function, size, vm)
-        vm.place(pod)
-        yield self.sim.timeout(model.cold_start_ms)
-        pod.warm_up()
-        return pod
+            if vm is None:
+                self._reclaim_idle(size)
+                vm = self._pick_vm(function, size)
+            while vm is None:
+                self.throttled += 1
+                yield self.sim.timeout(self.retry_interval_ms)
+                self._reclaim_idle(size)
+                vm = self._pick_vm(function, size)
+            pod = Pod(function, size, vm)
+            vm.place(pod)
+            yield self.sim.timeout(model.cold_start_ms)
+            if not vm.up:
+                vm.evict(pod)
+                pod.kill()
+                if self.fault_stats is not None:
+                    self.fault_stats.evictions += 1
+                continue
+            pod.warm_up()
+            return pod
 
     def _resize(self, pod: Pod, size: Millicores) -> None:
         if pod.size != size:
@@ -179,6 +190,14 @@ class PoolManager:
             raise ClusterError(
                 f"released pod {pod.pod_id} must be WARM, is {pod.state.value}"
             )
+        if not pod.vm.up:
+            # The VM failed in the same instant the invocation finished
+            # (the finish won the race); never park onto a down VM.
+            pod.vm.evict(pod)
+            pod.kill()
+            if self.fault_stats is not None:
+                self.fault_stats.evictions += 1
+            return
         self._purge_expired(pod.function)
         warm = self._warm[pod.function]
         keepalive_disabled = self.keepalive_ms is not None and self.keepalive_ms == 0
@@ -187,6 +206,26 @@ class PoolManager:
         else:
             pod.vm.evict(pod)
             pod.kill()
+
+    # -- fault handling ------------------------------------------------------
+    def evict_parked_on(self, vm: VirtualMachine) -> int:
+        """Kill every parked pod on a failed ``vm``; returns the count.
+
+        Called by the fault injector when a VM goes down — parked warm
+        state on that VM is lost (later acquisitions will cold-start
+        elsewhere), which is exactly the cold-start-storm mechanism a real
+        preemption triggers.
+        """
+        evicted = 0
+        for function in self._warm:
+            parked = self._warm[function]
+            for idx in range(len(parked) - 1, -1, -1):
+                if parked[idx].pod.vm is vm:
+                    pod = self._unpark(function, idx)
+                    vm.evict(pod)
+                    pod.kill()
+                    evicted += 1
+        return evicted
 
     # -- introspection ------------------------------------------------------
     def warm_count(self, function: str) -> int:

@@ -22,6 +22,11 @@ class VirtualMachine:
         self.vm_id = int(vm_id)
         self.capacity = int(capacity_millicores)
         self._pods: dict[int, "Pod"] = {}
+        #: Availability flag flipped by fault injection (preemption/crash).
+        #: A down VM refuses placement; recovery restores it empty.
+        self.up = True
+        #: Transient execution slowdown (>= 1.0) while straggling.
+        self.slowdown = 1.0
 
     # -- capacity ----------------------------------------------------------
     @property
@@ -35,8 +40,8 @@ class VirtualMachine:
         return self.capacity - self.allocated
 
     def fits(self, size: Millicores) -> bool:
-        """Whether a pod of ``size`` can be placed here."""
-        return size <= self.free
+        """Whether a pod of ``size`` can be placed here (never on a down VM)."""
+        return self.up and size <= self.free
 
     # -- placement ----------------------------------------------------------
     def place(self, pod: "Pod") -> None:

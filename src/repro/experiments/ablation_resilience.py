@@ -6,14 +6,26 @@ synthesizer pick arbitrarily low head percentiles, improving nominal
 resource efficiency but removing the SLO safety net. The experiment serves
 the same stream with the constraint on and off and compares violation rates
 and consumption.
+
+The ``faults`` knob re-runs the ablation under adverse cluster dynamics
+from the scenario fault axis (:mod:`repro.cluster.faults`): both variants
+serve through the DES cluster platform with the same deterministic,
+seed-derived fault schedule, so the comparison isolates what Eq. 6 buys
+when VMs preempt, crash, straggle or contend — exactly where a safety
+margin should matter. The default (``faults=None``) keeps the original
+analytic run bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..cluster import ClusterConfig, cluster_executor
+from ..cluster.faults import CLUSTER_FAULT_KINDS, FaultSpec, parse_fault
+from ..errors import ExperimentError
 from ..metrics.report import format_table
 from ..policies.janus import janus
+from ..rng import child_seed
 from ..runtime.registry import resolve_executor
 from ..traces.workload import WorkloadConfig, generate_requests
 from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup, va_setup
@@ -26,14 +38,35 @@ class AblationResult:
     """Violation/consumption with and without the Eq. 6 constraint."""
 
     rows: list[tuple[str, str, float, float]]  # (wf, variant, viol, cpu)
+    #: Fault label the streams were served under (``None`` = fault-free
+    #: analytic serving, the paper's configuration).
+    fault: str | None = None
 
 
 def run(
     n_requests: int = 800,
     samples: int = DEFAULT_SAMPLES,
     seed: int = DEFAULT_SEED,
+    faults: FaultSpec | str | None = None,
+    cluster: ClusterConfig | None = None,
 ) -> AblationResult:
-    """Compare Janus with/without the resilience constraint on IA and VA."""
+    """Compare Janus with/without the resilience constraint on IA and VA.
+
+    ``faults`` accepts a cluster-side :class:`FaultSpec` or spec token
+    (``preempt@2``, ``crash@5000``, ``straggler@0.25:3``,
+    ``contention``); when set, both variants run on the DES cluster
+    platform (``cluster`` overrides its :class:`ClusterConfig`) under the
+    same seed-derived fault schedule. ``storm`` is arrival-side — run it
+    through the sweep's faults axis instead.
+    """
+    if isinstance(faults, str):
+        faults = parse_fault(faults)
+    if faults is not None and faults.kind not in CLUSTER_FAULT_KINDS:
+        raise ExperimentError(
+            f"ablation injects cluster-side faults {CLUSTER_FAULT_KINDS}; "
+            f"{faults.kind!r} reshapes arrivals — use "
+            f"'janus-repro sweep --faults {faults.label}'"
+        )
     rows: list[tuple[str, str, float, float]] = []
     for wf_name in ("IA", "VA"):
         if wf_name == "IA":
@@ -43,20 +76,33 @@ def run(
         requests = generate_requests(
             wf, WorkloadConfig(n_requests=n_requests), seed=seed + 5
         )
-        executor = resolve_executor(wf)
+        if faults is None and cluster is None:
+            executor = resolve_executor(wf)
+        else:
+            fault_seed = (
+                child_seed(seed, "faults", faults.label)
+                if faults is not None
+                else 0
+            )
+            executor = cluster_executor(
+                wf, config=cluster, faults=faults, fault_seed=fault_seed
+            )
         for enforce, label in ((True, "with Eq.6"), (False, "without Eq.6")):
             policy = janus(
                 wf, profiles, budget=budget, enforce_resilience=enforce
             )
             res = executor.run(policy, requests)
             rows.append((wf_name, label, res.violation_rate, res.mean_allocated))
-    return AblationResult(rows=rows)
+    return AblationResult(
+        rows=rows, fault=None if faults is None else faults.label
+    )
 
 
 def render(result: AblationResult) -> str:
     """Ablation table."""
+    suffix = f" under {result.fault}" if result.fault else ""
     return format_table(
         ["workflow", "variant", "violation rate", "mean CPU (millicores)"],
         result.rows,
-        title="Ablation: resilience constraint (Insight-3)",
+        title=f"Ablation: resilience constraint (Insight-3){suffix}",
     )

@@ -4,6 +4,16 @@ Paper claims: (a) timeout ``D(p, k)`` decreases as percentile or CPU
 allocation increases; (b) resilience ``R(P99, k)`` shrinks marginally with
 more provisioned cores (diminishing Amdahl returns) and grows with
 concurrency (heavier batches are more resource-sensitive).
+
+The ``faults`` knob re-expresses the original "what if the node degrades"
+sensitivity study over the scenario fault axis
+(:mod:`repro.cluster.faults`): a ``straggler`` spec scales both curve
+families by its slowdown (a transiently slow VM stretches every execution
+uniformly), and a ``contention`` spec scales them by the cross-function
+interference factor of the profiled function's dominant resource
+(:meth:`~repro.cluster.interference.InterferenceModel.cross_slowdown`
+with one equally-sized contender). Event-level kinds (preempt/crash/storm)
+have no closed-form curve and are rejected — run them through the sweep.
 """
 
 from __future__ import annotations
@@ -12,11 +22,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..cluster.faults import FaultSpec, parse_fault
+from ..cluster.interference import InterferenceModel
+from ..errors import ExperimentError
 from ..metrics.report import format_table
 from ..profiling.metrics import resilience_curve, timeout_curve
 from .common import DEFAULT_SAMPLES, DEFAULT_SEED, ia_setup
 
 __all__ = ["Fig7Result", "run", "render"]
+
+#: Fault kinds with a closed-form effect on the profile curves.
+_CURVE_FAULTS = ("straggler", "contention")
 
 
 @dataclass(frozen=True)
@@ -27,6 +43,26 @@ class Fig7Result:
     timeout_by_percentile: dict[int, np.ndarray]  # {25, 50, 75} -> D(p, k)
     resilience_by_concurrency: dict[int, np.ndarray]  # {1,2,3} -> R(99, k)
     function: str
+    #: Fault label the curves were scaled under (``None`` = fault-free).
+    fault: str | None = None
+
+
+def _fault_factor(
+    spec: FaultSpec, workflow: "object", function: str
+) -> float:
+    """Uniform latency multiplier a curve-shaped fault applies."""
+    if spec.kind == "straggler":
+        return float(spec.slowdown)
+    if spec.kind == "contention":
+        resource = workflow.model(function).dominant_resource
+        return InterferenceModel().cross_slowdown(
+            resource, 1, 1, scale=spec.scale
+        )
+    raise ExperimentError(
+        f"fig7 scales curves for {_CURVE_FAULTS} faults only; "
+        f"{spec.kind!r} is event-level — run it through "
+        f"'janus-repro sweep --faults {spec.label} --executor cluster'"
+    )
 
 
 def run(
@@ -35,24 +71,37 @@ def run(
     concurrencies: tuple[int, ...] = (1, 2, 3),
     samples: int = DEFAULT_SAMPLES,
     seed: int = DEFAULT_SEED,
+    faults: FaultSpec | str | None = None,
 ) -> Fig7Result:
-    """Extract the Fig. 7 curves from the IA profiles."""
-    _, profiles, _ = ia_setup(
+    """Extract the Fig. 7 curves from the IA profiles.
+
+    ``faults`` accepts a :class:`FaultSpec` or a spec token
+    (``straggler@0.25:3``, ``contention@0.5``); the default ``None``
+    reproduces the paper's fault-free figure bit-identically.
+    """
+    if isinstance(faults, str):
+        faults = parse_fault(faults)
+    wf, profiles, _ = ia_setup(
         concurrency=max(concurrencies), samples=samples, seed=seed
     )
     prof = profiles[function]
     k_grid = prof.limits.grid()
+    factor = 1.0 if faults is None else _fault_factor(faults, wf, function)
     timeouts = {
         p: timeout_curve(prof, float(p))[1] for p in percentiles
     }
     resiliences = {
         c: resilience_curve(prof, 99.0, concurrency=c)[1] for c in concurrencies
     }
+    if factor != 1.0:
+        timeouts = {p: curve * factor for p, curve in timeouts.items()}
+        resiliences = {c: curve * factor for c, curve in resiliences.items()}
     return Fig7Result(
         k_grid=k_grid,
         timeout_by_percentile=timeouts,
         resilience_by_concurrency=resiliences,
         function=function,
+        fault=None if faults is None else faults.label,
     )
 
 
@@ -75,15 +124,16 @@ def render(result: Fig7Result) -> str:
         )
         for i in idx
     ]
+    suffix = f" ({result.fault})" if result.fault else ""
     t_table = format_table(
         ["CPU (mc)"] + [f"D(P{p}) s" for p in sorted(result.timeout_by_percentile)],
         t_rows,
-        title=f"Fig 7a: timeout of {result.function} vs CPU",
+        title=f"Fig 7a: timeout of {result.function} vs CPU{suffix}",
     )
     r_table = format_table(
         ["CPU (mc)"]
         + [f"R(P99) conc={c} s" for c in sorted(result.resilience_by_concurrency)],
         r_rows,
-        title=f"Fig 7b: resilience of {result.function} vs CPU",
+        title=f"Fig 7b: resilience of {result.function} vs CPU{suffix}",
     )
     return t_table + "\n\n" + r_table

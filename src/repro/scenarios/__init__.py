@@ -49,6 +49,8 @@ from .matrix import (
     ScenarioMatrix,
     parse_arrival,
     parse_cluster_config,
+    parse_fault,
+    storm_arrival,
 )
 from .registry import SCENARIO_WORKFLOWS, register_workflow, scenario_workflow
 from .report import ScenarioResult, SweepReport
@@ -73,6 +75,8 @@ __all__ = [
     "configure_persistent_caches",
     "parse_arrival",
     "parse_cluster_config",
+    "parse_fault",
+    "storm_arrival",
     "evaluate_cell",
     "run_scenario",
     "scenario_requests",

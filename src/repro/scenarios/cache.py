@@ -93,6 +93,11 @@ def scenario_digest(scenario: Scenario) -> str:
         # Folded in only when set so every pre-existing cell keeps its
         # digest (same pattern as trace_digest below).
         spec["streaming"] = True
+    if scenario.faults is not None:
+        # Same conditional-fold pattern: fault-free cells keep their cache
+        # keys when a faults axis is added to a matrix, while any change
+        # to a fault spec cold-starts exactly the faulted cells.
+        spec["faults"] = dataclasses.asdict(scenario.faults)
     if scenario.arrival.kind == "replay" and scenario.arrival.trace:
         # Replay cells depend on the trace file's *content*, not its
         # path: editing the trace cold-starts exactly the cells that

@@ -7,8 +7,9 @@ import itertools
 import typing as _t
 from dataclasses import dataclass, field, replace
 
+from ..cluster.faults import CLUSTER_FAULT_KINDS, FaultSpec, parse_fault
 from ..cluster.platform import ClusterConfig
-from ..errors import ExperimentError, TraceError
+from ..errors import ClusterError, ExperimentError, TraceError
 from ..rng import child_seed
 from ..traces.workload import ArrivalSpec
 from .registry import SCENARIO_WORKFLOWS
@@ -18,6 +19,8 @@ __all__ = [
     "ScenarioMatrix",
     "parse_arrival",
     "parse_cluster_config",
+    "parse_fault",
+    "storm_arrival",
 ]
 
 #: Default policy suite for sweeps: the paper's headline systems.
@@ -63,6 +66,55 @@ def _takes_cluster_config(executor: str | None) -> bool:
     from ..runtime.registry import executor_accepts_option
 
     return executor is not None and executor_accepts_option(executor, "config")
+
+
+def _takes_faults(executor: str | None) -> bool:
+    """Whether a backend's factory accepts a ``faults`` option.
+
+    Same capability-probe pattern as :func:`_takes_cluster_config`:
+    cluster-side fault kinds need a backend that can inject them.
+    """
+    from ..runtime.registry import executor_accepts_option
+
+    return executor is not None and executor_accepts_option(executor, "faults")
+
+
+def storm_arrival(base: ArrivalSpec, spec: FaultSpec) -> ArrivalSpec:
+    """The effective arrival process of a cell under a ``storm`` fault.
+
+    Storms are arrival-side: instead of touching the cluster, the fault
+    rewrites the cell's arrival into the ``"storm"`` kind — the same base
+    rate with the flash-crowd window stacked on top. A Poisson base storms
+    a flat curve; a diurnal base keeps its swing and period so the crowd
+    lands on the busy hour. Other kinds have no meaningful rate curve to
+    amplify and are rejected.
+    """
+    if spec.kind != "storm":
+        raise ExperimentError(
+            f"storm_arrival requires a storm fault, got {spec.kind!r}"
+        )
+    if base.kind == "poisson":
+        return ArrivalSpec(
+            kind="storm",
+            rate_per_s=base.rate_per_s,
+            amplitude=0.0,
+            period_s=base.period_s,
+            storm_multiplier=spec.multiplier,
+            storm_fraction=spec.window_fraction,
+        )
+    if base.kind == "diurnal":
+        return ArrivalSpec(
+            kind="storm",
+            rate_per_s=base.rate_per_s,
+            amplitude=base.amplitude,
+            period_s=base.period_s,
+            storm_multiplier=spec.multiplier,
+            storm_fraction=spec.window_fraction,
+        )
+    raise ExperimentError(
+        f"storm faults amplify a rate curve and need a poisson or diurnal "
+        f"arrival, got {base.kind!r}"
+    )
 
 
 @functools.lru_cache(maxsize=64)
@@ -126,6 +178,13 @@ class Scenario:
     #: estimates; requires an executor with a streaming path (the
     #: analytic chain backend).
     streaming: bool = False
+    #: Fault injection for this cell (``None`` = fault-free). Cluster-side
+    #: kinds (preempt/crash/straggler/contention) need an executor whose
+    #: factory accepts a ``faults`` option; ``storm`` rewrites the arrival
+    #: process instead (see :func:`storm_arrival`) and runs anywhere. The
+    #: faults axis is excluded from seed derivation, so a faulted cell
+    #: serves the *same* request stream as its fault-free sibling.
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         if self.slo_scale <= 0:
@@ -157,6 +216,41 @@ class Scenario:
                 f"streaming cells require the analytic chain backend "
                 f"(executor None or 'analytic'), got {self.executor!r}"
             )
+        if self.faults is not None:
+            if self.faults.kind in CLUSTER_FAULT_KINDS:
+                if not _takes_faults(self.executor):
+                    raise ExperimentError(
+                        f"fault {self.faults.label!r} is injected by the "
+                        f"cluster platform and requires an executor whose "
+                        f"factory accepts a 'faults' option (e.g. "
+                        f"'cluster'), got executor={self.executor!r}"
+                    )
+                if (
+                    self.faults.kind == "crash"
+                    and self.cluster is not None
+                    and self.cluster.n_vms < 2
+                ):
+                    raise ExperimentError(
+                        f"crash fault needs n_vms >= 2, got "
+                        f"n_vms={self.cluster.n_vms}"
+                    )
+            else:
+                # Storm: validate the arrival transform at construction so
+                # an incompatible base arrival never dies in a worker.
+                try:
+                    storm_arrival(self.arrival, self.faults)
+                except (TraceError, ClusterError) as exc:
+                    raise ExperimentError(f"faults axis: {exc}") from exc
+
+    def effective_arrival(self) -> ArrivalSpec:
+        """The arrival process this cell actually serves.
+
+        A storm fault rewrites the arrival into the flash-crowd kind;
+        everything else passes the declared arrival through.
+        """
+        if self.faults is not None and self.faults.kind == "storm":
+            return storm_arrival(self.arrival, self.faults)
+        return self.arrival
 
     def cost_estimate(self) -> float:
         """Relative evaluation cost of this cell, for schedulers.
@@ -212,6 +306,8 @@ class Scenario:
             base += f"/exec {self.executor}"
         if self.streaming:
             base += "/streaming"
+        if self.faults is not None:
+            base += f"/faults {self.faults.label}"
         return base
 
 
@@ -261,6 +357,11 @@ class ScenarioMatrix:
     #: Bounded-memory aggregation for every cell (see
     #: :attr:`Scenario.streaming`) — pair with a large ``n_requests``.
     streaming: bool = False
+    #: Fault-injection axis (``(None,)`` = fault-free only). ``None``
+    #: entries keep their cells' cache keys identical to a matrix without
+    #: the axis; every :class:`~repro.cluster.faults.FaultSpec` entry adds
+    #: a faulted sibling of every cell serving the *same* request stream.
+    faults: tuple[FaultSpec | None, ...] = (None,)
 
     def __post_init__(self) -> None:
         for axis, values in (
@@ -270,6 +371,7 @@ class ScenarioMatrix:
             ("tenant_counts", self.tenant_counts),
             ("policies", self.policies),
             ("executors", self.executors),
+            ("faults", self.faults),
         ):
             if not values:
                 raise ExperimentError(f"matrix axis {axis!r} may not be empty")
@@ -307,6 +409,39 @@ class ScenarioMatrix:
                     raise ExperimentError(
                         f"invalid budget range {pair} for workflow {wf!r}"
                     )
+        # Fault-axis combinations fail at construction, not from a pool
+        # worker mid-sweep: every fault entry is applied to every cell, so
+        # cluster-side kinds need every executor on the axis to accept
+        # them, and storms need every arrival to carry a rate curve.
+        for spec in self.faults:
+            if spec is None:
+                continue
+            if spec.kind in CLUSTER_FAULT_KINDS:
+                refusing = [
+                    name for name in self.executors if not _takes_faults(name)
+                ]
+                if refusing:
+                    raise ExperimentError(
+                        f"fault {spec.label!r} needs a fault-injecting "
+                        f"executor on every axis entry, but {refusing} "
+                        f"accept no 'faults' option — split the matrix or "
+                        f"use executors=('cluster',)"
+                    )
+                if (
+                    spec.kind == "crash"
+                    and self.cluster is not None
+                    and self.cluster.n_vms < 2
+                ):
+                    raise ExperimentError(
+                        f"crash fault needs n_vms >= 2, got "
+                        f"n_vms={self.cluster.n_vms}"
+                    )
+            else:
+                for arrival in self.effective_arrivals():
+                    try:
+                        storm_arrival(arrival, spec)
+                    except (TraceError, ClusterError) as exc:
+                        raise ExperimentError(f"faults axis: {exc}") from exc
 
     def effective_arrivals(self) -> tuple[ArrivalSpec, ...]:
         """The arrivals axis with each trace appended as a replay spec."""
@@ -365,6 +500,7 @@ class ScenarioMatrix:
             * len(self.slo_scales)
             * len(self.tenant_counts)
             * len(self.executors)
+            * len(self.faults)
         )
 
     def expand(self) -> list[Scenario]:
@@ -379,9 +515,9 @@ class ScenarioMatrix:
             name for name in self.executors if _takes_cluster_config(name)
         }
         cells = []
-        for wf, arrival, scale, tenants, executor in itertools.product(
+        for wf, arrival, scale, tenants, executor, faults in itertools.product(
             self.workflows, self.effective_arrivals(), self.slo_scales,
-            self.tenant_counts, self.executors,
+            self.tenant_counts, self.executors, self.faults,
         ):
             cells.append(
                 Scenario(
@@ -392,6 +528,10 @@ class ScenarioMatrix:
                     policies=tuple(self.policies),
                     n_requests=int(self.n_requests),
                     samples=int(self.samples),
+                    # The faults axis is deliberately absent from the seed
+                    # labels (like the executor): a faulted cell draws the
+                    # same request stream as its fault-free sibling, so
+                    # fault impact is measured under common random numbers.
                     seed=child_seed(
                         self.seed, "scenario", wf, arrival.label,
                         f"{float(scale):g}", str(int(tenants)),
@@ -406,6 +546,7 @@ class ScenarioMatrix:
                     executor=executor,
                     cluster=self.cluster if executor in config_takers else None,
                     streaming=self.streaming,
+                    faults=faults,
                 )
             )
         return cells

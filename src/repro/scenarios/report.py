@@ -34,11 +34,17 @@ CELL_METRICS = (
     "mean_slack",
 )
 
-#: Platform extras promoted to CSV columns (blank on analytic cells).
+#: Platform extras promoted to CSV columns (blank on analytic cells;
+#: fault counters additionally blank on fault-free cluster cells, so
+#: pre-existing cell payloads stay byte-identical).
 EXTRA_METRICS = (
     "cold_start_rate",
     "mean_cluster_allocated",
     "throttled",
+    "preemptions",
+    "evictions",
+    "retries",
+    "straggler_exposure",
 )
 
 #: Deterministic per-policy extras the runner carries from

@@ -41,6 +41,7 @@ from .cache import (
     synthesis_cache_stats,
 )
 from .costs import CellCostModel
+from ..cluster.faults import CLUSTER_FAULT_KINDS
 from .matrix import Scenario, ScenarioMatrix
 from .registry import scenario_workflow, workflow_epoch
 from .report import CARRIED_EXTRAS, ScenarioResult, SweepReport
@@ -108,7 +109,9 @@ def scenario_requests(
             workflow,
             WorkloadConfig(
                 n_requests=scenario.n_requests,
-                arrival=scenario.arrival,
+                # A storm fault rewrites the arrival process; every other
+                # fault (and None) serves the declared arrival verbatim.
+                arrival=scenario.effective_arrival(),
                 slo_ms=slo_ms,
             ),
             seed=child_seed(scenario.seed, "tenant", str(tenant)),
@@ -134,7 +137,7 @@ def iter_scenario_requests(
             workflow,
             WorkloadConfig(
                 n_requests=scenario.n_requests,
-                arrival=scenario.arrival,
+                arrival=scenario.effective_arrival(),
                 slo_ms=slo_ms,
             ),
             seed=child_seed(scenario.seed, "tenant", str(tenant)),
@@ -226,6 +229,17 @@ def run_scenario(scenario: Scenario) -> ScenarioResult | None:
     executor_kwargs: dict[str, _t.Any] = {}
     if scenario.cluster is not None:
         executor_kwargs["config"] = scenario.cluster
+    if (
+        scenario.faults is not None
+        and scenario.faults.kind in CLUSTER_FAULT_KINDS
+    ):
+        # Cluster-side faults ship to the executor factory with their own
+        # derived seed; the request-stream seed stays fault-independent so
+        # the faulted cell replays its fault-free sibling's workload.
+        executor_kwargs["faults"] = scenario.faults
+        executor_kwargs["fault_seed"] = child_seed(
+            scenario.seed, "faults", scenario.faults.label
+        )
     session = Session(
         workflow,
         slo_ms=slo_ms,

@@ -28,6 +28,7 @@ import typing as _t
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..cluster.faults import FaultSpec
 from ..errors import ExperimentError
 from ..metrics.streaming import StreamingMoments, StreamingSummary, WindowedRate
 from ..adapter.supervisor import HitMissSupervisor
@@ -81,6 +82,12 @@ class ServingConfig:
     latency_window: int = 512
     workset_schedule: tuple[tuple[int, float], ...] = ()
     event_log: str | None = None
+    #: Arrival-side fault injection: a ``storm`` :class:`FaultSpec`
+    #: superimposes a flash crowd on the declared ``source`` (multiplied
+    #: rate inside a window around the diurnal peak). Cluster-side kinds
+    #: (preempt/crash/straggler/contention) need the DES platform — run
+    #: them through a sweep with ``--executor cluster`` instead.
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         if self.max_requests is not None and self.max_requests < 1:
@@ -125,6 +132,13 @@ class ServingConfig:
                     f"workset scale must be > 0, got {scale}"
                 )
             last = after_n
+        if self.faults is not None and self.faults.kind != "storm":
+            raise ExperimentError(
+                f"serving injects arrival-side faults only (storm); "
+                f"fault kind {self.faults.kind!r} needs the DES cluster "
+                f"platform — run it through a sweep with "
+                f"--executor cluster"
+            )
 
 
 @dataclass(frozen=True)
@@ -183,9 +197,19 @@ class ServingLoop:
             supervisor.on_regenerate(self._flag_drift)
             self.adapter.supervisor = supervisor
 
+        # A storm fault reshapes the declared source into its flash-crowd
+        # counterpart; everything downstream (labels in the start event,
+        # the report) keeps the declared source so runs stay comparable.
+        self.effective_source = config.source
+        if config.faults is not None:
+            from ..scenarios.matrix import storm_arrival
+
+            self.effective_source = storm_arrival(
+                config.source, config.faults
+            )
         factory = RngFactory(config.seed).fork("serving", self.workflow.name)
         self._arrivals = arrival_source(
-            config.source,
+            self.effective_source,
             factory.stream("arrivals"),
             workflow=self.workflow.name,
         )
@@ -415,6 +439,13 @@ class ServingLoop:
             seed=cfg.seed,
             time_scale=cfg.time_scale,
         )
+        if cfg.faults is not None:
+            self.events.emit(
+                "fault",
+                fault=cfg.faults.label,
+                fault_kind=cfg.faults.kind,
+                effective_source=self.effective_source.label,
+            )
         try:
             for arrival_ms in self._arrivals:
                 if (

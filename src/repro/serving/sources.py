@@ -19,7 +19,7 @@ import typing as _t
 import numpy as np
 
 from ..errors import TraceError
-from ..traces.diurnal import DiurnalRate
+from ..traces.diurnal import DiurnalRate, FlashCrowdRate
 from ..traces.trace_file import cached_trace
 from ..traces.workload import ArrivalSpec
 
@@ -148,4 +148,13 @@ def arrival_source(
     if spec.kind == "replay":
         assert spec.trace is not None  # ArrivalSpec.__post_init__ guarantees
         return _replay(spec.trace, workflow)
+    if spec.kind == "storm":
+        crowd = FlashCrowdRate(
+            DiurnalRate.sinusoid(
+                spec.rate_per_s, spec.amplitude, spec.period_s
+            ),
+            spec.storm_multiplier,
+            spec.storm_fraction,
+        )
+        return _nhpp(crowd, rng)
     raise TraceError(f"unknown arrival kind {spec.kind!r}")

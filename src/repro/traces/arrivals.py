@@ -5,12 +5,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import TraceError
+from .diurnal import DiurnalRate, FlashCrowdRate, nhpp_arrivals
 
 __all__ = [
     "poisson_arrivals",
     "constant_arrivals",
     "burst_arrivals",
     "azure_like_arrivals",
+    "storm_arrivals",
 ]
 
 
@@ -58,6 +60,28 @@ def burst_arrivals(
     rates = np.where(in_burst, burst_rate_per_s, base_rate_per_s)
     gaps_ms = rng.exponential(1000.0 / rates)
     return np.cumsum(gaps_ms)
+
+
+def storm_arrivals(
+    rate_per_s: float,
+    multiplier: float,
+    window_fraction: float,
+    n: int,
+    rng: np.random.Generator,
+    amplitude: float = 0.0,
+    period_s: float = 60.0,
+) -> np.ndarray:
+    """Flash-crowd arrivals: a diurnal base with a storm window at the peak.
+
+    The cold-start-storm scenario — ``multiplier`` x traffic during
+    ``window_fraction`` of every period, landing on the busy hour of a
+    sinusoidal base curve (``amplitude = 0`` storms a flat Poisson base).
+    Sampled by the same deterministic thinning loop as plain diurnal
+    arrivals, so a fixed seed replays bit-identically.
+    """
+    base = DiurnalRate.sinusoid(rate_per_s, amplitude, period_s)
+    crowd = FlashCrowdRate(base, multiplier, window_fraction)
+    return nhpp_arrivals(crowd, n, rng)
 
 
 def azure_like_arrivals(

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..errors import TraceError
 
-__all__ = ["DiurnalRate", "nhpp_arrivals"]
+__all__ = ["DiurnalRate", "FlashCrowdRate", "nhpp_arrivals"]
 
 
 @dataclass(frozen=True)
@@ -148,6 +148,68 @@ class DiurnalRate:
         spans = np.diff(times)
         rates = np.array([p[1] for p in self.points])
         return float(np.dot(spans, rates) / self.period_s)
+
+
+@dataclass(frozen=True)
+class FlashCrowdRate:
+    """A rate curve with a flash-crowd window around its daily peak.
+
+    Models the cold-start-storm scenario: traffic follows ``base``, except
+    during a window of ``window_fraction`` of the period centred on the
+    base curve's peak, where the rate is multiplied by ``multiplier`` —
+    a viral event landing on top of the busy hour. The window repeats
+    every period. Duck-type-compatible with :class:`DiurnalRate` where
+    :func:`nhpp_arrivals` is concerned (``rate_at`` + ``peak_rate``).
+    """
+
+    base: DiurnalRate
+    multiplier: float
+    window_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.multiplier <= 1.0:
+            raise TraceError(
+                f"storm multiplier must be > 1, got {self.multiplier}"
+            )
+        if not 0.0 < self.window_fraction <= 1.0:
+            raise TraceError(
+                f"storm window fraction must be in (0, 1], got "
+                f"{self.window_fraction}"
+            )
+
+    @property
+    def period_s(self) -> float:
+        return self.base.period_s
+
+    def peak_time_s(self) -> float:
+        """Window centre: where the base curve peaks within one period."""
+        if self.base.kind == "sinusoid":
+            # sin(2*pi*t/P + phase) = 1  =>  t = P * (pi/2 - phase) / 2*pi
+            period = self.base.period_s
+            return float(
+                (period * (0.5 * np.pi - self.base.phase) / (2.0 * np.pi))
+                % period
+            )
+        t_max, _ = max(self.base.points, key=lambda p: p[1])
+        return float(t_max)
+
+    def rate_at(self, t_s: "np.ndarray | float") -> np.ndarray:
+        """Base rate, multiplied inside the periodic storm window."""
+        t = np.asarray(t_s, dtype=np.float64)
+        rates = self.base.rate_at(t)
+        period = self.base.period_s
+        offset = np.mod(t - self.peak_time_s() + 0.5 * period, period) - (
+            0.5 * period
+        )
+        half_window = 0.5 * self.window_fraction * period
+        return np.where(
+            np.abs(offset) <= half_window, rates * self.multiplier, rates
+        )
+
+    @property
+    def peak_rate(self) -> float:
+        """Thinning envelope: the base peak amplified by the storm."""
+        return self.base.peak_rate * self.multiplier
 
 
 def nhpp_arrivals(

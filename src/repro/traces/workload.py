@@ -22,8 +22,9 @@ from .arrivals import (
     burst_arrivals,
     constant_arrivals,
     poisson_arrivals,
+    storm_arrivals,
 )
-from .diurnal import DiurnalRate, nhpp_arrivals
+from .diurnal import DiurnalRate, FlashCrowdRate, nhpp_arrivals
 from .trace_file import cached_trace, replay_arrivals
 
 __all__ = [
@@ -37,7 +38,9 @@ __all__ = [
 InterferenceDraw = _t.Callable[[np.random.Generator], float]
 
 #: Arrival processes an :class:`ArrivalSpec` can name.
-ARRIVAL_KINDS = ("constant", "poisson", "burst", "azure", "diurnal", "replay")
+ARRIVAL_KINDS = (
+    "constant", "poisson", "burst", "azure", "diurnal", "replay", "storm",
+)
 
 
 @dataclass(frozen=True)
@@ -56,8 +59,12 @@ class ArrivalSpec:
     log-std ``sigma`` replaying the Azure-trace shape), ``diurnal`` (a
     non-homogeneous Poisson process on a sinusoidal day/night rate curve:
     mean ``rate_per_s``, relative swing ``amplitude``, cycle ``period_s``),
-    or ``replay`` (arrivals read verbatim from the trace file at
-    ``trace`` — the one kind that consumes no randomness).
+    ``replay`` (arrivals read verbatim from the trace file at
+    ``trace`` — the one kind that consumes no randomness), or ``storm``
+    (a flash crowd: the diurnal curve with its rate multiplied by
+    ``storm_multiplier`` during ``storm_fraction`` of every period,
+    centred on the peak — the cold-start-storm scenario; ``amplitude = 0``
+    storms a flat Poisson base).
     """
 
     kind: str = "constant"
@@ -75,6 +82,10 @@ class ArrivalSpec:
     #: draw time (and memoised per content), so workers replay whatever
     #: the file holds when the cell runs.
     trace: str | None = None
+    #: Flash-crowd shape (storm kind): rate multiplier inside the storm
+    #: window and the window's width as a fraction of the period.
+    storm_multiplier: float = 6.0
+    storm_fraction: float = 0.15
 
     def __post_init__(self) -> None:
         if self.kind not in ARRIVAL_KINDS:
@@ -113,6 +124,16 @@ class ArrivalSpec:
             raise TraceError(
                 "replay arrivals require trace=<path to a trace file>"
             )
+        if self.kind == "storm":
+            # Delegated construction validates the base curve and the storm
+            # window alongside it, at spec-build time as for the others.
+            FlashCrowdRate(
+                DiurnalRate.sinusoid(
+                    self.rate_per_s, self.amplitude, self.period_s
+                ),
+                self.storm_multiplier,
+                self.storm_fraction,
+            )
 
     @property
     def label(self) -> str:
@@ -143,6 +164,12 @@ class ArrivalSpec:
             # numbers) while the cache key — which folds the content
             # digest in separately — goes cold.
             return f"replay@{self.trace}"
+        if self.kind == "storm":
+            return (
+                f"storm@{self.rate_per_s:g}/s"
+                f"x{self.storm_multiplier:g}@{self.storm_fraction:g}"
+                f"~{self.amplitude:g}x{self.period_s:g}s"
+            )
         return f"azure@{self.rate_per_s:g}/s~{self.sigma:g}"
 
     def timestamps(
@@ -179,6 +206,16 @@ class ArrivalSpec:
         if self.kind == "replay":
             assert self.trace is not None  # __post_init__ guarantees it
             return replay_arrivals(cached_trace(self.trace), n, workflow)
+        if self.kind == "storm":
+            return storm_arrivals(
+                self.rate_per_s,
+                self.storm_multiplier,
+                self.storm_fraction,
+                n,
+                rng,
+                amplitude=self.amplitude,
+                period_s=self.period_s,
+            )
         return azure_like_arrivals(self.rate_per_s, n, rng, sigma=self.sigma)
 
 

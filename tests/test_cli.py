@@ -318,3 +318,66 @@ class TestSweepStreaming:
         ) == 0
         out = capsys.readouterr().out
         assert "sweeping 1 scenario cells" in out and "Janus" in out
+
+
+class TestFaultFlags:
+    def test_sweep_faults_parser(self):
+        args = build_parser().parse_args(
+            ["sweep", "--faults", "none,preempt@30"]
+        )
+        assert args.faults == "none,preempt@30"
+
+    def test_sweep_faults_end_to_end(self, capsys, tmp_path):
+        csv_path = tmp_path / "cells.csv"
+        assert main(
+            ["sweep", "--workflows", "IA", "--arrivals", "poisson@8",
+             "--slo-scales", "1.0", "--tenants", "1", "--policies", "Janus",
+             "--requests", "30", "--samples", "120", "--jobs", "1",
+             "--executor", "cluster",
+             "--cluster-config", "n_vms=2,autoscale=false",
+             "--faults", "none,preempt@30",
+             "--csv", str(csv_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweeping 2 scenario cells" in out
+        lines = csv_path.read_text().splitlines()
+        header = lines[0].split(",")
+        assert {"preemptions", "evictions", "retries",
+                "straggler_exposure"} <= set(header)
+        idx = header.index("preemptions")
+        cells = [line.split(",")[idx] for line in lines[1:]]
+        assert "" in cells  # the clean cell leaves fault counters blank
+
+    def test_sweep_bad_fault_token_rejected(self):
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError, match="unknown fault kind"):
+            main(["sweep", "--workflows", "IA", "--arrivals", "poisson@8",
+                  "--faults", "meteor@9"])
+
+    def test_serve_faults_parser(self):
+        args = build_parser().parse_args(
+            ["serve", "--max-requests", "10", "--faults", "storm@6"]
+        )
+        assert args.faults == "storm@6"
+
+    def test_serve_storm_end_to_end(self, capsys, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        assert main(
+            ["serve", "--source", "diurnal@50", "--max-requests", "120",
+             "--samples", "300", "--faults", "storm@6",
+             "--event-log", str(events_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served 120/120 requests" in out
+        from repro.serving import read_events
+
+        (fault,) = read_events(events_path, kind="fault")
+        assert fault["fault_kind"] == "storm"
+        assert fault["effective_source"].startswith("storm@")
+
+    def test_serve_cluster_fault_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="arrival-side"):
+            main(["serve", "--max-requests", "10", "--faults", "preempt@2"])

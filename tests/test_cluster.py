@@ -919,3 +919,205 @@ class TestKeepAlive:
         sim.timeout(1e9)
         sim.run()
         assert pool.warm_count("F") == 1
+
+
+class TestInterferenceCalibration:
+    """Fig 1c endpoints at n = 6, pinned numerically (not just ordered)."""
+
+    def test_fig1c_endpoints_at_six(self):
+        model = InterferenceModel()
+        expected = {
+            Resource.CPU: 1.60,
+            Resource.MEMORY: 3.50,
+            Resource.IO: 5.50,
+            Resource.NETWORK: 8.10,
+        }
+        for resource, value in expected.items():
+            assert model.slowdown(resource, 6) == pytest.approx(value)
+
+    def test_cross_reduces_to_same_function_curve(self):
+        model = InterferenceModel()
+        for resource in Resource:
+            for n in range(1, 7):
+                assert model.cross_slowdown(resource, n, 0) == pytest.approx(
+                    model.slowdown(resource, n)
+                )
+
+    def test_cross_monotone_in_neighbours_and_scale(self):
+        model = InterferenceModel()
+        for resource in Resource:
+            curve = [model.cross_slowdown(resource, 2, o) for o in range(5)]
+            assert all(a < b for a, b in zip(curve, curve[1:]))
+            by_scale = [
+                model.cross_slowdown(resource, 2, 2, scale=s)
+                for s in (0.0, 0.25, 0.5, 1.0)
+            ]
+            assert all(a < b for a, b in zip(by_scale, by_scale[1:]))
+
+    def test_cross_neighbour_weighs_scale_of_a_same_function_one(self):
+        model = InterferenceModel()
+        # One other-function neighbour at scale=1 contends exactly like a
+        # same-function one; at scale=0.5 it sits strictly between.
+        for resource in Resource:
+            full = model.cross_slowdown(resource, 1, 1, scale=1.0)
+            assert full == pytest.approx(model.slowdown(resource, 2))
+            half = model.cross_slowdown(resource, 1, 1, scale=0.5)
+            assert model.slowdown(resource, 1) < half < full
+
+    def test_cross_validation(self):
+        model = InterferenceModel()
+        with pytest.raises(ClusterError):
+            model.cross_slowdown(Resource.CPU, 0, 1)
+        with pytest.raises(ClusterError):
+            model.cross_slowdown(Resource.CPU, 1, -1)
+        with pytest.raises(ClusterError):
+            model.cross_slowdown(Resource.CPU, 1, 1, scale=-0.1)
+
+
+class TestVMFaultSurface:
+    def test_down_vm_refuses_placement(self):
+        vm = VirtualMachine(0, 10_000)
+        assert vm.fits(1000)
+        vm.up = False
+        assert not vm.fits(1000)
+        vm.up = True
+        assert vm.fits(1000)
+
+    def test_capacity_accounting_across_failure_cycles(self):
+        vm = VirtualMachine(0, 10_000)
+        for _ in range(3):
+            pod = Pod("F", 4000, vm)
+            vm.place(pod)
+            vm.up = False  # eviction off a downed VM must still free cores
+            vm.evict(pod)
+            assert vm.allocated == 0 and vm.free == 10_000
+            vm.up = True
+
+    def test_slowdown_defaults_to_unity(self):
+        vm = VirtualMachine(0, 10_000)
+        assert vm.up and vm.slowdown == 1.0
+
+
+class TestPodPreempt:
+    def _busy_pod(self):
+        vm = VirtualMachine(0, 10_000)
+        pod = Pod("F", 1000, vm)
+        vm.place(pod)
+        pod.warm_up()
+        pod.start_invocation()
+        return pod
+
+    def test_busy_to_dead(self):
+        pod = self._busy_pod()
+        pod.preempt()
+        assert pod.state is PodState.DEAD and not pod.alive
+
+    def test_preempt_requires_busy(self):
+        vm = VirtualMachine(0, 10_000)
+        pod = Pod("F", 1000, vm)
+        pod.warm_up()
+        with pytest.raises(ClusterError):
+            pod.preempt()
+
+    def test_kill_still_refuses_busy(self):
+        # `preempt` is the only sanctioned way to lose in-flight work.
+        with pytest.raises(ClusterError):
+            self._busy_pod().kill()
+
+
+class TestPoolFaultPaths:
+    def _park_one(self, warm=2):
+        sim = Simulator()
+        vms = [VirtualMachine(i, 10_000) for i in range(2)]
+        fn = make_function("F", sigma=0.0)
+        pool = PoolManager(sim, vms, {"F": fn}, warm_pool_size=warm)
+        parked = []
+
+        def proc():
+            pod = yield from pool.acquire("F", 2000)
+            pod.start_invocation()
+            yield sim.timeout(10.0)
+            pod.finish_invocation()
+            pool.release(pod)
+            parked.append(pod)
+
+        sim.process(proc())
+        sim.run()
+        return sim, pool, parked[0]
+
+    def test_evict_parked_on_clears_and_frees(self):
+        sim, pool, pod = self._park_one()
+        vm = pod.vm
+        assert pool.warm_count("F") == 1 and vm.allocated == pod.size
+        assert pool.evict_parked_on(vm) == 1
+        assert pool.warm_count("F") == 0 and vm.allocated == 0
+        assert pod.state is PodState.DEAD
+        # Idempotent: nothing left to evict.
+        assert pool.evict_parked_on(vm) == 0
+
+    def test_parked_pod_on_down_vm_never_reused(self):
+        sim, pool, pod = self._park_one()
+        pod.vm.up = False
+        acquired = []
+
+        def proc():
+            fresh = yield from pool.acquire("F", 2000)
+            acquired.append(fresh)
+
+        sim.process(proc())
+        sim.run()
+        assert acquired[0].vm is not pod.vm
+        assert pool.cold_starts == 2  # the down VM's warm pod was skipped
+
+    def test_release_onto_down_vm_evicts_instead_of_parking(self):
+        from repro.cluster.faults import FaultStats
+
+        sim = Simulator()
+        vms = [VirtualMachine(i, 10_000) for i in range(2)]
+        fn = make_function("F", sigma=0.0)
+        pool = PoolManager(sim, vms, {"F": fn}, warm_pool_size=2)
+        pool.fault_stats = FaultStats()
+
+        def proc():
+            pod = yield from pool.acquire("F", 2000)
+            pod.start_invocation()
+            yield sim.timeout(10.0)
+            pod.finish_invocation()
+            pod.vm.up = False  # fails in the same instant the work finishes
+            pool.release(pod)
+            assert pod.state is PodState.DEAD
+            assert pod.vm.allocated == 0
+
+        sim.process(proc())
+        sim.run()
+        assert pool.warm_count("F") == 0
+        assert pool.fault_stats.evictions == 1
+
+    def test_boot_interrupted_by_vm_failure_restarts_elsewhere(self):
+        from repro.cluster.faults import FaultStats
+
+        sim = Simulator()
+        vms = [VirtualMachine(i, 10_000) for i in range(2)]
+        fn = make_function("F", sigma=0.0)  # cold_start_ms > 0
+        pool = PoolManager(sim, vms, {"F": fn}, warm_pool_size=1)
+        pool.fault_stats = FaultStats()
+        acquired = []
+
+        def boot():
+            pod = yield from pool.acquire("F", 2000)
+            acquired.append(pod)
+
+        def failer():
+            # Down the booting pod's VM mid-cold-start.
+            yield sim.timeout(fn.cold_start_ms / 2)
+            booting = next(vm for vm in vms if vm.allocated > 0)
+            booting.up = False
+            yield sim.timeout(fn.cold_start_ms * 2)
+            booting.up = True
+
+        sim.process(boot())
+        sim.process(failer())
+        sim.run()
+        assert acquired and acquired[0].state is PodState.WARM
+        assert acquired[0].vm.up
+        assert pool.fault_stats.evictions == 1

@@ -262,3 +262,114 @@ class TestRemainingArtifacts:
             slos_s=(3.0, 3.4, 3.8), n_requests=60, samples=SAMPLES
         )
         assert result.head_cpu[3.0] <= result.head_cpu[1.0] + 1e-9
+
+
+class TestFaultedExperiments:
+    """The fig7/ablation fault knobs, pinned against pre-refactor outputs.
+
+    The parity goldens were captured on the commit *before* the faults
+    knob existed, at exactly these arguments — the refactor must keep the
+    default (fault-free) paths bit-identical.
+    """
+
+    FIG7_GOLDEN = (
+        "f10ec4eb836183dc01fc3156831cab8ee8ac4bd54174aa3aeeed6af6cebf35b7"
+    )
+    ABLATION_GOLDEN = [
+        ("IA", "with Eq.6", 0.006666666666666667, 3471.3333333333335),
+        ("IA", "without Eq.6", 0.006666666666666667, 3468.6666666666665),
+        ("VA", "with Eq.6", 0.0, 3414.0),
+        ("VA", "without Eq.6", 0.0, 3414.0),
+    ]
+
+    @staticmethod
+    def _fig7_digest(result):
+        import hashlib
+        import json
+
+        payload = json.dumps({
+            "k": [float(k) for k in result.k_grid],
+            "t": {str(p): [float(x) for x in curve]
+                  for p, curve in sorted(result.timeout_by_percentile.items())},
+            "r": {str(c): [float(x) for x in curve]
+                  for c, curve
+                  in sorted(result.resilience_by_concurrency.items())},
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def test_fig7_default_parity(self):
+        from repro.experiments import fig7_timeout_resilience
+
+        result = fig7_timeout_resilience.run(samples=SAMPLES)
+        assert result.fault is None
+        assert self._fig7_digest(result) == self.FIG7_GOLDEN
+
+    def test_ablation_default_parity(self):
+        result = ablation_resilience.run(n_requests=150, samples=SAMPLES)
+        assert result.fault is None
+        assert [tuple(row) for row in result.rows] == self.ABLATION_GOLDEN
+
+    def test_fig7_straggler_scales_both_curve_families(self):
+        import numpy as np
+
+        from repro.experiments import fig7_timeout_resilience
+
+        clean = fig7_timeout_resilience.run(samples=SAMPLES)
+        slow = fig7_timeout_resilience.run(
+            samples=SAMPLES, faults="straggler@0.25:3"
+        )
+        assert slow.fault == "straggler@0.25x3~5000/20000ms"
+        for p, curve in clean.timeout_by_percentile.items():
+            assert np.allclose(slow.timeout_by_percentile[p], curve * 3.0)
+        for c, curve in clean.resilience_by_concurrency.items():
+            assert np.allclose(slow.resilience_by_concurrency[c], curve * 3.0)
+        assert "straggler" in fig7_timeout_resilience.render(slow)
+
+    def test_fig7_contention_scales_by_cross_interference(self):
+        import numpy as np
+
+        from repro.cluster.interference import InterferenceModel
+        from repro.experiments import fig7_timeout_resilience
+        from repro.experiments.common import ia_setup
+
+        clean = fig7_timeout_resilience.run(samples=SAMPLES)
+        contended = fig7_timeout_resilience.run(
+            samples=SAMPLES, faults="contention@0.5"
+        )
+        wf, _, _ = ia_setup(samples=SAMPLES)
+        factor = InterferenceModel().cross_slowdown(
+            wf.model("TS").dominant_resource, 1, 1, scale=0.5
+        )
+        assert factor > 1.0
+        assert np.allclose(
+            contended.timeout_by_percentile[50],
+            clean.timeout_by_percentile[50] * factor,
+        )
+
+    def test_fig7_rejects_event_level_faults(self):
+        from repro.experiments import fig7_timeout_resilience
+
+        with pytest.raises(ExperimentError, match="event-level"):
+            fig7_timeout_resilience.run(samples=SAMPLES, faults="preempt@2")
+
+    def test_ablation_under_cluster_faults(self):
+        from repro.cluster import ClusterConfig
+
+        faulted = ablation_resilience.run(
+            n_requests=60, samples=SAMPLES, faults="preempt@60:1000",
+            cluster=ClusterConfig(n_vms=2, autoscale=False),
+        )
+        assert faulted.fault == "preempt@60/min~1000ms"
+        assert [tuple(r) for r in faulted.rows] != self.ABLATION_GOLDEN
+        again = ablation_resilience.run(
+            n_requests=60, samples=SAMPLES, faults="preempt@60:1000",
+            cluster=ClusterConfig(n_vms=2, autoscale=False),
+        )
+        assert faulted == again
+        assert "under preempt" in ablation_resilience.render(faulted)
+
+    def test_ablation_rejects_arrival_side_faults(self):
+        with pytest.raises(ExperimentError, match="arrival"):
+            ablation_resilience.run(
+                n_requests=60, samples=SAMPLES, faults="storm@6"
+            )

@@ -251,3 +251,55 @@ class TestOnlineAdaptation:
         b = run_service(ServingConfig(**DRIFT_CONFIG))
         assert a.snapshot == b.snapshot
         assert a.swaps == b.swaps
+
+
+class TestServingFaults:
+    def test_cluster_side_kinds_rejected(self):
+        from repro.cluster.faults import parse_fault
+
+        for token in ("preempt@2", "crash@5000", "straggler@0.25:3",
+                      "contention"):
+            with pytest.raises(ExperimentError, match="arrival-side"):
+                small_config(faults=parse_fault(token))
+
+    def test_storm_reshapes_the_source_and_logs_it(self):
+        from repro.cluster.faults import parse_fault
+
+        config = small_config(
+            source=ArrivalSpec(kind="diurnal", rate_per_s=50.0),
+            faults=parse_fault("storm@6"),
+        )
+        loop = ServingLoop(config)
+        assert loop.effective_source.kind == "storm"
+        assert loop.effective_source.storm_multiplier == 6.0
+        asyncio_run(loop)
+        faults = [e for e in loop.events.events if e["kind"] == "fault"]
+        assert faults == [{
+            "seq": faults[0]["seq"],
+            "kind": "fault",
+            "fault": "storm@x6~0.15",
+            "fault_kind": "storm",
+            "effective_source": loop.effective_source.label,
+        }]
+
+    def test_storm_run_is_deterministic_and_differs_from_clean(self):
+        from repro.cluster.faults import parse_fault
+
+        base = dict(source=ArrivalSpec(kind="diurnal", rate_per_s=50.0))
+        clean = run_service(small_config(**base))
+        stormy = run_service(
+            small_config(**base, faults=parse_fault("storm@6"))
+        )
+        again = run_service(
+            small_config(**base, faults=parse_fault("storm@6"))
+        )
+        assert stormy.snapshot == again.snapshot
+        # The flash crowd compresses arrivals: same count, different times.
+        assert stormy.completed == clean.completed == 200
+        assert stormy.snapshot != clean.snapshot
+
+
+def asyncio_run(loop):
+    import asyncio
+
+    return asyncio.run(loop.run())
