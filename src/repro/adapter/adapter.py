@@ -17,6 +17,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np  # noqa: F401  (annotations for the batched API)
+
 from ..errors import AdapterError
 from ..synthesis.hints import WorkflowHints
 from ..types import Millicores, Milliseconds
@@ -87,6 +89,26 @@ class JanusAdapter:
             budget_ms=float(budget_ms),
             decision_latency_ms=latency_ms,
         )
+
+    def decide_many(
+        self, stage_index: int, budgets_ms: "np.ndarray"
+    ) -> tuple["np.ndarray", "np.ndarray"]:
+        """Batched :meth:`decide` for one stage across many requests.
+
+        Returns ``(sizes, hits)`` arrays aligned with ``budgets_ms``. The
+        supervisor sees every hit/miss and the latency log gains one entry
+        per decision (the amortised per-decision cost of the vector lookup),
+        so the §V-H overhead accounting keeps its one-row-per-decision shape.
+        """
+        t0 = time.perf_counter()
+        table = self.hints.table_for_stage(stage_index)
+        sizes, hits = table.lookup_many(budgets_ms)
+        latency_ms = (time.perf_counter() - t0) * 1e3
+        n = int(sizes.size)
+        if n:
+            self._decision_latencies_ms.extend([latency_ms / n] * n)
+            self.supervisor.record_many(hits)
+        return sizes, hits
 
     def initial_decision(self) -> AdaptationDecision:
         """Decision for the first stage: the budget is the full SLO."""

@@ -20,6 +20,8 @@ from __future__ import annotations
 import typing as _t
 from collections import deque
 
+import numpy as np
+
 from ..errors import AdapterError
 
 __all__ = ["HitMissSupervisor"]
@@ -126,6 +128,34 @@ class HitMissSupervisor:
             self._notified = True
             for cb in self._callbacks:
                 cb(self)
+
+    def record_many(self, hits: "np.ndarray | _t.Sequence[bool]") -> None:
+        """Account a batch of lookups (vectorised executor hot path).
+
+        Windowed mode and registered callbacks need per-sample trigger
+        evaluation, so those fall back to the scalar loop. The cumulative
+        no-callback case bulk-updates the counters and still evaluates the
+        threshold at every prefix, so ``_notified`` flips exactly when the
+        scalar loop would have flipped it.
+        """
+        if self._recent is not None or self._callbacks:
+            for h in hits:
+                self.record(bool(h))
+            return
+        arr = np.asarray(hits, dtype=bool)
+        n = int(arr.size)
+        if n == 0:
+            return
+        misses = self.misses + np.cumsum(~arr)
+        totals = self.total + np.arange(1, n + 1)
+        self.hits += int(arr.sum())
+        self.misses = int(misses[-1])
+        if not self._notified:
+            crossed = (totals >= self.min_samples) & (
+                misses / totals > self.miss_threshold
+            )
+            if bool(crossed.any()):
+                self._notified = True
 
     @property
     def should_regenerate(self) -> bool:

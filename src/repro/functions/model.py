@@ -169,6 +169,67 @@ class FunctionModel:
             * float(np.exp(self.sigma * dynamics.noise_z))
         )
 
+    # -- batched evaluation (vectorised executor hot path) ------------------
+    def workset_factors(self, worksets: np.ndarray) -> np.ndarray:
+        """Vector of ``workset_factor`` values, bit-identical to the scalar.
+
+        ``x ** gamma`` is evaluated with Python's ``float.__pow__`` per
+        element: ``np.power`` uses a different algorithm and diverges from
+        the scalar path in the last ulp for a few percent of inputs, which
+        would break the bit-exact replay contract.
+        """
+        if self.workset_gamma == 0.0:
+            return np.ones(len(worksets), dtype=np.float64)
+        ref = self.workset.reference
+        gamma = self.workset_gamma
+        return np.asarray(
+            [(w / ref) ** gamma for w in worksets.tolist()], dtype=np.float64
+        )
+
+    def batch_factors(self, concurrencies: np.ndarray) -> np.ndarray:
+        """Vector of ``batch_factor`` values, bit-identical to the scalar."""
+        concurrencies = np.asarray(concurrencies, dtype=np.int64)
+        if concurrencies.size and int(concurrencies.min()) < 1:
+            bad = int(concurrencies[concurrencies < 1][0])
+            raise FunctionModelError(
+                f"{self.name}: concurrency must be >= 1, got {bad}"
+            )
+        if not self.batchable and concurrencies.size and int(concurrencies.max()) > 1:
+            bad = int(concurrencies[concurrencies > 1][0])
+            raise FunctionModelError(
+                f"{self.name}: function is not batchable (concurrency={bad})"
+            )
+        return 1.0 + self.batch_eta * (concurrencies - 1)
+
+    def execution_times(
+        self,
+        ks: np.ndarray,
+        worksets: np.ndarray,
+        noise_zs: np.ndarray,
+        interferences: np.ndarray,
+        concurrencies: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`execution_time` over aligned per-invocation arrays.
+
+        Factor order matches the scalar product exactly (base * workset *
+        batch * interference * noise, left-associative), so each element is
+        bit-identical to the corresponding scalar call.
+        """
+        ks = np.asarray(ks, dtype=np.int64)
+        if ks.size and int(ks.min()) <= 0:
+            bad = int(ks[ks <= 0][0])
+            raise FunctionModelError(
+                f"{self.name}: millicores must be > 0, got {bad}"
+            )
+        base = self.serial_ms + self.parallel_ms * (_REFERENCE_MILLICORES / ks)
+        return (
+            base
+            * self.workset_factors(worksets)
+            * self.batch_factors(concurrencies)
+            * np.asarray(interferences, dtype=np.float64)
+            * np.exp(self.sigma * np.asarray(noise_zs, dtype=np.float64))
+        )
+
     def sample_execution_times(
         self,
         k: Millicores,

@@ -26,6 +26,8 @@ from __future__ import annotations
 import abc
 import typing as _t
 
+import numpy as np
+
 from ..errors import PolicyError
 from ..types import Millicores, Milliseconds
 from ..workflow.request import WorkflowRequest
@@ -49,6 +51,13 @@ class SizingPolicy(abc.ABC):
     #: stage-indexed chain API and the node-keyed interface. Executors call
     #: :meth:`bind` to (re)derive it from the workflow they serve.
     stage_order: tuple[str, ...] | None = None
+
+    #: True when sizing depends only on ``(node, request, elapsed)`` — not
+    #: on the interleaving of calls across requests — so executors may run
+    #: the batched :meth:`sizes_for_node` path (hooks fire begin-all /
+    #: node-major / end-all instead of request-major). Order-dependent
+    #: policies set this False to force the scalar request-major path.
+    vector_safe: bool = True
 
     #: Workflow this policy was last bound to (identity-checked by bind()).
     _bound_workflow: "Workflow | None" = None
@@ -102,6 +111,29 @@ class SizingPolicy(abc.ABC):
         raise PolicyError(
             f"{self.name}: policy overrides none of size_for_node / "
             f"size_for_stage / size_for_function"
+        )
+
+    def sizes_for_node(
+        self,
+        node: str,
+        requests: _t.Sequence[WorkflowRequest],
+        elapsed_ms: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`size_for_node` over aligned request/elapsed arrays.
+
+        The base implementation loops over the scalar method, so any
+        third-party policy automatically works under the batched executors;
+        the registry policies override this with native vector lookups.
+        Elements are bit-identical to the scalar calls by construction.
+        """
+        elapsed = np.asarray(elapsed_ms, dtype=np.float64).tolist()
+        return np.fromiter(
+            (
+                self.size_for_node(node, request, el)
+                for request, el in zip(requests, elapsed)
+            ),
+            dtype=np.int64,
+            count=len(requests),
         )
 
     def size_for_stage(

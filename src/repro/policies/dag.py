@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import typing as _t
 
+import numpy as np
+
 from ..adapter.supervisor import HitMissSupervisor
 from ..errors import PolicyError
 from ..profiling.profiles import ProfileSet
@@ -65,6 +67,18 @@ class DagFixedPolicy(DagSizingPolicy):
             return self.plan[node]
         except KeyError:
             raise PolicyError(f"{self.name}: no plan entry for {node!r}")
+
+    def sizes_for_node(
+        self,
+        node: str,
+        requests: _t.Sequence[WorkflowRequest],
+        elapsed_ms: "np.ndarray",
+    ) -> "np.ndarray":
+        try:
+            size = self.plan[node]
+        except KeyError:
+            raise PolicyError(f"{self.name}: no plan entry for {node!r}")
+        return np.full(len(requests), size, dtype=np.int64)
 
     @property
     def total_millicores(self) -> int:
@@ -132,6 +146,17 @@ class DagJanusPolicy(DagSizingPolicy):
         result = self.hints.table_for(node).lookup(budget)
         self.supervisor.record(result.hit)
         return result.size
+
+    def sizes_for_node(
+        self,
+        node: str,
+        requests: _t.Sequence[WorkflowRequest],
+        elapsed_ms: "np.ndarray",
+    ) -> "np.ndarray":
+        budgets = self.slo_ms - np.asarray(elapsed_ms, dtype=np.float64)
+        sizes, hits = self.hints.table_for(node).lookup_many(budgets)
+        self.supervisor.record_many(hits)
+        return sizes
 
     @property
     def hit_rate(self) -> float:

@@ -56,6 +56,19 @@ class FixedPlanPolicy(SizingPolicy):
             )
         return self.plan[stage_index]
 
+    def sizes_for_node(
+        self,
+        node: str,
+        requests: _t.Sequence[WorkflowRequest],
+        elapsed_ms: np.ndarray,
+    ) -> np.ndarray:
+        stage_index = self._stage_index(node)
+        if not 0 <= stage_index < len(self.plan):
+            raise PolicyError(
+                f"{self.name}: stage {stage_index} outside plan of {len(self.plan)}"
+            )
+        return np.full(len(requests), self.plan[stage_index], dtype=np.int64)
+
     @property
     def total_millicores(self) -> int:
         """Sum of the fixed allocation (the policy's constant consumption)."""
@@ -81,6 +94,14 @@ class WorstCasePolicy(FixedPlanPolicy):
         # Kmax regardless of the node, so the upper bound also serves
         # off-critical-path branches of DAG workflows.
         return self._kmax
+
+    def sizes_for_node(
+        self,
+        node: str,
+        requests: _t.Sequence[WorkflowRequest],
+        elapsed_ms: np.ndarray,
+    ) -> np.ndarray:
+        return np.full(len(requests), self._kmax, dtype=np.int64)
 
 
 class GrandSLAMPolicy(FixedPlanPolicy):

@@ -13,6 +13,10 @@ explores head and next-to-head (much slower to synthesize, Fig. 6b).
 
 from __future__ import annotations
 
+import typing as _t
+
+import numpy as np
+
 from ..adapter.adapter import JanusAdapter
 from ..adapter.supervisor import HitMissSupervisor
 from ..errors import PolicyError
@@ -63,6 +67,16 @@ class JanusPolicy(SizingPolicy):
     ) -> Millicores:
         budget = self.adapter.slo_ms - elapsed_ms
         return self.adapter.decide(stage_index, budget).size
+
+    def sizes_for_node(
+        self,
+        node: str,
+        requests: _t.Sequence[WorkflowRequest],
+        elapsed_ms: "np.ndarray",
+    ) -> "np.ndarray":
+        budgets = self.adapter.slo_ms - np.asarray(elapsed_ms, dtype=np.float64)
+        sizes, _ = self.adapter.decide_many(self._stage_index(node), budgets)
+        return sizes
 
     # -- diagnostics -------------------------------------------------------
     @property

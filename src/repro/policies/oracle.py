@@ -16,6 +16,8 @@ allocates Kmax — the violation is unavoidable for any policy.
 
 from __future__ import annotations
 
+import typing as _t
+
 import numpy as np
 
 from ..errors import PolicyError
@@ -44,14 +46,18 @@ class OraclePolicy(SizingPolicy):
     def _actual_durations(self, request: WorkflowRequest) -> np.ndarray:
         """``int64[N, K]``: ceil of actual stage time per allocation."""
         chain = self.workflow.chain
+        num_k = self._k_grid.size
         rows = []
         for fname in chain:
             model = self.workflow.model(fname)
             dyn = request.dynamics_for(fname)
-            times = [
-                model.execution_time(int(k), dyn, request.concurrency)
-                for k in self._k_grid
-            ]
+            times = model.execution_times(
+                self._k_grid,
+                np.full(num_k, dyn.workset),
+                np.full(num_k, dyn.noise_z),
+                np.full(num_k, dyn.interference),
+                np.full(num_k, request.concurrency, dtype=np.int64),
+            )
             rows.append(np.ceil(times).astype(np.int64))
         return np.stack(rows)
 
@@ -115,6 +121,26 @@ class OraclePolicy(SizingPolicy):
         if not 0 <= stage_index < len(plan):
             raise PolicyError(f"Oracle: stage {stage_index} out of range")
         return plan[stage_index]
+
+    def sizes_for_node(
+        self,
+        node: str,
+        requests: _t.Sequence[WorkflowRequest],
+        elapsed_ms: np.ndarray,
+    ) -> np.ndarray:
+        stage_index = self._stage_index(node)
+        out = np.empty(len(requests), dtype=np.int64)
+        for i, request in enumerate(requests):
+            plan = self._plan.get(request.request_id)
+            if plan is None:
+                raise PolicyError(
+                    f"Oracle: begin_request not called for request "
+                    f"{request.request_id}"
+                )
+            if not 0 <= stage_index < len(plan):
+                raise PolicyError(f"Oracle: stage {stage_index} out of range")
+            out[i] = plan[stage_index]
+        return out
 
     def end_request(self, request: WorkflowRequest) -> None:
         self._plan.pop(request.request_id, None)

@@ -92,6 +92,26 @@ class LatencyProfile:
         ki = self._k_index(k)
         return float(self.table[ci, pi, ki])
 
+    def latencies(
+        self, p: float, ks: np.ndarray, concurrency: int = 1
+    ) -> np.ndarray:
+        """Batched :meth:`latency` — ``L(p, k)`` for an array of sizes.
+
+        One fancy-index gather per call; every element equals the scalar
+        lookup for the same size.
+        """
+        ci = self._c_index(concurrency)
+        pi = self.percentiles.index_of(p)
+        ks = np.asarray(ks, dtype=np.int64)
+        on_grid = self.limits.contains_array(ks)
+        if not bool(on_grid.all()):
+            bad = int(ks[~on_grid][0])
+            raise ProfileError(
+                f"{self.function}: size {bad} not on the profiled grid {self.limits}"
+            )
+        ki = (ks - self.limits.kmin) // self.limits.step
+        return self.table[ci, pi, ki]
+
     def latency_row(self, p: float, concurrency: int = 1) -> np.ndarray:
         """``L(p, ·)`` over the whole CPU grid.
 

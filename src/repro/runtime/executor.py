@@ -6,6 +6,17 @@ backend is deterministic given (workflow, requests) and every policy sees
 identical dynamics — the apples-to-apples comparison the paper's evaluation
 relies on.
 
+The hot path is batched: :meth:`AnalyticExecutor.run` evaluates each chain
+stage across the *whole* request stream with one vectorised policy lookup
+(:meth:`~repro.policies.base.SizingPolicy.sizes_for_node`) and one array
+latency-model evaluation, materialising stage records column-wise
+(:class:`~repro.runtime.results.OutcomeColumns`). The scalar
+:meth:`~AnalyticExecutor.run_request` survives as the reference
+implementation — the batched path is pinned bit-identical to it by the
+property suite in ``tests/test_vector_exec.py``. Policies whose decisions
+depend on call interleaving across requests set ``vector_safe = False`` to
+keep the request-major scalar order.
+
 This backend models per-request latency exactly and resource consumption as
 the per-stage allocations (the paper's CPU-millicore metric); queueing and
 co-location effects are the domain of the DES cluster backend
@@ -15,7 +26,10 @@ backend for chain workflows.
 
 from __future__ import annotations
 
+import itertools
 import typing as _t
+
+import numpy as np
 
 from ..errors import ExperimentError
 from ..metrics.streaming import StreamingMoments, StreamingSummary
@@ -23,26 +37,86 @@ from ..policies.base import SizingPolicy
 from ..workflow.catalog import Workflow
 from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
 from .registry import register_executor
-from .results import RunResult, StreamingRunResult, collect_policy_extras
+from .results import (
+    ColumnarRunResult,
+    OutcomeColumns,
+    RunResult,
+    StreamingRunResult,
+    collect_policy_extras,
+)
 
-__all__ = ["AnalyticExecutor"]
+__all__ = ["AnalyticExecutor", "DEFAULT_STREAM_CHUNK"]
+
+#: Requests per batch on the streaming path: large enough to amortise the
+#: per-stage vector dispatch, small enough to keep memory O(1) in the
+#: stream length.
+DEFAULT_STREAM_CHUNK = 2048
+
+
+def _dynamics_columns(
+    requests: _t.Sequence[WorkflowRequest], fname: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-invocation dynamics of one stage as aligned arrays."""
+    dyns = [r.dynamics_for(fname) for r in requests]
+    return (
+        np.asarray([d.workset for d in dyns], dtype=np.float64),
+        np.asarray([d.noise_z for d in dyns], dtype=np.float64),
+        np.asarray([d.interference for d in dyns], dtype=np.float64),
+    )
+
+
+def _request_columns(
+    requests: _t.Sequence[WorkflowRequest],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(ids, arrivals, slos, concurrencies) of a batch as arrays."""
+    return (
+        np.asarray([r.request_id for r in requests], dtype=np.int64),
+        np.asarray([r.arrival_ms for r in requests], dtype=np.float64),
+        np.asarray([r.slo_ms for r in requests], dtype=np.float64),
+        np.asarray([r.concurrency for r in requests], dtype=np.int64),
+    )
+
+
+def _run_hooks(
+    policy: SizingPolicy,
+    requests: _t.Sequence[WorkflowRequest],
+    hook: str,
+) -> None:
+    """Fire begin/end hooks for a batch, skipping un-overridden no-ops."""
+    if getattr(type(policy), hook) is getattr(SizingPolicy, hook):
+        return
+    bound = getattr(policy, hook)
+    for request in requests:
+        bound(request)
 
 
 @register_executor("analytic")
 class AnalyticExecutor:
-    """Replays request streams under a policy, stage by stage."""
+    """Replays request streams under a policy, stage-batched across requests."""
 
     def __init__(self, workflow: Workflow, clamp_sizes: bool = True) -> None:
         self.workflow = workflow
         self.clamp_sizes = bool(clamp_sizes)
 
+    # -- scalar reference --------------------------------------------------
     def run_request(
         self, policy: SizingPolicy, request: WorkflowRequest
     ) -> RequestOutcome:
-        """Serve one request; returns its outcome record."""
+        """Serve one request; returns its outcome record.
+
+        This is the scalar reference implementation the batched path is
+        pinned against (and the entry point for one-off serving, e.g. the
+        batching executor and direct tests).
+        """
+        policy.bind(self.workflow)
+        return self._serve_one(policy, request)
+
+    def _serve_one(
+        self, policy: SizingPolicy, request: WorkflowRequest
+    ) -> RequestOutcome:
+        """Scalar serving loop; assumes the policy is already bound."""
         chain = self.workflow.chain
         limits = self.workflow.limits
-        policy.bind(self.workflow)
         policy.begin_request(request)
         elapsed = 0.0
         stages: list[StageRecord] = []
@@ -76,41 +150,133 @@ class AnalyticExecutor:
             stages=stages,
         )
 
+    # -- batched core ------------------------------------------------------
+    def _serve_batch(
+        self, policy: SizingPolicy, requests: _t.Sequence[WorkflowRequest]
+    ) -> OutcomeColumns:
+        """Serve a batch with per-stage vector policy/model evaluation.
+
+        Assumes the policy is bound and ``vector_safe``. Hooks fire
+        begin-all / stage-major / end-all; for order-free policies this is
+        indistinguishable from the scalar request-major order.
+        """
+        chain = self.workflow.chain
+        limits = self.workflow.limits
+        n = len(requests)
+        _run_hooks(policy, requests, "begin_request")
+        ids, arrivals, slos, concurrencies = _request_columns(requests)
+        num_stages = len(chain)
+        sizes = np.empty((n, num_stages), dtype=np.int64)
+        starts = np.empty((n, num_stages), dtype=np.float64)
+        ends = np.empty((n, num_stages), dtype=np.float64)
+        elapsed = np.zeros(n, dtype=np.float64)
+        for j, fname in enumerate(chain):
+            ks = np.asarray(
+                policy.sizes_for_node(fname, requests, elapsed), dtype=np.int64
+            )
+            if self.clamp_sizes:
+                ks = limits.clamp_array(ks)
+            else:
+                on_grid = limits.contains_array(ks)
+                if not bool(on_grid.all()):
+                    bad = int(ks[np.flatnonzero(~on_grid)[0]])
+                    raise ExperimentError(
+                        f"{policy.name}: size {bad} off-grid for stage {fname}"
+                    )
+            worksets, noise_zs, interferences = _dynamics_columns(
+                requests, fname
+            )
+            exec_ms = self.workflow.model(fname).execution_times(
+                ks, worksets, noise_zs, interferences, concurrencies
+            )
+            start = arrivals + elapsed
+            sizes[:, j] = ks
+            starts[:, j] = start
+            ends[:, j] = start + exec_ms
+            elapsed = elapsed + exec_ms
+        _run_hooks(policy, requests, "end_request")
+        return OutcomeColumns(
+            request_ids=ids,
+            arrivals=arrivals,
+            slos=slos,
+            functions=tuple(chain),
+            sizes=sizes,
+            starts=starts,
+            ends=ends,
+        )
+
+    # -- public API --------------------------------------------------------
     def run(
         self, policy: SizingPolicy, requests: _t.Sequence[WorkflowRequest]
     ) -> RunResult:
         """Serve a whole stream and collect a :class:`RunResult`."""
         if not requests:
             raise ExperimentError("request stream is empty")
-        outcomes = [self.run_request(policy, r) for r in requests]
-        return RunResult(
+        policy.bind(self.workflow)
+        if not policy.vector_safe:
+            outcomes = [self._serve_one(policy, r) for r in requests]
+            return RunResult(
+                policy_name=policy.name,
+                outcomes=outcomes,
+                extras=collect_policy_extras(policy),
+            )
+        return ColumnarRunResult(
             policy_name=policy.name,
-            outcomes=outcomes,
+            columns=self._serve_batch(policy, requests),
             extras=collect_policy_extras(policy),
         )
 
     def run_streaming(
-        self, policy: SizingPolicy, requests: _t.Iterable[WorkflowRequest]
+        self,
+        policy: SizingPolicy,
+        requests: _t.Iterable[WorkflowRequest],
+        chunk_size: int = DEFAULT_STREAM_CHUNK,
     ) -> StreamingRunResult:
         """Serve a stream folding each outcome into streaming estimators.
 
-        The bounded-memory path for very large ``n_requests``: outcomes
-        are never retained, so memory stays O(1) in the stream length.
-        Latency percentiles in the result are P² estimates (see
+        The bounded-memory path for very large ``n_requests``: requests are
+        served in fixed-size chunks through the batched core (O(chunk)
+        memory, vector throughput) and only the streaming aggregates
+        survive. Estimators consume per-request values in arrival order, so
+        the result is bit-identical to the per-request scalar fold. Latency
+        percentiles in the result are P² estimates (see
         :mod:`repro.metrics.streaming`).
         """
+        if chunk_size < 1:
+            raise ExperimentError(f"chunk_size must be >= 1, got {chunk_size}")
+        policy.bind(self.workflow)
         latency = StreamingSummary((50.0, 99.0))
         cost = StreamingMoments()
         slack = StreamingMoments()
         violations = 0
         n = 0
-        for request in requests:
-            outcome = self.run_request(policy, request)
-            latency.add(outcome.e2e_ms)
-            cost.add(outcome.allocated_millicores)
-            slack.add(outcome.slack)
-            violations += not outcome.slo_met
-            n += 1
+        if policy.vector_safe:
+            iterator = iter(requests)
+            while True:
+                chunk = list(itertools.islice(iterator, chunk_size))
+                if not chunk:
+                    break
+                columns = self._serve_batch(policy, chunk)
+                mets = columns.slo_met().tolist()
+                for e2e, alloc, slk, met in zip(
+                    columns.e2e_ms().tolist(),
+                    columns.allocated().tolist(),
+                    columns.slacks().tolist(),
+                    mets,
+                ):
+                    latency.add(e2e)
+                    cost.add(alloc)
+                    slack.add(slk)
+                    violations += not met
+                n += len(chunk)
+        else:
+            for request in requests:
+                outcome = self._serve_one(policy, request)
+                latency.add(outcome.e2e_ms)
+                cost.add(outcome.allocated_millicores)
+                slack.add(outcome.slack)
+                violations += not outcome.slo_met
+                n += 1
         if n == 0:
             raise ExperimentError("request stream is empty")
         return StreamingRunResult(

@@ -8,9 +8,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ExperimentError
-from ..workflow.request import RequestOutcome
+from ..workflow.request import RequestOutcome, StageRecord
 
-__all__ = ["RunResult", "StreamingRunResult", "collect_policy_extras"]
+__all__ = [
+    "OutcomeColumns",
+    "RunResult",
+    "ColumnarRunResult",
+    "StreamingRunResult",
+    "collect_policy_extras",
+]
 
 #: Diagnostic attributes lifted off a policy into ``RunResult.extras``
 #: (Janus-style policies expose hit rates / synthesis costs — keep them).
@@ -24,6 +30,109 @@ def collect_policy_extras(policy: _t.Any) -> dict[str, _t.Any]:
         for attr in _POLICY_EXTRA_ATTRS
         if hasattr(policy, attr)
     }
+
+
+@dataclass
+class OutcomeColumns:
+    """Column-wise stage records for one served batch (the batched
+    executors' native output format).
+
+    ``functions`` holds the node names in execution (chain/topological)
+    order, shared by every row; the stage axis of the 2-D arrays follows
+    it. ``order`` is the per-request stable argsort of ``ends`` for DAG
+    executors (whose scalar reference sorts stages by completion time);
+    ``None`` for chains, where execution order *is* completion order.
+
+    Every derived metric reproduces the corresponding
+    :class:`~repro.workflow.request.RequestOutcome` property bit-exactly:
+    float reductions accumulate sequentially in the scalar path's stage
+    order instead of using pairwise ``np.sum``.
+    """
+
+    request_ids: np.ndarray  # int64[n]
+    arrivals: np.ndarray  # float64[n]
+    slos: np.ndarray  # float64[n]
+    functions: tuple[str, ...]
+    sizes: np.ndarray  # int64[n, S]
+    starts: np.ndarray  # float64[n, S]
+    ends: np.ndarray  # float64[n, S]
+    order: np.ndarray | None = None  # int64[n, S] argsort of ends, or None
+
+    @property
+    def n(self) -> int:
+        """Number of requests in the batch."""
+        return int(self.arrivals.size)
+
+    def e2e_ms(self) -> np.ndarray:
+        """Per-request end-to-end latency (last completion - arrival)."""
+        if self.order is None:
+            return self.ends[:, -1] - self.arrivals
+        return self.ends.max(axis=1) - self.arrivals
+
+    def slo_met(self) -> np.ndarray:
+        """Boolean mask of requests within their SLO."""
+        return self.e2e_ms() <= self.slos
+
+    def slacks(self) -> np.ndarray:
+        """Per-request slack ``1 - l/T``."""
+        return 1.0 - self.e2e_ms() / self.slos
+
+    def allocated(self) -> np.ndarray:
+        """Per-request total allocated millicores (int64)."""
+        return self.sizes.sum(axis=1)
+
+    def millicore_ms(self) -> np.ndarray:
+        """Per-request resource-time product, accumulated sequentially in
+        the scalar path's stage order (completion order for DAGs)."""
+        sizes, starts, ends = self.sizes, self.starts, self.ends
+        if self.order is not None:
+            sizes = np.take_along_axis(sizes, self.order, axis=1)
+            starts = np.take_along_axis(starts, self.order, axis=1)
+            ends = np.take_along_axis(ends, self.order, axis=1)
+        acc = np.zeros(self.n, dtype=np.float64)
+        for j in range(len(self.functions)):
+            acc = acc + sizes[:, j] * (ends[:, j] - starts[:, j])
+        return acc
+
+    def to_outcomes(self) -> list[RequestOutcome]:
+        """Materialise row-wise :class:`RequestOutcome` records.
+
+        ``.tolist()`` hands exact Python floats/ints to the records, so the
+        materialised objects equal the scalar executor's output field by
+        field.
+        """
+        ids = self.request_ids.tolist()
+        arrivals = self.arrivals.tolist()
+        slos = self.slos.tolist()
+        sizes = self.sizes.tolist()
+        starts = self.starts.tolist()
+        ends = self.ends.tolist()
+        order = self.order.tolist() if self.order is not None else None
+        num_stages = len(self.functions)
+        outcomes = []
+        for i in range(self.n):
+            if order is None:
+                stage_js = range(num_stages)
+            else:
+                stage_js = order[i]
+            stages = [
+                StageRecord(
+                    function=self.functions[j],
+                    size=sizes[i][j],
+                    start_ms=starts[i][j],
+                    end_ms=ends[i][j],
+                )
+                for j in stage_js
+            ]
+            outcomes.append(
+                RequestOutcome(
+                    request_id=ids[i],
+                    arrival_ms=arrivals[i],
+                    slo_ms=slos[i],
+                    stages=stages,
+                )
+            )
+        return outcomes
 
 
 @dataclass
@@ -100,6 +209,53 @@ class RunResult:
             "violation_rate": self.violation_rate,
             "mean_slack": float(self.slacks().mean()),
         }
+
+
+class ColumnarRunResult(RunResult):
+    """A :class:`RunResult` backed by :class:`OutcomeColumns`.
+
+    The batched executors produce columns natively; the row-wise
+    ``outcomes`` list most callers never touch is materialised lazily on
+    first access. All array-valued metrics read straight off the columns
+    (bit-identical to the scalar reductions by construction), so summary
+    statistics never pay the materialisation cost.
+    """
+
+    def __init__(
+        self,
+        policy_name: str,
+        columns: OutcomeColumns,
+        extras: dict[str, _t.Any] | None = None,
+    ) -> None:
+        self.policy_name = policy_name
+        self.columns = columns
+        self.extras = extras if extras is not None else {}
+        self._outcomes: list[RequestOutcome] | None = None
+        if columns.n == 0:
+            raise ExperimentError(f"{self.policy_name}: no outcomes recorded")
+
+    @property
+    def outcomes(self) -> list[RequestOutcome]:  # type: ignore[override]
+        if self._outcomes is None:
+            self._outcomes = self.columns.to_outcomes()
+        return self._outcomes
+
+    def e2e_ms(self) -> np.ndarray:
+        return self.columns.e2e_ms()
+
+    @property
+    def violation_rate(self) -> float:
+        return float(np.mean(~self.columns.slo_met()))
+
+    def slacks(self) -> np.ndarray:
+        return self.columns.slacks()
+
+    def allocated(self) -> np.ndarray:
+        return self.columns.allocated().astype(np.float64)
+
+    @property
+    def mean_millicore_ms(self) -> float:
+        return float(np.mean(self.columns.millicore_ms()))
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,9 @@ class Simulator:
             An :class:`Event` runs until that event has been processed and
             returns its value (raising its exception if it failed).
         """
+        # Event._process is inlined into each loop body (no Event subclass
+        # overrides it): the method-call frame per event is the single
+        # largest constant in the pop loop.
         heap = self._heap
         pop = heapq.heappop
         count = 0
@@ -112,7 +115,12 @@ class Simulator:
                     t, _, event = pop(heap)
                     self._now = t
                     count += 1
-                    event._process()
+                    event._processed = True
+                    callbacks = event.callbacks
+                    if callbacks is not None:
+                        event.callbacks = None
+                        for cb in callbacks:
+                            cb(event)
             finally:
                 self._event_count += count
             return None
@@ -127,7 +135,12 @@ class Simulator:
                     t, _, event = pop(heap)
                     self._now = t
                     count += 1
-                    event._process()
+                    event._processed = True
+                    callbacks = event.callbacks
+                    if callbacks is not None:
+                        event.callbacks = None
+                        for cb in callbacks:
+                            cb(event)
             finally:
                 self._event_count += count
             if not stop.ok:
@@ -143,7 +156,12 @@ class Simulator:
                 t, _, event = pop(heap)
                 self._now = t
                 count += 1
-                event._process()
+                event._processed = True
+                callbacks = event.callbacks
+                if callbacks is not None:
+                    event.callbacks = None
+                    for cb in callbacks:
+                        cb(event)
         finally:
             self._event_count += count
         self._now = deadline

@@ -15,6 +15,7 @@ closure per child event.
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush as _heappush
 
 from ..errors import SimulationError
 
@@ -120,8 +121,10 @@ class Timeout(Event):
         if delay < 0:
             raise SimulationError(f"timeout delay must be >= 0, got {delay}")
         # Timeouts are born triggered; the fields are assigned inline instead
-        # of going through Event.__init__ + succeed (one call frame per
-        # timeout each — the single hottest allocation path in cluster runs).
+        # of going through Event.__init__ + succeed, and the heap push is
+        # inlined past Simulator._schedule (whose negative-delay guard is
+        # the check above) — one call frame per timeout each, the single
+        # hottest allocation path in cluster runs.
         self.sim = sim
         self.callbacks = None
         self._value = value
@@ -129,7 +132,8 @@ class Timeout(Event):
         self._processed = False
         self._ok = True
         self.delay = delay = float(delay)
-        sim._schedule(self, delay)
+        _heappush(sim._heap, (sim._now + delay, sim._seq, self))
+        sim._seq += 1
 
 
 class AllOf(Event):

@@ -48,28 +48,38 @@ class Process(Event):
         return not self.triggered
 
     def _resume(self, trigger: Event) -> None:
-        """Advance the generator with the trigger's value (or exception)."""
+        """Advance the generator with the trigger's value (or exception).
+
+        This is the kernel's hottest callback (once per yielded event), so
+        it reads the trigger's slots directly instead of going through the
+        ``ok``/``value`` properties and inlines ``target.add_callback``.
+        """
         try:
-            if trigger.ok:
-                target = self._generator.send(trigger.value)
+            if trigger._ok:
+                target = self._generator.send(trigger._value)
             else:
-                target = self._generator.throw(trigger.value)
+                target = self._generator.throw(trigger._value)
         except StopIteration as stop:
             self.succeed(value=stop.value)
             return
         except BaseException as exc:  # propagate through the process event
             self.fail(exc)
             return
-        if not isinstance(target, Event):
-            # Misuse: close the generator and surface a clear error.
-            self._generator.close()
-            self.fail(
-                SimulationError(
-                    f"process yielded {type(target).__name__}, expected Event"
-                )
-            )
+        if isinstance(target, Event):
+            if target._processed:
+                self._resume(target)
+            elif target.callbacks is None:
+                target.callbacks = [self._resume_cb]
+            else:
+                target.callbacks.append(self._resume_cb)
             return
-        target.add_callback(self._resume_cb)
+        # Misuse: close the generator and surface a clear error.
+        self._generator.close()
+        self.fail(
+            SimulationError(
+                f"process yielded {type(target).__name__}, expected Event"
+            )
+        )
 
     def interrupt(self, cause: _t.Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""

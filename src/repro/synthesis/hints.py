@@ -157,6 +157,29 @@ class CondensedHintsTable:
         # Contiguity guarantees budget <= ends[i] here.
         return LookupResult(hit=True, size=int(self.sizes[i]), row_index=i)
 
+    def lookup_many(
+        self, budgets_ms: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`lookup` over a budget array.
+
+        Returns ``(sizes, hits)`` — int64 millicores and a boolean hit mask,
+        each element identical to the corresponding scalar lookup.
+        """
+        budgets = np.asarray(budgets_ms, dtype=np.float64)
+        idx = np.searchsorted(self.starts, budgets, side="right") - 1
+        hits = idx >= 0
+        sizes = np.where(
+            hits, self.sizes[np.clip(idx, 0, len(self) - 1)], self.kmax
+        ).astype(np.int64)
+        above = budgets > self.ends[-1]
+        if self.clamp_above:
+            sizes[above] = int(self.sizes[-1])
+            hits[above] = True
+        else:
+            sizes[above] = self.kmax
+            hits[above] = False
+        return sizes, hits
+
     def rows(self) -> list[tuple[int, int, int]]:
         """All rows as ``(Tstart, Tend, size)`` tuples."""
         return [

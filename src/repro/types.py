@@ -72,6 +72,22 @@ class ResourceLimits:
             self.kmin <= k <= self.kmax and (k - self.kmin) % self.step == 0
         )
 
+    def clamp_array(self, ks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`clamp` (``np.rint`` rounds half-to-even like
+        Python's ``round``, so each element matches the scalar exactly)."""
+        ks = np.asarray(ks, dtype=np.float64)
+        snapped = self.kmin + np.rint((ks - self.kmin) / self.step) * self.step
+        return np.clip(snapped, self.kmin, self.kmax).astype(np.int64)
+
+    def contains_array(self, ks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` — boolean mask over ``ks``."""
+        ks = np.asarray(ks, dtype=np.int64)
+        return (
+            (ks >= self.kmin)
+            & (ks <= self.kmax)
+            & ((ks - self.kmin) % self.step == 0)
+        )
+
 
 def _default_percentiles() -> tuple[float, ...]:
     # Paper §III-B: "percentiles ranging from 1% to 99% with a step of 5%".
