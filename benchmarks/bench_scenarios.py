@@ -462,6 +462,112 @@ def test_fault_injection(benchmark, bench_requests, bench_samples):
     _write_results()
 
 
+class SleepCell:
+    """Synthetic cell whose calibrated cost *is* its runtime.
+
+    ``time.sleep`` releases the GIL and burns no CPU, so two workers
+    overlap these cells fully even on a single-core runner — which makes
+    the recorded fabric speedup a property of the scheduler, not of the
+    machine CI happens to land on. Module-level so pickled references
+    resolve on the worker side.
+    """
+
+    def __init__(self, value: int, sleep_s: float) -> None:
+        self.value = value
+        self.sleep_s = sleep_s
+
+    def cost_estimate(self) -> float:
+        return self.sleep_s
+
+
+def eval_sleep_cell(cell: SleepCell) -> int:
+    time.sleep(cell.sleep_s)
+    return cell.value
+
+
+def test_distributed_fabric(benchmark, bench_requests, bench_samples):
+    """The distributed backend: bit-identity on real cells, then the
+    guarded 1-worker vs 2-worker fabric speedup on sleep cells.
+
+    Part one runs the heterogeneous matrix through two real socket-launched
+    local workers and byte-compares the report against serial — the real
+    walls (and the runner's core count) are recorded for the trajectory but
+    deliberately not guarded, since real-cell overlap depends on CPUs.
+    Part two reshapes the same matrix's calibrated cost spread into
+    :class:`SleepCell` work and drives it through the full coordinator
+    (wire protocol, LPT queues, stealing) with in-process workers; its
+    ``two_worker_speedup`` is machine-independent and guarded by
+    ``check_regression.py``.
+    """
+    import threading
+
+    from repro.scenarios import DistributedBackend
+    from repro.scenarios.worker import serve
+
+    matrix = _heterogeneous_matrix(bench_requests, bench_samples)
+    serial = run_once(
+        benchmark, SweepRunner(max_workers=1, backend="serial").run, matrix
+    )
+    start = time.perf_counter()
+    dist = SweepRunner(
+        backend="distributed",
+        backend_options={"hosts": "local:2", "connect_timeout": 60.0},
+    ).run(matrix)
+    dist_s = time.perf_counter() - start
+    assert dist.to_json() == serial.to_json()
+    host_stats = dist.backend_stats["hosts"]["local"]
+    assert host_stats["workers"] == 2
+    assert host_stats["completed"] == len(matrix)
+
+    costs = [cell.cost_estimate() for cell in matrix.expand()]
+    scale = 4.0 / sum(costs)
+    cells = [SleepCell(i, c * scale) for i, c in enumerate(costs)]
+
+    def fabric_wall(labels: list[str]) -> float:
+        threads: list[threading.Thread] = []
+
+        def on_listen(host: str, port: int) -> None:
+            for label in labels:
+                thread = threading.Thread(
+                    target=serve, args=((host, port), label), daemon=True
+                )
+                thread.start()
+                threads.append(thread)
+
+        backend = DistributedBackend(
+            hosts=",".join(labels), launch=False, bind="127.0.0.1",
+            idle_delay=0.01, on_listen=on_listen,
+        )
+        start = time.perf_counter()
+        out = backend.run(cells, eval_sleep_cell)
+        wall = time.perf_counter() - start
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert out == list(range(len(cells)))
+        return wall
+
+    one_worker_s = fabric_wall(["w1"])
+    two_worker_s = fabric_wall(["w1", "w2"])
+    speedup = one_worker_s / two_worker_s
+    print(f"\ndistributed fabric: {len(matrix)} real cells on 2 local "
+          f"workers {dist_s:.2f} s vs serial {serial.wall_seconds:.2f} s "
+          f"({os.cpu_count()} CPU(s)); sleep-cell fabric 1 worker "
+          f"{one_worker_s:.2f} s vs 2 workers {two_worker_s:.2f} s "
+          f"({speedup:.2f}x)")
+    assert speedup > 1.5
+    _RESULTS["distributed"] = {
+        "cells": len(matrix),
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial.wall_seconds,
+        "two_worker_real_seconds": dist_s,
+        "one_worker_sleep_seconds": one_worker_s,
+        "two_worker_sleep_seconds": two_worker_s,
+        "two_worker_speedup": speedup,
+        "bit_identical": True,
+    }
+    _write_results()
+
+
 def test_cell_cache_warm_vs_cold(benchmark, bench_requests, bench_samples, tmp_path):
     """Cold sweep (populating the cache) vs fully warm replay."""
     matrix = _heterogeneous_matrix(bench_requests, bench_samples)

@@ -27,6 +27,11 @@ GUARDED: dict[str, tuple[str, ...]] = {
         "janus_requests_per_s",
         "batch_speedup",
     ),
+    # Sleep-cell fabric speedup: machine-independent by construction (the
+    # cells overlap regardless of core count), so it guards the scheduler
+    # itself — real-cell distributed walls stay unguarded like the other
+    # wall-time sections.
+    "distributed": ("two_worker_speedup",),
 }
 
 

@@ -116,12 +116,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process-pool workers (1 = serial; "
                               "default: CPU count)")
     sweep_p.add_argument(
-        "--backend", choices=["serial", "pool", "workstealing"], default=None,
+        "--backend",
+        choices=["serial", "pool", "workstealing", "distributed"],
+        default=None,
         help="execution backend: 'serial' (in-process), 'pool' (static "
              "process-pool map), 'workstealing' (per-cell submission, "
-             "most expensive cells dispatched first). Default: serial "
-             "when --jobs 1, pool otherwise. Results are bit-identical "
+             "most expensive cells dispatched first), 'distributed' "
+             "(multi-host coordinator over --hosts with cross-host "
+             "stealing and cell-cache resume). Default: serial when "
+             "--jobs 1, pool otherwise. Results are bit-identical "
              "across backends")
+    sweep_p.add_argument(
+        "--hosts", default=None,
+        help="distributed fleet as comma-separated host[:nproc] specs, "
+             "e.g. 'local:4' or 'local:2,big-box:8,gpu-box'. 'local' "
+             "socket-launches workers on this machine; anything else is "
+             "launched via 'ssh HOST python3 -m repro.scenarios.worker'. "
+             "Needs --backend distributed (default there: local:2)")
+    sweep_p.add_argument(
+        "--cache-mode", choices=["shared", "protocol"], default=None,
+        dest="cache_mode",
+        help="how distributed workers reach the cell cache: 'shared' "
+             "(workers open --cache-dir directly — same filesystem, the "
+             "default) or 'protocol' (GET/PUT over the task socket — no "
+             "shared filesystem needed). Needs --backend distributed "
+             "and --cache-dir")
     sweep_p.add_argument(
         "--cache-dir", default=os.environ.get("JANUS_SWEEP_CACHE"),
         help="content-addressed cache directory: per-cell results plus "
@@ -400,11 +419,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     matrix = ScenarioMatrix(**matrix_kwargs)
     print(f"sweeping {len(matrix)} scenario cells "
           f"({len(matrix.policies)} policies each)...")
+    backend_options: dict[str, _t.Any] = {}
+    if args.backend == "distributed":
+        backend_options["hosts"] = args.hosts or "local:2"
+        if args.cache_mode:
+            backend_options["cache_mode"] = args.cache_mode
+    elif args.hosts or args.cache_mode:
+        flag = "--hosts" if args.hosts else "--cache-mode"
+        raise SystemExit(f"{flag} requires --backend distributed")
     runner = SweepRunner(
         max_workers=args.jobs,
         backend=args.backend,
         cache_dir=None if args.no_cache else args.cache_dir,
         progress=print if args.progress else None,
+        backend_options=backend_options or None,
     )
     report = runner.run(matrix)
     print(report.render())

@@ -10,9 +10,10 @@ first-class object:
   streams derived from one master seed.
 * :class:`SweepRunner` — executes the matrix through
   :meth:`repro.api.Session.compare` on a pluggable
-  :class:`ExecutionBackend` (``serial``, static ``pool``, or the
-  ``workstealing`` scheduler that dispatches expensive cells first), with
-  bit-identical results on every backend.
+  :class:`ExecutionBackend` (``serial``, static ``pool``, the
+  ``workstealing`` scheduler that dispatches expensive cells first, or
+  the multi-host ``distributed`` fabric with cross-host stealing and
+  cell-cache resume), with bit-identical results on every backend.
 * :class:`CellCache` — content-addressed per-cell result persistence
   (plus disk layers behind the DP/hints memos) so repeated and
   overlapping sweeps skip already-computed cells.
@@ -44,6 +45,7 @@ from .backends import (
 )
 from .cache import CellCache, configure_persistent_caches, scenario_digest
 from .costs import CellCostModel
+from .distributed import DistributedBackend, HostSpec, parse_hosts
 from .matrix import (
     Scenario,
     ScenarioMatrix,
@@ -66,6 +68,9 @@ __all__ = [
     "SerialBackend",
     "PoolBackend",
     "WorkStealingBackend",
+    "DistributedBackend",
+    "HostSpec",
+    "parse_hosts",
     "register_backend",
     "backend_names",
     "get_backend",

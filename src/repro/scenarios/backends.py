@@ -300,7 +300,17 @@ class WorkStealingBackend(_PoolBackendBase):
             }
             for future in concurrent.futures.as_completed(futures):
                 pos = futures[future]
-                outcome = future.result()
+                try:
+                    outcome = future.result()
+                except BaseException:
+                    # Fail fast: cancel everything not yet started before
+                    # the pool __exit__ blocks waiting on it — one bad
+                    # cell must not keep the rest of the queue evaluating
+                    # (already-running cells still finish; a process pool
+                    # cannot preempt them).
+                    for pending_future in futures:
+                        pending_future.cancel()
+                    raise
                 out[pos] = outcome
                 if on_complete is not None:
                     on_complete(pos, outcome)

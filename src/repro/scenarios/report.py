@@ -124,6 +124,12 @@ class SweepReport:
     #: (``{"dp": {"memory_hits": .., "disk_hits": .., "solves": ..},
     #: "hints": {...}}``). Diagnostics only, excluded from the JSON.
     synthesis_cache: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Backend scheduling diagnostics, for backends that report any — the
+    #: distributed fabric's per-host ``{"hosts": {label: {"workers": ..,
+    #: "completed": .., "steals": .., "lost": .., ...}}, "redispatched":
+    #: ..}`` counters. Diagnostics only, excluded from the JSON: which
+    #: host evaluated a cell can never change the cell.
+    backend_stats: dict[str, _t.Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.results:
@@ -306,6 +312,20 @@ class SweepReport:
                 )
                 parts.append(f"{section}[{inner}]")
             table += f"\nsynthesis caches: {'; '.join(parts)}"
+        hosts = self.backend_stats.get("hosts", {})
+        for label in sorted(hosts):
+            h = hosts[label]
+            table += (
+                f"\nhost {label}: {h.get('workers', 0)} worker(s), "
+                f"{h.get('completed', 0)} cell(s), "
+                f"{h.get('steals', 0)} steal(s), "
+                f"{h.get('lost', 0)} lost"
+            )
+        redispatched = self.backend_stats.get("redispatched", 0)
+        if redispatched:
+            table += (
+                f"\nre-dispatched after worker loss: {redispatched} cell(s)"
+            )
         baselines = self.baselines()
         if len(baselines) > 1:
             table += (

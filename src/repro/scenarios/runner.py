@@ -360,6 +360,12 @@ class SweepRunner:
     (skipping already-computed cells on re-runs and overlapping sweeps)
     plus disk layers behind the DP/hints memos shared by every worker.
     ``progress`` receives one line per resolved cell.
+
+    ``backend_options`` are extra constructor options for a string-named
+    backend (e.g. ``{"hosts": "local:2,big:8"}`` for ``distributed``);
+    like ``cost_model`` and ``cache_dir`` they pass through
+    :func:`~repro.scenarios.backends.resolve_backend`'s signature
+    filtering, so options a backend doesn't declare are ignored.
     """
 
     def __init__(
@@ -369,6 +375,7 @@ class SweepRunner:
         backend: "str | ExecutionBackend | None" = None,
         cache_dir: str | os.PathLike[str] | None = None,
         progress: ProgressCallback | None = None,
+        backend_options: _t.Mapping[str, _t.Any] | None = None,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -377,6 +384,7 @@ class SweepRunner:
         self.backend = backend
         self.cache_dir = None if cache_dir is None else os.fspath(cache_dir)
         self.progress = progress
+        self.backend_options = dict(backend_options or {})
 
     def _emit(
         self,
@@ -437,7 +445,8 @@ class SweepRunner:
         effective = min(self.max_workers, len(pending)) if pending else 1
         backend = resolve_backend(
             self.backend, max_workers=effective, mp_context=self.mp_context,
-            cost_model=cost_model,
+            cost_model=cost_model, cache_dir=self.cache_dir,
+            **self.backend_options,
         )
         synth_stats: dict[str, dict[str, int]] = {}
         if pending:
@@ -499,6 +508,10 @@ class SweepRunner:
                 f"no scenario cell could build any of {list(matrix.policies)} "
                 f"— every cell was skipped: {sorted(skipped)}"
             )
+        # Backends with scheduling diagnostics (the distributed fabric's
+        # per-host throughput/steal/loss counters) surface them in the
+        # rendered report; like wall time they stay out of the JSON.
+        stats_fn = getattr(backend, "stats", None)
         return SweepReport(
             results=results,
             seed=matrix.seed,
@@ -508,4 +521,5 @@ class SweepRunner:
             backend=backend.name,
             cell_cache=cache.stats() if cache is not None else {},
             synthesis_cache=synth_stats,
+            backend_stats=stats_fn() if callable(stats_fn) else {},
         )

@@ -1,0 +1,107 @@
+"""Length-prefixed pickle framing for the distributed sweep fabric.
+
+One frame is a 4-byte big-endian payload length followed by a pickled
+Python object. Both sides of the coordinator/worker socket speak only
+whole frames, so partial reads can never deliver a torn message, and an
+EOF between frames is an unambiguous "peer is gone" signal
+(:func:`recv_msg` returns ``None``) rather than an exception mid-object.
+
+The protocol itself is a strict request/response vocabulary driven by the
+worker (see :mod:`repro.scenarios.worker` and
+:mod:`repro.scenarios.distributed`); this module only owns the framing,
+the handshake version, and the small connect-with-retry helper the
+launchers use while the coordinator's listener comes up.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import time
+import typing as _t
+
+from ..errors import ExperimentError
+
+__all__ = [
+    "WIRE_VERSION",
+    "send_msg",
+    "recv_msg",
+    "connect_with_retry",
+]
+
+#: Handshake version, exchanged in the worker's ``hello``. Bumped whenever
+#: the message vocabulary changes shape, so a stale worker binary talking
+#: to a newer coordinator fails loudly instead of mis-pickling.
+WIRE_VERSION = 1
+
+_HEADER = struct.Struct(">I")
+
+#: Frames above this are refused on receive — a corrupted length prefix
+#: must not turn into a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def send_msg(sock: socket.socket, obj: _t.Any) -> None:
+    """Send one framed, pickled object over ``sock``."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Exactly ``n`` bytes from ``sock``, or ``None`` on a clean EOF.
+
+    EOF mid-buffer (after some bytes arrived) is a torn frame and raises:
+    the peer died mid-message, which callers must not confuse with an
+    orderly shutdown between frames.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ConnectionError(
+                f"peer closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> _t.Any | None:
+    """Receive one framed object, or ``None`` on a clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ExperimentError(
+            f"wire frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit (corrupt stream?)"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ConnectionError("peer closed between header and payload")
+    return pickle.loads(payload)
+
+
+def connect_with_retry(
+    host: str, port: int, timeout: float = 10.0, interval: float = 0.05
+) -> socket.socket:
+    """TCP-connect to ``(host, port)``, retrying refusals until ``timeout``.
+
+    Workers race the coordinator's ``accept`` loop at launch; a refused
+    connection within the window just means the listener isn't up yet.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(interval)
