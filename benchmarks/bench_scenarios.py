@@ -462,6 +462,73 @@ def test_fault_injection(benchmark, bench_requests, bench_samples):
     _write_results()
 
 
+def test_fleet_sweep(benchmark):
+    """Routing-engine throughput and the cost of a 3-region fleet cell.
+
+    The :class:`StreamRouter` sits on the per-arrival hot path of both
+    the batch fleet evaluator and the serving loop (one heap op per
+    request), so its raw rate is worth pinning. The fleet matrix here is
+    deliberately *fixed-size* (no env scaling): ``remote_fraction`` is
+    then fully deterministic for the seed, and guarding it doubles as a
+    routing behavioural-drift alarm, machine-independent by construction.
+    """
+    from repro.fleet import FleetConfig, StreamRouter
+    from repro.scenarios import parse_fault
+
+    fleet = FleetConfig(
+        regions=("us-east", "eu-west", "ap-south"),
+        routing="spillover",
+        capacity=4,
+    )
+
+    def routing_rate():
+        n = 50_000
+        router = StreamRouter(fleet, hold_ms=250.0)
+        start = time.perf_counter()
+        for i in range(n):
+            router.route(i % 3, i * 5.0)
+        return n / (time.perf_counter() - start)
+
+    routed_per_s = run_once(benchmark, routing_rate)
+
+    def fleet_matrix(faults):
+        return ScenarioMatrix(
+            workflows=("IA",),
+            arrivals=(
+                ArrivalSpec(kind="diurnal", rate_per_s=20.0, period_s=10.0),
+            ),
+            slo_scales=(1.0,),
+            policies=("Janus",),
+            fleets=(fleet,),
+            faults=faults,
+            n_requests=120,
+            samples=400,
+            seed=23,
+        )
+
+    start = time.perf_counter()
+    clean_report = SweepRunner(max_workers=1).run(fleet_matrix((None,)))
+    clean_s = time.perf_counter() - start
+    start = time.perf_counter()
+    faulted_report = SweepRunner(max_workers=1).run(
+        fleet_matrix((parse_fault("region-failover@2000"),))
+    )
+    faulted_s = time.perf_counter() - start
+    remote = clean_report.results[0].extra("Janus", "fleet_remote_fraction")
+    failovers = faulted_report.results[0].extra("Janus", "fleet_failovers")
+    print(f"\nfleet: {routed_per_s:,.0f} routed req/s, 3-region cell "
+          f"{clean_s:.2f} s clean vs {faulted_s:.2f} s failover "
+          f"({remote:.1%} served remotely, {failovers:.0f} failovers)")
+    _RESULTS["fleet"] = {
+        "routed_requests_per_s": routed_per_s,
+        "clean_cell_seconds": clean_s,
+        "failover_cell_seconds": faulted_s,
+        "remote_fraction": remote,
+        "failover_cell_failovers": failovers,
+    }
+    _write_results()
+
+
 class SleepCell:
     """Synthetic cell whose calibrated cost *is* its runtime.
 

@@ -32,6 +32,11 @@ GUARDED: dict[str, tuple[str, ...]] = {
     # itself — real-cell distributed walls stay unguarded like the other
     # wall-time sections.
     "distributed": ("two_worker_speedup",),
+    # remote_fraction is deterministic for the committed seed on the
+    # fixed-size fleet bench matrix, so any movement is a routing
+    # behaviour change, not noise; the router rate guards the per-arrival
+    # hot path shared by the batch evaluator and the serving loop.
+    "fleet": ("routed_requests_per_s", "remote_fraction"),
 }
 
 

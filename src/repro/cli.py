@@ -134,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
              "launched via 'ssh HOST python3 -m repro.scenarios.worker'. "
              "Needs --backend distributed (default there: local:2)")
     sweep_p.add_argument(
+        "--auth-token", default=None, dest="auth_token",
+        help="shared fabric secret: the coordinator HMAC-challenges every "
+             "connecting worker and rejects peers that cannot answer "
+             "(default: $JANUS_FABRIC_TOKEN; needs --backend distributed)")
+    sweep_p.add_argument(
         "--cache-mode", choices=["shared", "protocol"], default=None,
         dest="cache_mode",
         help="how distributed workers reach the cell cache: 'shared' "
@@ -174,9 +179,17 @@ def build_parser() -> argparse.ArgumentParser:
              "faults, keeps fault-free cells' cache keys), "
              "'preempt@RATE_PER_MIN[:RECOVERY_MS]', 'crash@AT_MS', "
              "'storm@MULTIPLIER[:WINDOW_FRACTION]', "
-             "'straggler@FRACTION:SLOWDOWN', or 'contention[@SCALE]'. "
+             "'straggler@FRACTION:SLOWDOWN', 'contention[@SCALE]', or "
+             "'region-failover[@OUTAGE_MS]' (needs --fleet). "
              "Cluster-side kinds need --executor cluster; storm works on "
              "any executor (it reshapes arrivals into a flash crowd)")
+    sweep_p.add_argument(
+        "--fleet", default=None,
+        help="evaluate every cell on a multi-region fleet: comma-separated "
+             "key=value pairs, e.g. 'regions=3,routing=spillover,"
+             "capacity=8,rtt=60' or 'regions=eu:us:ap,routing="
+             "latency-aware,weights=2:1:1' (routing: home-region, "
+             "weighted, latency-aware, spillover)")
     sweep_p.add_argument(
         "--streaming", action="store_true",
         help="serve every cell through bounded-memory streaming "
@@ -238,8 +251,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--faults", default=None,
         help="arrival-side fault injection: 'storm@MULTIPLIER"
-             "[:WINDOW_FRACTION]' superimposes a flash crowd on --source "
-             "(cluster-side kinds need 'sweep --executor cluster')")
+             "[:WINDOW_FRACTION]' superimposes a flash crowd on --source; "
+             "'region-failover[@OUTAGE_MS]' darkens one region (needs "
+             "--fleet). Cluster-side kinds need 'sweep --executor "
+             "cluster'")
+    serve_p.add_argument(
+        "--fleet", default=None,
+        help="serve a multi-region fleet: same spec grammar as sweep "
+             "--fleet; per-region phase-offset sources merge into one "
+             "routed stream with fleet counters in every snapshot")
     serve_p.add_argument(
         "--drift", default=None,
         help="force workload drift for adaptation demos: comma-separated "
@@ -380,6 +400,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         parse_arrival,
         parse_cluster_config,
         parse_fault,
+        parse_fleet,
     )
 
     def _split(text: str) -> list[str]:
@@ -410,6 +431,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     if args.streaming:
         matrix_kwargs["streaming"] = True
+    if args.fleet:
+        matrix_kwargs["fleets"] = (parse_fleet(args.fleet),)
     # Same knob-introspection contract as `run`: a scale flag reaches the
     # matrix only if its constructor takes the parameter.
     for knob, param in _KNOB_PARAMS.items():
@@ -424,8 +447,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         backend_options["hosts"] = args.hosts or "local:2"
         if args.cache_mode:
             backend_options["cache_mode"] = args.cache_mode
-    elif args.hosts or args.cache_mode:
-        flag = "--hosts" if args.hosts else "--cache-mode"
+        if args.auth_token:
+            backend_options["auth_token"] = args.auth_token
+    elif args.hosts or args.cache_mode or args.auth_token:
+        flag = (
+            "--hosts"
+            if args.hosts
+            else "--cache-mode" if args.cache_mode else "--auth-token"
+        )
         raise SystemExit(f"{flag} requires --backend distributed")
     runner = SweepRunner(
         max_workers=args.jobs,
@@ -446,7 +475,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .scenarios.matrix import parse_arrival, parse_fault
+    from .scenarios.matrix import parse_arrival, parse_fault, parse_fleet
     from .serving import ServingConfig, run_service
 
     schedule: tuple[tuple[int, float], ...] = ()
@@ -481,10 +510,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workset_schedule=schedule,
         event_log=args.event_log,
         faults=parse_fault(args.faults) if args.faults else None,
+        fleet=parse_fleet(args.fleet) if args.fleet else None,
+    )
+    fleet_note = (
+        f", fleet {config.fleet.label}" if config.fleet is not None else ""
     )
     print(
         f"serving {config.workflow} under {config.policy} "
-        f"({config.source.label}, seed {config.seed})..."
+        f"({config.source.label}, seed {config.seed}{fleet_note})..."
     )
     report = run_service(config)
     snap = report.snapshot
@@ -507,6 +540,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"(total {snap['total_millicore_cost']:.0f})   "
         f"miss rate {snap['miss_rate']:.3f}"
     )
+    if config.fleet is not None and "fleet_remote_fraction" in snap:
+        print(
+            f"  fleet    {snap['fleet_spillovers']:.0f} spillover(s), "
+            f"{snap['fleet_failovers']:.0f} failover(s), "
+            f"{snap['fleet_remote_fraction']:.1%} served remotely "
+            f"(+{snap['fleet_rtt_penalty_ms']:.1f} ms mean RTT)"
+        )
     if args.snapshot_out:
         with open(args.snapshot_out, "w", encoding="utf-8") as fh:
             json.dump(snap, fh, indent=2, sort_keys=True)

@@ -39,20 +39,27 @@ if _t.TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "CLUSTER_FAULT_KINDS",
+    "FLEET_FAULT_KINDS",
     "FAULT_KINDS",
     "FaultSpec",
     "FaultEvent",
     "FaultStats",
     "FaultInjector",
+    "RegionOutage",
     "parse_fault",
     "compile_fault_schedule",
+    "compile_region_failover",
 ]
 
 #: Kinds realised by the DES cluster platform (an injector is installed).
 CLUSTER_FAULT_KINDS = ("preempt", "crash", "straggler", "contention")
+#: Kinds realised by the multi-region fleet layer (``repro.fleet``): the
+#: fault takes a whole region down and routing drains its traffic.
+FLEET_FAULT_KINDS = ("region-failover",)
 #: Every kind a ``faults=`` axis entry may name; ``storm`` transforms the
-#: cell's arrival process instead of touching the cluster.
-FAULT_KINDS = CLUSTER_FAULT_KINDS + ("storm",)
+#: cell's arrival process instead of touching the cluster, and the fleet
+#: kinds require a fleet on the cell.
+FAULT_KINDS = CLUSTER_FAULT_KINDS + ("storm",) + FLEET_FAULT_KINDS
 
 #: Backoff a preempted invocation waits before re-acquiring a pod (ms).
 RETRY_BACKOFF_MS = 50.0
@@ -89,6 +96,11 @@ class FaultSpec:
         Flash crowd: the cell's arrival process gains a window around the
         diurnal peak where the rate is multiplied by ``multiplier``
         (``window_fraction`` of the period wide).
+    ``region-failover``
+        One whole fleet region goes dark for ``recovery_ms`` starting at a
+        seed-derived time; the routing policy drains its traffic to the
+        survivors (see :func:`compile_region_failover` and
+        :mod:`repro.fleet`). Requires a fleet on the cell.
     """
 
     kind: str
@@ -155,6 +167,11 @@ class FaultSpec:
                 raise ClusterError(
                     f"contention scale must be >= 0, got {self.scale}"
                 )
+        elif self.kind == "region-failover":
+            if self.recovery_ms <= 0:
+                raise ClusterError(
+                    f"region outage must last > 0 ms, got {self.recovery_ms}"
+                )
 
     @property
     def label(self) -> str:
@@ -173,6 +190,8 @@ class FaultSpec:
                 f"straggler@{self.fraction:g}x{self.slowdown:g}"
                 f"~{self.duration_ms:g}/{self.interval_ms:g}ms"
             )
+        if self.kind == "region-failover":
+            return f"region-failover@{self.recovery_ms:g}ms"
         return f"contention@{self.scale:g}"
 
 
@@ -181,9 +200,9 @@ def parse_fault(text: str) -> FaultSpec:
 
     Grammar: ``preempt@RATE[:RECOVERY_MS]`` (preemptions/min),
     ``crash@AT_MS``, ``storm@MULT[:WINDOW_FRACTION]``,
-    ``straggler@FRACTION:SLOWDOWN`` and ``contention[@SCALE]``. Full
-    control over every shape field is available through
-    :class:`FaultSpec` directly.
+    ``straggler@FRACTION:SLOWDOWN``, ``contention[@SCALE]`` and
+    ``region-failover[@OUTAGE_MS]``. Full control over every shape field
+    is available through :class:`FaultSpec` directly.
     """
     kind, _, operand = text.partition("@")
     kind = kind.strip().lower()
@@ -219,6 +238,11 @@ def parse_fault(text: str) -> FaultSpec:
                 f"straggler wants FRACTION:SLOWDOWN, got {text!r}"
             )
         return FaultSpec(kind="straggler", fraction=a, slowdown=b)
+    if kind == "region-failover":
+        return FaultSpec(
+            kind="region-failover",
+            **({} if a is None else {"recovery_ms": a}),
+        )
     return FaultSpec(
         kind="contention", **({} if a is None else {"scale": a})
     )
@@ -314,6 +338,46 @@ def compile_fault_schedule(
                 events.append(FaultEvent(end, vm_id, "unslow", "straggler"))
     events.sort(key=lambda ev: (ev.at_ms, ev.vm_id, ev.action))
     return tuple(events)
+
+
+@dataclass(frozen=True)
+class RegionOutage:
+    """A compiled region-failover window: one region dark for one span."""
+
+    region_index: int
+    start_ms: float
+    end_ms: float
+
+    def down_at(self, t_ms: float) -> bool:
+        """Whether the victim region is dark at ``t_ms``."""
+        return self.start_ms <= t_ms < self.end_ms
+
+
+def compile_region_failover(
+    spec: FaultSpec, seed: int, n_regions: int, horizon_ms: float
+) -> RegionOutage:
+    """Compile a ``region-failover`` spec into its deterministic outage.
+
+    Pure like :func:`compile_fault_schedule`: ``make_rng(seed)`` consumed
+    in a fixed order (victim first, then the start time, uniform over the
+    part of the horizon that keeps the whole outage inside it), so every
+    backend and process derives the identical window.
+    """
+    if spec.kind != "region-failover":
+        raise ClusterError(
+            f"expected a region-failover spec, got kind {spec.kind!r}"
+        )
+    if n_regions < 2:
+        raise ClusterError(
+            f"region failover needs >= 2 regions to drain to, got {n_regions}"
+        )
+    if horizon_ms <= 0:
+        raise ClusterError(f"horizon must be > 0 ms, got {horizon_ms}")
+    rng = make_rng(seed)
+    victim = int(rng.integers(n_regions))
+    span = max(horizon_ms - spec.recovery_ms, 0.0)
+    start = float(rng.uniform(0.0, span)) if span > 0 else 0.0
+    return RegionOutage(victim, start, start + float(spec.recovery_ms))
 
 
 @dataclass

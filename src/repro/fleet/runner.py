@@ -1,0 +1,337 @@
+"""Serve one fleet scenario cell: per-region streams, routed, merged.
+
+The evaluation shape mirrors the single-region path
+(:func:`repro.scenarios.runner.run_scenario`) with one extra layer:
+
+1. Every region generates its own request stream. Region 0 draws from
+   the *exact* seed path of the cell's single-region sibling
+   (``child_seed(seed, "tenant", t)`` — common random numbers: adding a
+   fleet axis replays the sibling's workload at home). Regions ``r >= 1``
+   draw fresh streams from ``child_seed(seed, "region", name, "tenant",
+   t)`` with the arrival curve phase-shifted by ``2*pi*r/R`` — each
+   region peaks at its own local busy hour.
+2. The merged arrival-ordered stream is routed **once**, policy-
+   independently, by the fleet's :class:`~repro.fleet.routing
+   .RoutingPolicy` under the deterministic occupancy proxy; a
+   ``region-failover`` fault compiles to a dark window that drains its
+   region's traffic to the survivors.
+3. Each sizing policy serves every region's assigned sub-stream on the
+   cell's executor; remote-served requests pay the topology's RTT as a
+   shift of their stage timeline. The per-region results merge back into
+   one :class:`~repro.runtime.results.RunResult` per policy, so the
+   comparison table and its normalisation are computed exactly as in the
+   single-region path.
+
+Everything here is a pure function of the scenario spec, so fleet cells
+inherit the sweep determinism contract: bit-identical across execution
+backends, byte-identical on a warm cache replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+from ..cluster.faults import compile_region_failover
+from ..errors import ExperimentError
+from ..rng import child_seed
+from ..runtime.driver import compare
+from ..runtime.results import RunResult
+from ..workflow.request import RequestOutcome, WorkflowRequest
+from .routing import RoutingPlan, route_requests
+from .topology import FleetConfig
+
+if _t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.session import Session
+    from ..policies.base import SizingPolicy
+    from ..scenarios.matrix import Scenario
+    from ..scenarios.report import ScenarioResult
+    from ..workflow.catalog import Workflow
+
+__all__ = ["run_fleet_scenario", "fleet_requests", "region_arrival"]
+
+#: Aggregated platform extras that are per-request rates/means — combined
+#: across regions as a served-request-weighted mean. Everything else is a
+#: count and sums. ``hit_rate`` is cumulative on the policy object, so the
+#: last region's reading already covers the whole cell (see below).
+_RATE_PREFIXES = ("mean_",)
+_RATE_KEYS = frozenset({"straggler_exposure"})
+
+
+def _is_rate_like(key: str) -> bool:
+    return (
+        key.endswith("_rate")
+        or key.startswith(_RATE_PREFIXES)
+        or key in _RATE_KEYS
+    )
+
+
+def region_arrival(arrival, region_index: int, n_regions: int):
+    """The arrival spec region ``region_index`` of ``n_regions`` draws from.
+
+    Curves with a phase (diurnal swings and the storms stacked on them)
+    shift by the region's slice of the period — each region peaks at its
+    own local busy hour; phase-free kinds (poisson, constant, burst,
+    azure, replay) differ only through their seeds. Region 0 keeps the
+    spec untouched. Shared by the batch cell evaluator and the serving
+    loop's fleet source.
+    """
+    if region_index == 0 or arrival.kind not in ("diurnal", "storm"):
+        return arrival
+    offset = 2.0 * math.pi * region_index / n_regions
+    return dataclasses.replace(arrival, phase=arrival.phase + offset)
+
+
+def _region_arrival(scenario: "Scenario", region_index: int):
+    return region_arrival(
+        scenario.effective_arrival(),
+        region_index,
+        len(scenario.fleet.regions),
+    )
+
+
+def fleet_requests(
+    workflow: "Workflow", scenario: "Scenario", slo_ms: float
+) -> tuple[list[WorkflowRequest], list[int]]:
+    """The fleet cell's merged stream and each request's home region.
+
+    Returns the globally renumbered arrival-ordered requests plus a
+    parallel list of home-region indices. Region 0's stream is
+    byte-identical to the single-region sibling's
+    (:func:`~repro.scenarios.runner.scenario_requests`).
+    """
+    from ..scenarios.runner import merge_tenant_streams, scenario_requests
+    from ..traces.workload import WorkloadConfig, generate_requests
+
+    fleet = scenario.fleet
+    per_region: list[list[WorkflowRequest]] = []
+    for r, name in enumerate(fleet.regions):
+        if r == 0:
+            per_region.append(scenario_requests(workflow, scenario, slo_ms))
+            continue
+        streams = [
+            generate_requests(
+                workflow,
+                WorkloadConfig(
+                    n_requests=scenario.n_requests,
+                    arrival=_region_arrival(scenario, r),
+                    slo_ms=slo_ms,
+                ),
+                seed=child_seed(
+                    scenario.seed, "region", name, "tenant", str(tenant)
+                ),
+            )
+            for tenant in range(scenario.tenants)
+        ]
+        per_region.append(
+            streams[0] if scenario.tenants == 1
+            else merge_tenant_streams(streams)
+        )
+    # Same total-order merge key shape as merge_tenant_streams, one level
+    # up: deterministic even when regions share timestamps.
+    tagged = [
+        (req.arrival_ms, region, req.request_id, req)
+        for region, stream in enumerate(per_region)
+        for req in stream
+    ]
+    tagged.sort(key=lambda item: item[:3])
+    requests = [
+        dataclasses.replace(req, request_id=i)
+        for i, (_, _, _, req) in enumerate(tagged)
+    ]
+    homes = [region for _, region, _, _ in tagged]
+    return requests, homes
+
+
+def _shift_stages(outcome: RequestOutcome, rtt_ms: float) -> RequestOutcome:
+    """A remote-served outcome pays the cross-region hop: every stage of
+    its timeline shifts by the RTT, so end-to-end latency grows by exactly
+    the link penalty while per-stage durations (and allocations) stay
+    untouched."""
+    if rtt_ms == 0.0:
+        return outcome
+    return dataclasses.replace(
+        outcome,
+        stages=[
+            dataclasses.replace(
+                stage,
+                start_ms=stage.start_ms + rtt_ms,
+                end_ms=stage.end_ms + rtt_ms,
+            )
+            for stage in outcome.stages
+        ],
+    )
+
+
+def _merge_region_extras(
+    per_region: list[tuple[int, dict[str, _t.Any]]],
+) -> dict[str, float]:
+    """Combine per-region platform extras into cell-level values.
+
+    Rates and means weight by the region's served-request count; counters
+    sum. ``hit_rate`` is read off the (shared) policy object after each
+    region run, so the last reading already aggregates the whole cell.
+    """
+    keys: dict[str, None] = {}
+    for _, extras in per_region:
+        for key in extras:
+            keys.setdefault(key)
+    merged: dict[str, float] = {}
+    for key in keys:
+        readings = [
+            (n, float(extras[key]))
+            for n, extras in per_region
+            if key in extras
+        ]
+        if key == "hit_rate":
+            merged[key] = readings[-1][1]
+        elif _is_rate_like(key):
+            total = sum(n for n, _ in readings)
+            merged[key] = (
+                sum(n * v for n, v in readings) / total if total else 0.0
+            )
+        else:
+            merged[key] = sum(v for _, v in readings)
+    return merged
+
+
+def run_fleet_scenario(
+    session: "Session",
+    scenario: "Scenario",
+    slo_ms: float,
+    suite: _t.Mapping[str, "SizingPolicy"],
+) -> "ScenarioResult":
+    """Evaluate one fleet cell end to end (see the module docstring)."""
+    from ..scenarios.report import CARRIED_EXTRAS, ScenarioResult
+
+    fleet: FleetConfig = scenario.fleet
+    n_regions = len(fleet.regions)
+    requests, homes = fleet_requests(session.workflow, scenario, slo_ms)
+    total = len(requests)
+    arrivals = [req.arrival_ms for req in requests]
+
+    outage = None
+    if (
+        scenario.faults is not None
+        and scenario.faults.kind == "region-failover"
+    ):
+        # The outage horizon is the *shortest* region's traffic span, so
+        # the dark window overlaps live traffic no matter which region the
+        # fault seed picks (phase-offset regions finish their fixed-count
+        # streams at very different times). The seed derivation mirrors
+        # the cluster-side fault kinds, so the request streams stay
+        # fault-independent (common random numbers).
+        last_per_region = [0.0] * n_regions
+        for t_ms, home in zip(arrivals, homes):
+            if t_ms > last_per_region[home]:
+                last_per_region[home] = t_ms
+        horizon_ms = max(min(last_per_region), 1.0)
+        outage = compile_region_failover(
+            scenario.faults,
+            child_seed(scenario.seed, "faults", scenario.faults.label),
+            n_regions,
+            horizon_ms,
+        )
+
+    plan: RoutingPlan = route_requests(
+        fleet, homes, arrivals, hold_ms=slo_ms, outage=outage
+    )
+    by_region: list[list[int]] = [[] for _ in range(n_regions)]
+    for i, region in enumerate(plan.assigned):
+        by_region[region].append(i)
+
+    backend = session.executor(scenario.executor)
+    results: dict[str, RunResult] = {}
+    region_violations: dict[str, list[int]] = {}
+    region_extras: dict[str, list[tuple[int, dict[str, _t.Any]]]] = {}
+    for name, policy in suite.items():
+        merged: list[RequestOutcome | None] = [None] * total
+        collected: list[tuple[int, dict[str, _t.Any]]] = []
+        violations = [0] * n_regions
+        for region, indices in enumerate(by_region):
+            if not indices:
+                continue
+            # Each region serves its assigned sub-stream under locally
+            # contiguous ids (executors may index arrays by request id);
+            # outcomes map back to global ids on merge.
+            sub = [
+                dataclasses.replace(requests[i], request_id=j)
+                for j, i in enumerate(indices)
+            ]
+            result = backend.run(policy, sub)
+            collected.append((len(indices), dict(result.extras)))
+            for j, i in enumerate(indices):
+                outcome = _shift_stages(
+                    result.outcomes[j], plan.rtt_ms[i]
+                )
+                outcome = dataclasses.replace(outcome, request_id=i)
+                merged[i] = outcome
+                if not outcome.slo_met:
+                    violations[region] += 1
+        if any(o is None for o in merged):  # pragma: no cover - invariant
+            raise ExperimentError(
+                f"fleet cell {scenario.scenario_id}: routing lost requests"
+            )
+        results[name] = RunResult(policy_name=name, outcomes=merged)
+        region_violations[name] = violations
+        region_extras[name] = collected
+
+    baseline = scenario.baseline
+    if baseline is None:
+        baseline = "Optimal" if "Optimal" in results else next(iter(results))
+    table = compare(results, baseline=baseline)
+
+    extras: dict[str, dict[str, float]] = {}
+    for name in results:
+        merged_extras = _merge_region_extras(region_extras[name])
+        vals = {
+            key: float(merged_extras[key])
+            for key in CARRIED_EXTRAS
+            if key in merged_extras
+        }
+        vals["fleet_spillovers"] = float(plan.spillovers)
+        vals["fleet_failovers"] = float(plan.failovers)
+        vals["fleet_remote_fraction"] = (
+            sum(1 for i, h in enumerate(homes) if plan.assigned[i] != h)
+            / total
+        )
+        vals["fleet_rtt_penalty_ms"] = sum(plan.rtt_ms) / total
+        # Per-region accounting keys carry the region name; they live in
+        # the JSON extras only (the CSV promotes the fixed fleet columns
+        # above, like every other extra).
+        for region, region_name in enumerate(fleet.regions):
+            served = plan.region_counts[region]
+            vals[f"fleet_share_{region_name}"] = served / total
+            vals[f"fleet_slo_{region_name}"] = (
+                1.0 - region_violations[name][region] / served
+                if served
+                else 1.0
+            )
+        # Per-region cold starts where the platform reports them: the
+        # collected list is ordered by region index over served regions.
+        served_regions = [
+            r for r in range(n_regions) if by_region[r]
+        ]
+        for (served, raw), region in zip(
+            region_extras[name], served_regions
+        ):
+            if "cold_start_rate" in raw:
+                vals[
+                    f"fleet_cold_start_rate_{fleet.regions[region]}"
+                ] = float(raw["cold_start_rate"])
+        extras[name] = vals
+
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        workflow=scenario.workflow,
+        arrival=scenario.arrival.label,
+        slo_scale=scenario.slo_scale,
+        tenants=scenario.tenants,
+        slo_ms=slo_ms,
+        seed=scenario.seed,
+        baseline=baseline,
+        executor=f"Fleet[{n_regions}x{type(backend).__name__}]",
+        table=table,
+        extras=extras,
+    )

@@ -52,6 +52,7 @@ from .matrix import (
     parse_arrival,
     parse_cluster_config,
     parse_fault,
+    parse_fleet,
     storm_arrival,
 )
 from .registry import SCENARIO_WORKFLOWS, register_workflow, scenario_workflow
@@ -81,6 +82,7 @@ __all__ = [
     "parse_arrival",
     "parse_cluster_config",
     "parse_fault",
+    "parse_fleet",
     "storm_arrival",
     "evaluate_cell",
     "run_scenario",

@@ -84,12 +84,18 @@ def scenario_digest(scenario: Scenario) -> str:
         memo = scenario.__dict__.get("_digest_memo")
         if memo is not None and memo[0] == epoch and memo[1] == version:
             return memo[2]
+    arrival = dataclasses.asdict(scenario.arrival)
+    if not arrival.get("phase"):
+        # Same conditional-fold pattern as the blocks below: the phase
+        # field arrived with the fleet subsystem, and popping the default
+        # keeps every pre-existing cell's digest byte-identical.
+        arrival.pop("phase", None)
     spec = {
         "schema": 1,
         "repro_version": version,
         "workflow": scenario.workflow,
         "workflow_epoch": epoch,
-        "arrival": dataclasses.asdict(scenario.arrival),
+        "arrival": arrival,
         "slo_scale": scenario.slo_scale,
         "tenants": scenario.tenants,
         "policies": list(scenario.policies),
@@ -117,6 +123,11 @@ def scenario_digest(scenario: Scenario) -> str:
         # keys when a faults axis is added to a matrix, while any change
         # to a fault spec cold-starts exactly the faulted cells.
         spec["faults"] = dataclasses.asdict(scenario.faults)
+    if scenario.fleet is not None:
+        # Same conditional fold again: fleet-free cells keep their cache
+        # keys when a fleets axis is added, while any change to a fleet
+        # spec cold-starts exactly the fleet cells.
+        spec["fleet"] = dataclasses.asdict(scenario.fleet)
     if scenario.arrival.kind == "replay" and scenario.arrival.trace:
         # Replay cells depend on the trace file's *content*, not its
         # path: editing the trace cold-starts exactly the cells that

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+import hmac
 import os
 import queue as _queue
 import socket
@@ -52,7 +53,7 @@ import typing as _t
 
 from ..errors import ExperimentError
 from .backends import CompletionCallback, Initializer, register_backend
-from .wire import WIRE_VERSION, recv_msg, send_msg
+from .wire import AUTH_ENV, WIRE_VERSION, auth_digest, recv_msg, send_msg
 
 if _t.TYPE_CHECKING:  # pragma: no cover - typing only
     from .matrix import Scenario
@@ -209,6 +210,7 @@ class DistributedBackend:
         max_redispatch: int = 2,
         launch: bool = True,
         on_listen: _t.Callable[[str, int], None] | None = None,
+        auth_token: str | None = None,
     ) -> None:
         self.specs = parse_hosts(hosts)
         if cache_mode not in (None, "shared", "protocol"):
@@ -228,6 +230,13 @@ class DistributedBackend:
         self.max_redispatch = int(max_redispatch)
         self.launch = launch
         self.on_listen = on_listen
+        # A set token turns the hello handshake into an HMAC challenge:
+        # every connecting worker must prove it holds the same secret
+        # before the pickled setup payload is sent (pickles execute code
+        # on load — never deserialise for an unauthenticated peer).
+        if auth_token is None:
+            auth_token = os.environ.get(AUTH_ENV) or None
+        self.auth_token = auth_token
         self._stats: dict[str, _t.Any] = {}
 
     # -- registry surface ----------------------------------------------------
@@ -337,6 +346,32 @@ class DistributedBackend:
                     ),
                 )
                 return
+            if self.auth_token is not None:
+                # Fresh nonce per connection; the worker must answer with
+                # the HMAC of it under the shared secret before anything
+                # else (registration, setup pickle) happens.
+                nonce = os.urandom(16).hex()
+                send_msg(conn, ("challenge", nonce))
+                answer = recv_msg(conn)
+                if not (
+                    isinstance(answer, tuple)
+                    and len(answer) == 2
+                    and answer[0] == "auth"
+                    and isinstance(answer[1], str)
+                    and hmac.compare_digest(
+                        answer[1], auth_digest(self.auth_token, nonce)
+                    )
+                ):
+                    send_msg(
+                        conn,
+                        (
+                            "reject",
+                            "authentication failed: token does not match "
+                            "the coordinator's (check --auth-token / "
+                            f"${AUTH_ENV})",
+                        ),
+                    )
+                    return
             with st.lock:
                 host = st.hosts.get(label)
                 if host is None:
@@ -453,6 +488,8 @@ class DistributedBackend:
             "--nproc", str(spec.nproc),
             "--timeout", f"{self.connect_timeout:g}",
         ]
+        if self.auth_token is not None:
+            worker += ["--auth-token", self.auth_token]
         if spec.is_local:
             return worker
         return [*self.ssh_command, spec.host, *worker]

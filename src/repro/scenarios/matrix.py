@@ -10,6 +10,7 @@ from dataclasses import dataclass, field, replace
 from ..cluster.faults import CLUSTER_FAULT_KINDS, FaultSpec, parse_fault
 from ..cluster.platform import ClusterConfig
 from ..errors import ClusterError, ExperimentError, TraceError
+from ..fleet.topology import FleetConfig, parse_fleet
 from ..rng import child_seed
 from ..traces.workload import ArrivalSpec
 from .registry import SCENARIO_WORKFLOWS
@@ -20,6 +21,7 @@ __all__ = [
     "parse_arrival",
     "parse_cluster_config",
     "parse_fault",
+    "parse_fleet",
     "storm_arrival",
 ]
 
@@ -99,6 +101,7 @@ def storm_arrival(base: ArrivalSpec, spec: FaultSpec) -> ArrivalSpec:
             rate_per_s=base.rate_per_s,
             amplitude=0.0,
             period_s=base.period_s,
+            phase=base.phase,
             storm_multiplier=spec.multiplier,
             storm_fraction=spec.window_fraction,
         )
@@ -108,6 +111,7 @@ def storm_arrival(base: ArrivalSpec, spec: FaultSpec) -> ArrivalSpec:
             rate_per_s=base.rate_per_s,
             amplitude=base.amplitude,
             period_s=base.period_s,
+            phase=base.phase,
             storm_multiplier=spec.multiplier,
             storm_fraction=spec.window_fraction,
         )
@@ -185,6 +189,13 @@ class Scenario:
     #: faults axis is excluded from seed derivation, so a faulted cell
     #: serves the *same* request stream as its fault-free sibling.
     faults: FaultSpec | None = None
+    #: Multi-region fleet for this cell (``None`` = single-region). The
+    #: fleet axis is excluded from seed derivation like the executor and
+    #: faults axes: the home region replays the single-region sibling's
+    #: exact request stream, and the extra regions derive their streams
+    #: off dedicated ``"region"`` seed labels — common random numbers
+    #: across the fleet axis.
+    fleet: FleetConfig | None = None
 
     def __post_init__(self) -> None:
         if self.slo_scale <= 0:
@@ -216,6 +227,13 @@ class Scenario:
                 f"streaming cells require the analytic chain backend "
                 f"(executor None or 'analytic'), got {self.executor!r}"
             )
+        if self.streaming and self.fleet is not None:
+            # The fleet runner merges materialised per-region outcome
+            # lists; bounded-memory aggregation has no multi-region path.
+            raise ExperimentError(
+                "streaming cells cannot carry a fleet "
+                "(per-region outcomes must be retained for the merge)"
+            )
         if self.faults is not None:
             if self.faults.kind in CLUSTER_FAULT_KINDS:
                 if not _takes_faults(self.executor):
@@ -233,6 +251,15 @@ class Scenario:
                     raise ExperimentError(
                         f"crash fault needs n_vms >= 2, got "
                         f"n_vms={self.cluster.n_vms}"
+                    )
+            elif self.faults.kind == "region-failover":
+                # A region outage needs a fleet with survivors to drain
+                # traffic to — fail at construction, not in a worker.
+                if self.fleet is None or len(self.fleet.regions) < 2:
+                    raise ExperimentError(
+                        f"fault {self.faults.label!r} takes a whole region "
+                        f"down and requires a fleet with >= 2 regions, got "
+                        f"fleet={self.fleet.label if self.fleet else None!r}"
                     )
             else:
                 # Storm: validate the arrival transform at construction so
@@ -279,12 +306,15 @@ class Scenario:
             if self.cluster is not None or _takes_cluster_config(self.executor)
             else 1.0
         )
+        # Every fleet region generates and serves its own stream.
+        regions = len(self.fleet.regions) if self.fleet is not None else 1
         return (
             float(self.n_requests)
             * self.tenants
             * nodes
             * len(self.policies)
             * factor
+            * regions
         )
 
     @property
@@ -308,6 +338,8 @@ class Scenario:
             base += "/streaming"
         if self.faults is not None:
             base += f"/faults {self.faults.label}"
+        if self.fleet is not None:
+            base += f"/fleet {self.fleet.label}"
         return base
 
 
@@ -362,6 +394,12 @@ class ScenarioMatrix:
     #: the axis; every :class:`~repro.cluster.faults.FaultSpec` entry adds
     #: a faulted sibling of every cell serving the *same* request stream.
     faults: tuple[FaultSpec | None, ...] = (None,)
+    #: Multi-region fleet axis (``(None,)`` = single-region only). Like
+    #: the faults axis, ``None`` entries keep their cells' cache keys and
+    #: seeds identical to a matrix without the axis, and every
+    #: :class:`~repro.fleet.topology.FleetConfig` entry adds a fleet
+    #: sibling whose home region replays the same request stream.
+    fleets: tuple[FleetConfig | None, ...] = (None,)
 
     def __post_init__(self) -> None:
         for axis, values in (
@@ -372,6 +410,7 @@ class ScenarioMatrix:
             ("policies", self.policies),
             ("executors", self.executors),
             ("faults", self.faults),
+            ("fleets", self.fleets),
         ):
             if not values:
                 raise ExperimentError(f"matrix axis {axis!r} may not be empty")
@@ -401,6 +440,13 @@ class ScenarioMatrix:
                 raise ExperimentError(
                     f"streaming matrices require the analytic chain "
                     f"backend on every executor axis entry, got {bad}"
+                )
+            fleeted = [f.label for f in self.fleets if f is not None]
+            if fleeted:
+                raise ExperimentError(
+                    f"streaming matrices cannot carry a fleets axis "
+                    f"(got {fleeted}) — fleet cells retain per-region "
+                    f"outcomes for the merge"
                 )
         if self.budgets is not None:
             for wf, pair in self.budgets.items():
@@ -435,6 +481,19 @@ class ScenarioMatrix:
                     raise ExperimentError(
                         f"crash fault needs n_vms >= 2, got "
                         f"n_vms={self.cluster.n_vms}"
+                    )
+            elif spec.kind == "region-failover":
+                lacking = [
+                    f.label if f is not None else None
+                    for f in self.fleets
+                    if f is None or len(f.regions) < 2
+                ]
+                if lacking:
+                    raise ExperimentError(
+                        f"fault {spec.label!r} needs a fleet with >= 2 "
+                        f"regions on every fleets-axis entry, got {lacking} "
+                        f"— add fleets=(FleetConfig(...),) or split the "
+                        f"matrix"
                     )
             else:
                 for arrival in self.effective_arrivals():
@@ -501,6 +560,7 @@ class ScenarioMatrix:
             * len(self.tenant_counts)
             * len(self.executors)
             * len(self.faults)
+            * len(self.fleets)
         )
 
     def expand(self) -> list[Scenario]:
@@ -515,9 +575,11 @@ class ScenarioMatrix:
             name for name in self.executors if _takes_cluster_config(name)
         }
         cells = []
-        for wf, arrival, scale, tenants, executor, faults in itertools.product(
+        for (
+            wf, arrival, scale, tenants, executor, faults, fleet,
+        ) in itertools.product(
             self.workflows, self.effective_arrivals(), self.slo_scales,
-            self.tenant_counts, self.executors, self.faults,
+            self.tenant_counts, self.executors, self.faults, self.fleets,
         ):
             cells.append(
                 Scenario(
@@ -547,6 +609,10 @@ class ScenarioMatrix:
                     cluster=self.cluster if executor in config_takers else None,
                     streaming=self.streaming,
                     faults=faults,
+                    # Like the faults axis, fleets stay out of the seed
+                    # labels: the home region of a fleet cell replays its
+                    # single-region sibling's stream.
+                    fleet=fleet,
                 )
             )
         return cells

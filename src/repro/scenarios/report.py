@@ -45,6 +45,14 @@ EXTRA_METRICS = (
     "evictions",
     "retries",
     "straggler_exposure",
+    # Fleet accounting (blank on single-region cells). Per-region keys
+    # (request share, SLO attainment, cold starts by region name) live in
+    # the JSON extras only — region names are config-dependent, so they
+    # cannot be fixed CSV columns.
+    "fleet_spillovers",
+    "fleet_failovers",
+    "fleet_remote_fraction",
+    "fleet_rtt_penalty_ms",
 )
 
 #: Deterministic per-policy extras the runner carries from

@@ -268,6 +268,13 @@ def run_scenario(scenario: Scenario) -> ScenarioResult | None:
         return None
     if scenario.streaming:
         return _run_streaming_cell(session, scenario, slo_ms, suite)
+    if scenario.fleet is not None:
+        # Fleet cells route per-region streams through the fleet runner
+        # (lazy import: repro.fleet is imported by matrix construction,
+        # but the runner half pulls scenario modules back in).
+        from ..fleet.runner import run_fleet_scenario
+
+        return run_fleet_scenario(session, scenario, slo_ms, suite)
     requests = scenario_requests(session.workflow, scenario, slo_ms)
     report = session.compare(
         requests=requests,

@@ -15,6 +15,8 @@ launchers use while the coordinator's listener comes up.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import pickle
 import socket
 import struct
@@ -25,6 +27,8 @@ from ..errors import ExperimentError
 
 __all__ = [
     "WIRE_VERSION",
+    "AUTH_ENV",
+    "auth_digest",
     "send_msg",
     "recv_msg",
     "connect_with_retry",
@@ -34,6 +38,23 @@ __all__ = [
 #: the message vocabulary changes shape, so a stale worker binary talking
 #: to a newer coordinator fails loudly instead of mis-pickling.
 WIRE_VERSION = 1
+
+#: Environment variable both sides fall back to for the shared fabric
+#: secret when no explicit ``--auth-token`` is given.
+AUTH_ENV = "JANUS_FABRIC_TOKEN"
+
+
+def auth_digest(token: str, nonce: str) -> str:
+    """HMAC-SHA256 response to a coordinator's auth challenge.
+
+    The coordinator sends a fresh random ``nonce`` after a
+    version-matching ``hello``; the worker proves it holds the shared
+    ``token`` by returning this digest. The token itself never crosses
+    the wire, and a replayed response is useless against a new nonce.
+    """
+    return hmac.new(
+        token.encode("utf-8"), nonce.encode("utf-8"), hashlib.sha256
+    ).hexdigest()
 
 _HEADER = struct.Struct(">I")
 

@@ -1,9 +1,11 @@
 """Worker agent for the distributed sweep fabric.
 
 One agent serves one coordinator connection: it introduces itself with a
-``hello`` frame, receives the pickled per-cell function (plus optional
-worker initializer and cache configuration) in the ``setup`` reply, then
-pulls work in a strict request/response loop::
+``hello`` frame, answers the coordinator's HMAC ``challenge`` when the
+fabric is token-protected (``--auth-token`` / ``$JANUS_FABRIC_TOKEN``),
+receives the pickled per-cell function (plus optional worker initializer
+and cache configuration) in the ``setup`` reply, then pulls work in a
+strict request/response loop::
 
     -> ("next",)
     <- ("task", pos, item) | ("idle", delay_s) | ("done",)
@@ -40,7 +42,14 @@ import time
 import typing as _t
 
 from ..errors import ExperimentError
-from .wire import WIRE_VERSION, connect_with_retry, recv_msg, send_msg
+from .wire import (
+    AUTH_ENV,
+    WIRE_VERSION,
+    auth_digest,
+    connect_with_retry,
+    recv_msg,
+    send_msg,
+)
 
 __all__ = ["serve", "main"]
 
@@ -111,11 +120,25 @@ def _run_task(
     send_msg(sock, ("result", pos, outcome, False))
 
 
-def _serve_socket(sock: _t.Any, label: str) -> None:
+def _serve_socket(
+    sock: _t.Any, label: str, auth_token: str | None = None
+) -> None:
     send_msg(sock, ("hello", WIRE_VERSION, label, os.getpid()))
     reply = recv_msg(sock)
     if reply is None:
         return
+    if reply is not None and reply[0] == "challenge":
+        # Authenticated fabric: prove we hold the shared secret before
+        # any work (or the pickled setup payload) crosses the wire.
+        if auth_token is None:
+            raise ExperimentError(
+                f"worker {label!r}: coordinator requires authentication — "
+                f"pass --auth-token or set ${AUTH_ENV}"
+            )
+        send_msg(sock, ("auth", auth_digest(auth_token, reply[1])))
+        reply = recv_msg(sock)
+        if reply is None:
+            return
     if reply[0] == "reject":
         raise ExperimentError(
             f"coordinator rejected worker {label!r}: {reply[1]}"
@@ -155,6 +178,7 @@ def serve(
     address: tuple[str, int],
     label: str = "local",
     connect_timeout: float = 20.0,
+    auth_token: str | None = None,
 ) -> None:
     """Connect to the coordinator at ``address`` and serve until done.
 
@@ -162,11 +186,15 @@ def serve(
     away (finished, failed fast, or was killed) — that is an orderly stop
     for the agent, not an error, so it returns instead of raising; the
     coordinator's own loss accounting re-dispatches anything in flight.
+    ``auth_token`` (default: ``$JANUS_FABRIC_TOKEN``) answers the
+    coordinator's HMAC challenge on authenticated fabrics.
     """
+    if auth_token is None:
+        auth_token = os.environ.get(AUTH_ENV) or None
     host, port = address
     sock = connect_with_retry(host, int(port), timeout=connect_timeout)
     try:
-        _serve_socket(sock, label)
+        _serve_socket(sock, label, auth_token)
     except (ConnectionError, OSError):
         return
     finally:
@@ -196,13 +224,23 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "--timeout", type=float, default=20.0,
         help="seconds to retry the initial connect",
     )
+    parser.add_argument(
+        "--auth-token", default=None,
+        help=f"shared fabric secret for the coordinator's HMAC challenge "
+        f"(default: ${AUTH_ENV})",
+    )
     args = parser.parse_args(argv)
     host, _, port_s = args.connect.rpartition(":")
     if not host or not port_s.isdigit():
         parser.error(f"--connect wants HOST:PORT, got {args.connect!r}")
     address = (host, int(port_s))
     if args.nproc <= 1:
-        serve(address, args.label, connect_timeout=args.timeout)
+        serve(
+            address,
+            args.label,
+            connect_timeout=args.timeout,
+            auth_token=args.auth_token,
+        )
         return 0
     # One process per slot, each with its own coordinator connection —
     # the single code path above, multiplied. Import by package name so
@@ -215,7 +253,10 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         multiprocessing.Process(
             target=_serve,
             args=(address, args.label),
-            kwargs={"connect_timeout": args.timeout},
+            kwargs={
+                "connect_timeout": args.timeout,
+                "auth_token": args.auth_token,
+            },
         )
         for _ in range(args.nproc)
     ]

@@ -17,7 +17,7 @@ package closes the loop into a long-running process:
 
 from .events import EventLog, read_events
 from .loop import ServingConfig, ServingLoop, ServingReport, run_service
-from .sources import arrival_source
+from .sources import arrival_source, fleet_arrival_source
 
 __all__ = [
     "EventLog",
@@ -27,4 +27,5 @@ __all__ = [
     "ServingReport",
     "run_service",
     "arrival_source",
+    "fleet_arrival_source",
 ]

@@ -28,21 +28,24 @@ import typing as _t
 from collections import deque
 from dataclasses import dataclass, field
 
-from ..cluster.faults import FaultSpec
+from ..cluster.faults import FaultSpec, compile_region_failover
 from ..errors import ExperimentError
+from ..fleet.routing import StreamRouter
+from ..fleet.runner import region_arrival
+from ..fleet.topology import FleetConfig
 from ..metrics.streaming import StreamingMoments, StreamingSummary, WindowedRate
 from ..adapter.supervisor import HitMissSupervisor
 from ..policies.registry import JANUS_EXPLORATIONS, POLICIES
 from ..profiling.profiles import LatencyProfile, ProfileSet
 from ..profiling.profiler import profile_workflow
-from ..rng import RngFactory
+from ..rng import RngFactory, child_seed
 from ..scenarios.registry import scenario_workflow
 from ..synthesis.generator import HeadExploration, synthesize_hints
 from ..traces.workload import ArrivalSpec
 from ..workflow.catalog import Workflow
 from ..workflow.request import RequestOutcome, StageRecord, WorkflowRequest
 from .events import EventLog
-from .sources import arrival_source
+from .sources import arrival_source, fleet_arrival_source
 
 __all__ = ["ServingConfig", "ServingLoop", "ServingReport", "run_service"]
 
@@ -84,10 +87,19 @@ class ServingConfig:
     event_log: str | None = None
     #: Arrival-side fault injection: a ``storm`` :class:`FaultSpec`
     #: superimposes a flash crowd on the declared ``source`` (multiplied
-    #: rate inside a window around the diurnal peak). Cluster-side kinds
+    #: rate inside a window around the diurnal peak), and a
+    #: ``region-failover`` spec darkens one fleet region for a window of
+    #: the first source period (fleet runs only). Cluster-side kinds
     #: (preempt/crash/straggler/contention) need the DES platform — run
     #: them through a sweep with ``--executor cluster`` instead.
     faults: FaultSpec | None = None
+    #: Serve a multi-region fleet instead of one stream: per-region
+    #: phase-offset sources heap-merge into one arrival stream, each
+    #: arrival is routed by the fleet's :class:`~repro.fleet.routing
+    #: .RoutingPolicy` under the live occupancy proxy, and remote-served
+    #: requests pay the topology RTT on their latency. Fleet counters
+    #: (spillovers/failovers/shares) join every metrics snapshot.
+    fleet: FleetConfig | None = None
 
     def __post_init__(self) -> None:
         if self.max_requests is not None and self.max_requests < 1:
@@ -132,12 +144,19 @@ class ServingConfig:
                     f"workset scale must be > 0, got {scale}"
                 )
             last = after_n
-        if self.faults is not None and self.faults.kind != "storm":
+        if self.faults is not None and self.faults.kind == "region-failover":
+            if self.fleet is None or len(self.fleet.regions) < 2:
+                raise ExperimentError(
+                    f"fault {self.faults.label!r} needs a fleet with >= 2 "
+                    f"regions to drain to — pass fleet=FleetConfig(...) "
+                    f"(CLI: --fleet regions=3,...)"
+                )
+        elif self.faults is not None and self.faults.kind != "storm":
             raise ExperimentError(
-                f"serving injects arrival-side faults only (storm); "
-                f"fault kind {self.faults.kind!r} needs the DES cluster "
-                f"platform — run it through a sweep with "
-                f"--executor cluster"
+                f"serving injects arrival-side faults only (storm, plus "
+                f"region-failover on a fleet); fault kind "
+                f"{self.faults.kind!r} needs the DES cluster platform — "
+                f"run it through a sweep with --executor cluster"
             )
 
 
@@ -201,18 +220,65 @@ class ServingLoop:
         # counterpart; everything downstream (labels in the start event,
         # the report) keeps the declared source so runs stay comparable.
         self.effective_source = config.source
-        if config.faults is not None:
+        if config.faults is not None and config.faults.kind == "storm":
             from ..scenarios.matrix import storm_arrival
 
             self.effective_source = storm_arrival(
                 config.source, config.faults
             )
         factory = RngFactory(config.seed).fork("serving", self.workflow.name)
-        self._arrivals = arrival_source(
-            self.effective_source,
-            factory.stream("arrivals"),
-            workflow=self.workflow.name,
-        )
+        self.fleet = config.fleet
+        self.router: StreamRouter | None = None
+        # ``self._arrivals`` is always an iterator of ``(arrival_ms,
+        # home_region)`` — home is region 0 for a fleet-free run, drawn
+        # from the exact pre-fleet stream path.
+        if self.fleet is None:
+            self._arrivals = (
+                (t, 0)
+                for t in arrival_source(
+                    self.effective_source,
+                    factory.stream("arrivals"),
+                    workflow=self.workflow.name,
+                )
+            )
+        else:
+            # One phase-offset source per region. Region 0 keeps the
+            # fleet-free stream path byte for byte (common random
+            # numbers: turning on a fleet replays the single-region run's
+            # arrivals at home); the rest fork fresh per-region streams.
+            n_regions = len(self.fleet.regions)
+            specs = [
+                region_arrival(self.effective_source, r, n_regions)
+                for r in range(n_regions)
+            ]
+            rngs = [
+                factory.stream("arrivals")
+                if r == 0
+                else factory.stream("region", name, "arrivals")
+                for r, name in enumerate(self.fleet.regions)
+            ]
+            self._arrivals = fleet_arrival_source(
+                specs, rngs, workflow=self.workflow.name
+            )
+            outage = None
+            if (
+                config.faults is not None
+                and config.faults.kind == "region-failover"
+            ):
+                # The dark window lands inside the first source period —
+                # the serving analogue of the sweep's traffic-span
+                # horizon, well-defined even for an unbounded run.
+                outage = compile_region_failover(
+                    config.faults,
+                    child_seed(
+                        config.seed, "faults", config.faults.label
+                    ),
+                    n_regions,
+                    self.effective_source.period_s * 1000.0,
+                )
+            self.router = StreamRouter(
+                self.fleet, hold_ms=self.slo_ms, outage=outage
+            )
         self._stage_rngs = {
             name: factory.stream("dynamics", name)
             for name in self.workflow.dag.nodes
@@ -271,7 +337,9 @@ class ServingLoop:
         )
 
     # -- serving ------------------------------------------------------------
-    async def _serve(self, request: WorkflowRequest) -> None:
+    async def _serve(
+        self, request: WorkflowRequest, rtt_ms: float = 0.0
+    ) -> None:
         chain = self.workflow.chain
         limits = self.workflow.limits
         self.policy.begin_request(request)
@@ -284,7 +352,11 @@ class ServingLoop:
             exec_ms = model.execution_time(
                 size, request.dynamics_for(fname), request.concurrency
             )
-            start = request.arrival_ms + elapsed
+            # A remote-routed request pays the cross-region hop as a
+            # timeline shift (same law as the batch fleet evaluator):
+            # e2e latency grows by exactly the RTT while the sizing walk
+            # — like the executors in a sweep cell — never sees it.
+            start = request.arrival_ms + rtt_ms + elapsed
             stages.append(
                 StageRecord(
                     function=fname, size=size, start_ms=start,
@@ -423,6 +495,21 @@ class ServingLoop:
             out["cumulative_miss_rate"] = sup.cumulative_miss_rate
         else:
             out["miss_rate"] = 0.0
+        if self.router is not None and self.router.routed:
+            # Fleet accounting, mirroring the sweep extras' fixed keys.
+            router = self.router
+            out["fleet_spillovers"] = float(router.spillovers)
+            out["fleet_failovers"] = float(router.failovers)
+            out["fleet_remote_fraction"] = (
+                (router.spillovers + router.failovers) / router.routed
+            )
+            out["fleet_rtt_penalty_ms"] = (
+                router.rtt_total_ms / router.routed
+            )
+            for region, name in enumerate(self.fleet.regions):
+                out[f"fleet_share_{name}"] = (
+                    router.region_counts[region] / router.routed
+                )
         return out
 
     # -- main loop -----------------------------------------------------------
@@ -430,8 +517,7 @@ class ServingLoop:
         """Serve until a bound trips; returns the final report."""
         cfg = self.config
         t0 = time.perf_counter()
-        self.events.emit(
-            "start",
+        start_fields: dict[str, _t.Any] = dict(
             workflow=self.workflow.name,
             policy=self.policy.name,
             source=cfg.source.label,
@@ -439,6 +525,10 @@ class ServingLoop:
             seed=cfg.seed,
             time_scale=cfg.time_scale,
         )
+        if self.fleet is not None:
+            start_fields["fleet"] = self.fleet.label
+            start_fields["routing"] = self.fleet.routing
+        self.events.emit("start", **start_fields)
         if cfg.faults is not None:
             self.events.emit(
                 "fault",
@@ -447,7 +537,7 @@ class ServingLoop:
                 effective_source=self.effective_source.label,
             )
         try:
-            for arrival_ms in self._arrivals:
+            for arrival_ms, home in self._arrivals:
                 if (
                     cfg.max_requests is not None
                     and self.arrivals >= cfg.max_requests
@@ -463,15 +553,30 @@ class ServingLoop:
                     delay = target - time.perf_counter()
                     if delay > 0:
                         await asyncio.sleep(delay)
+                rtt_ms = 0.0
+                served = home
+                if self.router is not None:
+                    served, rtt_ms = self.router.route(home, arrival_ms)
                 request = self._make_request(self.arrivals, arrival_ms)
                 self.arrivals += 1
-                self.events.emit(
-                    "arrival",
-                    request_id=request.request_id,
-                    arrival_ms=round(arrival_ms, 3),
-                    workset_scale=self._workset_scale,
-                )
-                task = asyncio.ensure_future(self._serve(request))
+                if self.fleet is not None:
+                    self.events.emit(
+                        "arrival",
+                        request_id=request.request_id,
+                        arrival_ms=round(arrival_ms, 3),
+                        workset_scale=self._workset_scale,
+                        home=self.fleet.regions[home],
+                        served=self.fleet.regions[served],
+                        rtt_ms=rtt_ms,
+                    )
+                else:
+                    self.events.emit(
+                        "arrival",
+                        request_id=request.request_id,
+                        arrival_ms=round(arrival_ms, 3),
+                        workset_scale=self._workset_scale,
+                    )
+                task = asyncio.ensure_future(self._serve(request, rtt_ms))
                 self._in_flight.add(task)
                 task.add_done_callback(self._in_flight.discard)
                 await asyncio.sleep(0)

@@ -14,6 +14,7 @@ replays the identical timestamp stream however far it is consumed.
 
 from __future__ import annotations
 
+import heapq
 import typing as _t
 
 import numpy as np
@@ -23,7 +24,7 @@ from ..traces.diurnal import DiurnalRate, FlashCrowdRate
 from ..traces.trace_file import cached_trace
 from ..traces.workload import ArrivalSpec
 
-__all__ = ["arrival_source", "CHUNK"]
+__all__ = ["arrival_source", "fleet_arrival_source", "CHUNK"]
 
 #: Candidates drawn per RNG round. A fixed constant — part of the
 #: determinism contract above.
@@ -142,7 +143,7 @@ def arrival_source(
         return _azure(spec.rate_per_s, spec.sigma, rng)
     if spec.kind == "diurnal":
         curve = DiurnalRate.sinusoid(
-            spec.rate_per_s, spec.amplitude, spec.period_s
+            spec.rate_per_s, spec.amplitude, spec.period_s, spec.phase
         )
         return _nhpp(curve, rng)
     if spec.kind == "replay":
@@ -151,10 +152,44 @@ def arrival_source(
     if spec.kind == "storm":
         crowd = FlashCrowdRate(
             DiurnalRate.sinusoid(
-                spec.rate_per_s, spec.amplitude, spec.period_s
+                spec.rate_per_s, spec.amplitude, spec.period_s, spec.phase
             ),
             spec.storm_multiplier,
             spec.storm_fraction,
         )
         return _nhpp(crowd, rng)
     raise TraceError(f"unknown arrival kind {spec.kind!r}")
+
+
+def fleet_arrival_source(
+    specs: _t.Sequence[ArrivalSpec],
+    rngs: "_t.Sequence[np.random.Generator]",
+    workflow: str | None = None,
+) -> _t.Iterator[tuple[float, int]]:
+    """Merged ``(arrival_ms, home_region)`` stream over per-region sources.
+
+    One infinite :func:`arrival_source` per region (``specs[r]`` drawn
+    with ``rngs[r]``), lazily heap-merged in timestamp order with the
+    region index as the deterministic tie-break — the streaming
+    counterpart of the sweep's merged fleet stream. Each region's own
+    stream is untouched by how far the merge is drained, so the
+    determinism contract above carries over region by region.
+    """
+    if len(specs) != len(rngs):
+        raise TraceError(
+            f"fleet source wants one rng per region, got {len(specs)} "
+            f"spec(s) and {len(rngs)} rng(s)"
+        )
+
+    def _tag(
+        stream: _t.Iterator[float], region: int
+    ) -> _t.Iterator[tuple[float, int]]:
+        for t in stream:
+            yield t, region
+
+    return heapq.merge(
+        *(
+            _tag(arrival_source(spec, rng, workflow), region)
+            for region, (spec, rng) in enumerate(zip(specs, rngs))
+        )
+    )

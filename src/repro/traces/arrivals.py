@@ -70,16 +70,18 @@ def storm_arrivals(
     rng: np.random.Generator,
     amplitude: float = 0.0,
     period_s: float = 60.0,
+    phase: float = 0.0,
 ) -> np.ndarray:
     """Flash-crowd arrivals: a diurnal base with a storm window at the peak.
 
     The cold-start-storm scenario — ``multiplier`` x traffic during
     ``window_fraction`` of every period, landing on the busy hour of a
-    sinusoidal base curve (``amplitude = 0`` storms a flat Poisson base).
-    Sampled by the same deterministic thinning loop as plain diurnal
-    arrivals, so a fixed seed replays bit-identically.
+    sinusoidal base curve (``amplitude = 0`` storms a flat Poisson base;
+    ``phase`` shifts the base so fleet regions storm at their own local
+    busy hours). Sampled by the same deterministic thinning loop as plain
+    diurnal arrivals, so a fixed seed replays bit-identically.
     """
-    base = DiurnalRate.sinusoid(rate_per_s, amplitude, period_s)
+    base = DiurnalRate.sinusoid(rate_per_s, amplitude, period_s, phase)
     crowd = FlashCrowdRate(base, multiplier, window_fraction)
     return nhpp_arrivals(crowd, n, rng)
 

@@ -24,7 +24,26 @@ import numpy as np
 
 from ..errors import TraceError
 
-__all__ = ["DiurnalRate", "FlashCrowdRate", "nhpp_arrivals"]
+__all__ = ["RateCurve", "DiurnalRate", "FlashCrowdRate", "nhpp_arrivals"]
+
+
+@_t.runtime_checkable
+class RateCurve(_t.Protocol):
+    """The shared surface of every periodic arrival-rate curve.
+
+    :class:`DiurnalRate` and :class:`FlashCrowdRate` both satisfy it, so
+    anything sampling arrivals (:func:`nhpp_arrivals`, fleet region
+    sources) can accept either — or any future curve — without caring
+    which. ``period_s`` may be a plain attribute or a property.
+    """
+
+    @property
+    def period_s(self) -> float: ...
+
+    def rate_at(self, t_s: "np.ndarray | float") -> np.ndarray: ...
+
+    @property
+    def peak_rate(self) -> float: ...
 
 
 @dataclass(frozen=True)
@@ -149,6 +168,17 @@ class DiurnalRate:
         rates = np.array([p[1] for p in self.points])
         return float(np.dot(spans, rates) / self.period_s)
 
+    def peak_time_s(self) -> float:
+        """Where the curve peaks within one period (analytic, no search)."""
+        if self.kind == "sinusoid":
+            # sin(2*pi*t/P + phase) = 1  =>  t = P * (pi/2 - phase) / 2*pi
+            return float(
+                (self.period_s * (0.5 * np.pi - self.phase) / (2.0 * np.pi))
+                % self.period_s
+            )
+        t_max, _ = max(self.points, key=lambda p: p[1])
+        return float(t_max)
+
 
 @dataclass(frozen=True)
 class FlashCrowdRate:
@@ -158,11 +188,12 @@ class FlashCrowdRate:
     during a window of ``window_fraction`` of the period centred on the
     base curve's peak, where the rate is multiplied by ``multiplier`` —
     a viral event landing on top of the busy hour. The window repeats
-    every period. Duck-type-compatible with :class:`DiurnalRate` where
-    :func:`nhpp_arrivals` is concerned (``rate_at`` + ``peak_rate``).
+    every period. Both this class and its base satisfy :class:`RateCurve`,
+    so storms compose over any curve (phase-offset fleet regions
+    included), not just :class:`DiurnalRate`.
     """
 
-    base: DiurnalRate
+    base: RateCurve
     multiplier: float
     window_fraction: float
 
@@ -182,16 +213,19 @@ class FlashCrowdRate:
         return self.base.period_s
 
     def peak_time_s(self) -> float:
-        """Window centre: where the base curve peaks within one period."""
-        if self.base.kind == "sinusoid":
-            # sin(2*pi*t/P + phase) = 1  =>  t = P * (pi/2 - phase) / 2*pi
-            period = self.base.period_s
-            return float(
-                (period * (0.5 * np.pi - self.base.phase) / (2.0 * np.pi))
-                % period
-            )
-        t_max, _ = max(self.base.points, key=lambda p: p[1])
-        return float(t_max)
+        """Window centre: where the base curve peaks within one period.
+
+        Curves exposing their own ``peak_time_s`` (like
+        :class:`DiurnalRate`, analytically) are asked directly; anything
+        else falls back to a deterministic fixed-grid argmax, so any
+        :class:`RateCurve` can carry a storm.
+        """
+        peak_time = getattr(self.base, "peak_time_s", None)
+        if callable(peak_time):
+            return float(peak_time())
+        period = self.base.period_s
+        grid = np.linspace(0.0, period, 4096, endpoint=False)
+        return float(grid[int(np.argmax(self.base.rate_at(grid)))])
 
     def rate_at(self, t_s: "np.ndarray | float") -> np.ndarray:
         """Base rate, multiplied inside the periodic storm window."""
@@ -213,7 +247,7 @@ class FlashCrowdRate:
 
 
 def nhpp_arrivals(
-    curve: DiurnalRate, n: int, rng: np.random.Generator
+    curve: RateCurve, n: int, rng: np.random.Generator
 ) -> np.ndarray:
     """``n`` arrival timestamps (ms) of a non-homogeneous Poisson process.
 

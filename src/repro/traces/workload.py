@@ -74,9 +74,13 @@ class ArrivalSpec:
     burst_fraction: float = 0.1
     sigma: float = 1.5
     #: Diurnal shape: relative swing in [0, 1] (1 dips to zero at the
-    #: trough) and the cycle length in seconds.
+    #: trough), the cycle length in seconds, and the phase offset in
+    #: radians (fleet regions shift their local busy hour with it; 0 for
+    #: every pre-fleet spec, and folded into labels/digests only when
+    #: nonzero so existing seeds and cache keys are untouched).
     amplitude: float = 0.6
     period_s: float = 60.0
+    phase: float = 0.0
     #: Replay source: path to a trace file readable by
     #: :func:`~repro.traces.trace_file.load_trace`. The file is read at
     #: draw time (and memoised per content), so workers replay whatever
@@ -115,10 +119,10 @@ class ArrivalSpec:
         if self.kind == "azure" and self.sigma < 0:
             raise TraceError(f"sigma must be >= 0, got {self.sigma}")
         if self.kind == "diurnal":
-            # Delegated construction validates amplitude/period alongside
-            # the rate, at spec-build time as for the other kinds.
+            # Delegated construction validates amplitude/period/phase
+            # alongside the rate, at spec-build time as for the other kinds.
             DiurnalRate.sinusoid(
-                self.rate_per_s, self.amplitude, self.period_s
+                self.rate_per_s, self.amplitude, self.period_s, self.phase
             )
         if self.kind == "replay" and not self.trace:
             raise TraceError(
@@ -129,7 +133,7 @@ class ArrivalSpec:
             # window alongside it, at spec-build time as for the others.
             FlashCrowdRate(
                 DiurnalRate.sinusoid(
-                    self.rate_per_s, self.amplitude, self.period_s
+                    self.rate_per_s, self.amplitude, self.period_s, self.phase
                 ),
                 self.storm_multiplier,
                 self.storm_fraction,
@@ -155,7 +159,7 @@ class ArrivalSpec:
         if self.kind == "diurnal":
             return (
                 f"diurnal@{self.rate_per_s:g}/s~{self.amplitude:g}"
-                f"x{self.period_s:g}s"
+                f"x{self.period_s:g}s" + self._phase_suffix
             )
         if self.kind == "replay":
             # The path as given, not its content digest: the label keys
@@ -168,9 +172,15 @@ class ArrivalSpec:
             return (
                 f"storm@{self.rate_per_s:g}/s"
                 f"x{self.storm_multiplier:g}@{self.storm_fraction:g}"
-                f"~{self.amplitude:g}x{self.period_s:g}s"
+                f"~{self.amplitude:g}x{self.period_s:g}s" + self._phase_suffix
             )
         return f"azure@{self.rate_per_s:g}/s~{self.sigma:g}"
+
+    @property
+    def _phase_suffix(self) -> str:
+        # Empty at phase 0 so every pre-fleet label (and the seeds derived
+        # from it) is byte-for-byte what it always was.
+        return f"+{self.phase:g}rad" if self.phase != 0.0 else ""
 
     def timestamps(
         self,
@@ -200,7 +210,7 @@ class ArrivalSpec:
             )
         if self.kind == "diurnal":
             curve = DiurnalRate.sinusoid(
-                self.rate_per_s, self.amplitude, self.period_s
+                self.rate_per_s, self.amplitude, self.period_s, self.phase
             )
             return nhpp_arrivals(curve, n, rng)
         if self.kind == "replay":
@@ -215,6 +225,7 @@ class ArrivalSpec:
                 rng,
                 amplitude=self.amplitude,
                 period_s=self.period_s,
+                phase=self.phase,
             )
         return azure_like_arrivals(self.rate_per_s, n, rng, sigma=self.sigma)
 

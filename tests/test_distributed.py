@@ -34,8 +34,10 @@ from repro.scenarios.cache import CellCache
 from repro.scenarios.matrix import parse_fault
 from repro.scenarios.runner import evaluate_cell
 from repro.scenarios.wire import (
+    AUTH_ENV,
     MAX_FRAME_BYTES,
     WIRE_VERSION,
+    auth_digest,
     connect_with_retry,
     recv_msg,
     send_msg,
@@ -387,6 +389,136 @@ class TestWorkerCacheModes:
         assert stats["cache_mode"] == "protocol"
         assert stats["protocol_cache"] == {"gets": 2, "hits": 1, "puts": 1}
         assert len(list((tmp_path / "cells").iterdir())) == 2
+
+
+# ---------------------------------------------------------------------------
+# handshake authentication
+
+
+class TestWireAuth:
+    """Token-protected fabrics HMAC-challenge every hello; peers that
+    cannot answer are rejected before the pickled setup payload ships."""
+
+    def _run_auth(self, coord_token, worker_token, items=(-1, -2, -3)):
+        worker_errors: list[Exception] = []
+
+        def on_listen(host, port):
+            def target():
+                try:
+                    serve(
+                        (host, port),
+                        "local",
+                        connect_timeout=5.0,
+                        auth_token=worker_token,
+                    )
+                except Exception as exc:  # noqa: BLE001 - captured for asserts
+                    worker_errors.append(exc)
+
+            threading.Thread(target=target, daemon=True).start()
+
+        backend = DistributedBackend(
+            hosts="local",
+            launch=False,
+            bind="127.0.0.1",
+            connect_timeout=1.5,
+            idle_delay=0.01,
+            on_listen=on_listen,
+            auth_token=coord_token,
+        )
+        out = backend.run(list(items), abs)
+        return out, worker_errors
+
+    def test_digest_is_keyed_hmac_of_the_nonce(self):
+        assert auth_digest("token", "nonce") == auth_digest("token", "nonce")
+        assert auth_digest("token", "nonce") != auth_digest("other", "nonce")
+        assert auth_digest("token", "nonce") != auth_digest("token", "n2")
+
+    def test_matching_tokens_serve_normally(self):
+        out, errors = self._run_auth("s3cret", "s3cret")
+        assert out == [1, 2, 3]
+        assert errors == []
+
+    def test_wrong_token_is_rejected_with_a_clear_error(self):
+        with pytest.raises(ExperimentError, match="no worker connected"):
+            self._run_auth("s3cret", "wrong")
+
+    def test_missing_worker_token_raises_actionably(self):
+        with pytest.raises(ExperimentError, match="no worker connected"):
+            self._run_auth("s3cret", None)
+
+    def test_worker_rejection_messages(self):
+        # Direct socket-level check of both worker-side reject paths,
+        # without the coordinator timeout: fake a coordinator per case.
+        from repro.scenarios.worker import _serve_socket
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def fake_coordinator(reply_fn):
+            conn, _ = listener.accept()
+            hello = recv_msg(conn)
+            assert hello[0] == "hello"
+            reply_fn(conn)
+            conn.close()
+
+        # Missing token: the worker refuses the challenge locally.
+        thread = threading.Thread(
+            target=fake_coordinator,
+            args=(lambda c: send_msg(c, ("challenge", "abcd")),),
+            daemon=True,
+        )
+        thread.start()
+        with pytest.raises(ExperimentError, match=AUTH_ENV):
+            sock = connect_with_retry("127.0.0.1", port, timeout=5.0)
+            try:
+                _serve_socket(sock, "local", auth_token=None)
+            finally:
+                sock.close()
+        thread.join(timeout=5.0)
+
+        # Wrong token: the coordinator's reject reason reaches the worker.
+        def challenge_then_reject(conn):
+            send_msg(conn, ("challenge", "abcd"))
+            answer = recv_msg(conn)
+            assert answer[0] == "auth"
+            assert answer[1] != auth_digest("right", "abcd")
+            send_msg(conn, ("reject", "authentication failed: bad token"))
+
+        thread = threading.Thread(
+            target=fake_coordinator, args=(challenge_then_reject,),
+            daemon=True,
+        )
+        thread.start()
+        with pytest.raises(ExperimentError, match="authentication failed"):
+            sock = connect_with_retry("127.0.0.1", port, timeout=5.0)
+            try:
+                _serve_socket(sock, "local", auth_token="wrong")
+            finally:
+                sock.close()
+        thread.join(timeout=5.0)
+        listener.close()
+
+    def test_env_var_is_the_default_token(self, monkeypatch):
+        monkeypatch.setenv(AUTH_ENV, "from-env")
+        backend = DistributedBackend(hosts="local", launch=False)
+        assert backend.auth_token == "from-env"
+        monkeypatch.delenv(AUTH_ENV)
+        assert DistributedBackend(
+            hosts="local", launch=False
+        ).auth_token is None
+
+    def test_launch_argv_forwards_the_token(self):
+        spec = parse_hosts("local")[0]
+        with_auth = DistributedBackend(
+            hosts="local", launch=False, auth_token="tok"
+        ).launch_argv(spec, 1234)
+        assert "--auth-token" in with_auth
+        assert with_auth[with_auth.index("--auth-token") + 1] == "tok"
+        without = DistributedBackend(hosts="local", launch=False)
+        without.auth_token = None
+        assert "--auth-token" not in without.launch_argv(spec, 1234)
 
 
 # ---------------------------------------------------------------------------
